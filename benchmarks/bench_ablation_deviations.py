@@ -1,0 +1,65 @@
+"""Ablation A3 — the documented deviations from the paper's letter.
+
+DESIGN.md §5 documents three places where this reproduction deviates
+from (or pins down) the paper's under-specified constructions.  Each
+deviation must *measurably earn its place* — these benchmarks assert
+the effect that justified it.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.pipeline import ClusteringConfig
+from repro.eval.runner import run_table1_row
+
+
+def test_link_cap_protects_awdl_precision(benchmark, seed):
+    """Merge Condition 1 without the link-distance cap merges AWDL's
+    short counters into long timestamps through sliding substring
+    matches; the cap restores precision."""
+    capped = run_once(benchmark, run_table1_row, "awdl", 768, seed=seed)
+    uncapped = run_table1_row(
+        "awdl", 768, seed=seed, config=ClusteringConfig(link_cap_factor=float("inf"))
+    )
+    benchmark.extra_info["capped_precision"] = round(capped.score.precision, 3)
+    benchmark.extra_info["uncapped_precision"] = round(uncapped.score.precision, 3)
+    assert capped.score.precision >= uncapped.score.precision + 0.1
+
+
+def test_penalty_factor_protects_cross_length_separation(benchmark, seed):
+    """The raised penalty floor (0.6 vs 0.33) blocks cross-length
+    chaining of short ids into long high-entropy fields on AWDL."""
+    default = run_once(benchmark, run_table1_row, "awdl", 100, seed=seed)
+    low_floor = run_table1_row(
+        "awdl", 100, seed=seed, config=ClusteringConfig(penalty_factor=0.33)
+    )
+    benchmark.extra_info["pf06_precision"] = round(default.score.precision, 3)
+    benchmark.extra_info["pf033_precision"] = round(low_floor.score.precision, 3)
+    assert default.score.precision >= low_floor.score.precision
+
+
+def test_weighted_density_raises_coverage_but_risks_chaining(benchmark, seed):
+    """The optional weighted-density mode (occurrence counts as DBSCAN
+    sample weights) trades precision for coverage — measured on SMB,
+    whose heavily repeated constants make the effect visible."""
+    from repro.eval.runner import run_cell
+
+    unweighted = run_once(benchmark, run_cell, "smb", 1000, "groundtruth", seed=seed)
+    weighted = run_cell(
+        "smb",
+        1000,
+        "groundtruth",
+        seed=seed,
+        config=ClusteringConfig(weighted_density=True),
+    )
+    assert unweighted.score is not None and weighted.score is not None
+    benchmark.extra_info["unweighted"] = (
+        f"P={unweighted.score.precision:.2f} cov={unweighted.coverage:.2f}"
+    )
+    benchmark.extra_info["weighted"] = (
+        f"P={weighted.score.precision:.2f} cov={weighted.coverage:.2f}"
+    )
+    # Weighting must raise coverage (that is its point)...
+    assert weighted.coverage >= unweighted.coverage
+    # ...and the default stays the more precise configuration.
+    assert unweighted.score.precision >= weighted.score.precision

@@ -1,0 +1,51 @@
+"""Ablation A2 — epsilon auto-configuration (paper Section III-D).
+
+Compares the Algorithm-1 epsilon against a sweep of fixed values,
+verifying that the automatic choice is competitive with the best fixed
+epsilon (the point of the paper's configuration-free design) and that
+badly chosen fixed epsilons destroy the clustering.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.pipeline import ClusteringConfig
+from repro.eval.runner import run_table1_row
+
+FIXED_EPSILONS = [0.02, 0.05, 0.1, 0.2, 0.4]
+
+
+@pytest.mark.parametrize("epsilon", FIXED_EPSILONS, ids=str)
+def test_fixed_epsilon_sweep(benchmark, epsilon, seed):
+    config = ClusteringConfig(fixed_epsilon=epsilon, max_retrims=0)
+    row = run_once(benchmark, run_table1_row, "ntp", 100, seed=seed, config=config)
+    benchmark.extra_info["fscore"] = round(row.score.fscore, 3)
+
+
+def test_auto_epsilon_competitive(benchmark, seed):
+    auto = run_once(benchmark, run_table1_row, "ntp", 100, seed=seed)
+    benchmark.extra_info["auto_epsilon"] = round(auto.epsilon, 4)
+    benchmark.extra_info["auto_fscore"] = round(auto.score.fscore, 3)
+    best_fixed = max(
+        run_table1_row(
+            "ntp",
+            100,
+            seed=seed,
+            config=ClusteringConfig(fixed_epsilon=e, max_retrims=0),
+        ).score.fscore
+        for e in FIXED_EPSILONS
+    )
+    benchmark.extra_info["best_fixed_fscore"] = round(best_fixed, 3)
+    # Auto-configuration must reach at least 90 % of the best fixed value.
+    assert auto.score.fscore >= 0.9 * best_fixed
+    # And a clearly bad epsilon must be clearly worse than auto.
+    worst_fixed = min(
+        run_table1_row(
+            "ntp",
+            100,
+            seed=seed,
+            config=ClusteringConfig(fixed_epsilon=e, max_retrims=0),
+        ).score.fscore
+        for e in FIXED_EPSILONS
+    )
+    assert auto.score.fscore > worst_fixed

@@ -1,0 +1,40 @@
+"""Ablation A1 — the cluster refinement step (paper Section III-F).
+
+Runs Table-I style clustering with refinement disabled, merge-only,
+split-only, and full, quantifying what each pass contributes.  DNS is
+the showcase: DBSCAN overclassifies its transaction-id value space into
+fragments that only the merge pass reunites.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.pipeline import ClusteringConfig
+from repro.eval.runner import run_table1_row
+
+VARIANTS = {
+    "none": ClusteringConfig(merge=False, split=False),
+    "merge-only": ClusteringConfig(merge=True, split=False),
+    "split-only": ClusteringConfig(merge=False, split=True),
+    "full": ClusteringConfig(merge=True, split=True),
+}
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=str)
+@pytest.mark.parametrize("protocol", ["dns", "ntp", "nbns"], ids=str)
+def test_refinement_ablation(benchmark, protocol, variant, seed):
+    row = run_once(
+        benchmark, run_table1_row, protocol, 1000, seed=seed, config=VARIANTS[variant]
+    )
+    benchmark.extra_info["precision"] = round(row.score.precision, 3)
+    benchmark.extra_info["recall"] = round(row.score.recall, 3)
+    benchmark.extra_info["fscore"] = round(row.score.fscore, 3)
+    assert row.score.precision > 0.7
+
+
+def test_merge_recovers_dns_recall(seed):
+    """The merge pass must measurably improve DNS recall (Section III-F)."""
+    without = run_table1_row("dns", 1000, seed=seed, config=VARIANTS["none"])
+    with_merge = run_table1_row("dns", 1000, seed=seed, config=VARIANTS["merge-only"])
+    assert with_merge.score.recall >= without.score.recall + 0.1
+    assert with_merge.score.precision >= 0.95

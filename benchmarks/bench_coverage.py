@@ -1,0 +1,26 @@
+"""Benchmark E5 — the paper's Section IV-D headline: message-byte
+coverage of clustering vs the FieldHunter baseline (paper: 87 % vs 3 %,
+a ~30x improvement)."""
+
+from conftest import run_once
+from repro.eval.coverage_experiment import run_coverage_comparison
+
+
+def test_coverage_comparison(benchmark, seed):
+    comparison = run_once(benchmark, run_coverage_comparison, seed=seed)
+    benchmark.extra_info["fieldhunter_avg"] = round(comparison.fieldhunter_average, 3)
+    benchmark.extra_info["clustering_avg"] = round(comparison.clustering_average, 3)
+    benchmark.extra_info["all_cells_avg"] = round(comparison.all_cells_average, 3)
+    benchmark.extra_info["factor"] = round(comparison.improvement_factor, 1)
+    # Qualitative claims that must reproduce (see EXPERIMENTS.md for why
+    # the absolute coverage sits below the paper's 87 %):
+    # 1. FieldHunter types only a small fraction of bytes.
+    assert comparison.fieldhunter_average < 0.15
+    # 2. Clustering covers several times more of the message bytes.
+    assert comparison.clustering_average > 0.25
+    assert comparison.improvement_factor > 3
+    # 4. FieldHunter is inapplicable without IP context (AWDL, AU).
+    for row in comparison.rows:
+        if row.protocol in ("awdl", "au"):
+            assert not row.fieldhunter_applicable
+            assert row.fieldhunter_coverage == 0.0

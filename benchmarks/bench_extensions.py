@@ -1,0 +1,77 @@
+"""Benchmarks for the future-work extensions (paper Section V).
+
+Not part of the paper's evaluation tables — these quantify the two
+extensions the conclusion proposes: semantic deduction over clusters
+and value-generation models for fuzzing / misbehavior detection.
+"""
+
+import random
+
+import pytest
+
+from conftest import run_once
+from repro.core.pipeline import FieldTypeClusterer
+from repro.fuzzing import MessageFuzzer
+from repro.protocols import get_model
+from repro.segmenters import GroundTruthSegmenter
+from repro.semantics import deduce_semantics
+
+
+@pytest.fixture(scope="module")
+def analyzed_smb():
+    model = get_model("smb")
+    trace = model.generate(300, seed=13).preprocess()
+    segments = GroundTruthSegmenter(model).segment(trace)
+    result = FieldTypeClusterer().cluster(segments)
+    return model, trace, segments, result
+
+
+def test_semantic_deduction(benchmark, analyzed_smb):
+    _, trace, _, result = analyzed_smb
+    semantics = run_once(benchmark, deduce_semantics, result, trace)
+    labeled = sum(1 for s in semantics if s.label != "unknown")
+    benchmark.extra_info["clusters"] = len(semantics)
+    benchmark.extra_info["labeled"] = labeled
+    # A majority of SMB's pseudo types carry enough signal for a
+    # semantic hypothesis.
+    assert labeled >= len(semantics) // 2
+
+
+def test_fuzz_case_generation(benchmark, analyzed_smb):
+    _, trace, segments, result = analyzed_smb
+    semantics = deduce_semantics(result, trace)
+    fuzzer = MessageFuzzer(
+        trace=trace, segments=segments, result=result, semantics=semantics
+    )
+    cases = run_once(benchmark, fuzzer.generate, 500, seed=1)
+    benchmark.extra_info["cases"] = len(cases)
+    strategies = {c.strategy.value for c in cases}
+    benchmark.extra_info["strategies"] = sorted(strategies)
+    # The semantic layer must diversify mutations beyond blind bitflips.
+    assert len(strategies) >= 3
+
+
+def test_misbehavior_detection_accuracy(benchmark, analyzed_smb):
+    _, trace, segments, result = analyzed_smb
+    fuzzer = MessageFuzzer(trace=trace, segments=segments, result=result)
+    rng = random.Random(7)
+
+    def run_detection():
+        true_positives = 0
+        false_positives = 0
+        for index in range(0, min(len(trace), 40)):
+            base = trace[index].data
+            if fuzzer.detect_misbehavior(base):
+                false_positives += 1
+            # Tamper an 8-byte window in the middle of the message.
+            offset = min(len(base) - 8, 32)
+            tampered = base[:offset] + bytes(rng.getrandbits(8) | 0x80 for _ in range(8)) + base[offset + 8 :]
+            if fuzzer.detect_misbehavior(tampered):
+                true_positives += 1
+        return true_positives, false_positives
+
+    true_positives, false_positives = run_once(benchmark, run_detection)
+    benchmark.extra_info["tampered_flagged"] = true_positives
+    benchmark.extra_info["clean_flagged"] = false_positives
+    # Clean replays of trace messages must rarely alarm.
+    assert false_positives <= 4

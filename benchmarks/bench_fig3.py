@@ -1,0 +1,19 @@
+"""Benchmark E4 — paper Figure 3: heuristic boundary errors inside NTP
+timestamps (static prefix split from the high-entropy fraction)."""
+
+from conftest import run_once
+from repro.eval.figures import run_figure3
+
+
+def test_figure3_boundary_errors(benchmark, seed):
+    fig = run_once(benchmark, run_figure3, 100, seed=seed)
+    benchmark.extra_info["examples"] = len(fig.examples)
+    split = sum(1 for e in fig.examples if e.inferred_cuts)
+    benchmark.extra_info["split_timestamps"] = split
+    # The paper's phenomenon: NEMESYS splits high-entropy timestamps at
+    # wrong positions; our samples are selected to show exactly that.
+    assert split == len(fig.examples) > 0
+    # Shared static era prefix: every sampled timestamp starts with the
+    # same first byte (0xd2 region, cf. the paper's d23d19xx example).
+    prefixes = {e.field_hex[:2] for e in fig.examples}
+    assert len(prefixes) == 1

@@ -1,0 +1,69 @@
+"""Microbenchmarks of the computational kernels.
+
+Unlike the experiment benchmarks (single deterministic runs), these are
+true repeated-timing benchmarks of the hot paths: Canberra dissimilarity
+matrix construction, k-NN extraction, DBSCAN, and the NEMESYS segmenter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.autoconf import configure
+from repro.core.dbscan import dbscan
+from repro.core.matrix import DissimilarityMatrix
+from repro.core.segments import Segment, unique_segments
+from repro.protocols import get_model
+from repro.segmenters import CspSegmenter, NemesysSegmenter
+
+
+@pytest.fixture(scope="module")
+def ntp_segments():
+    model = get_model("ntp")
+    trace = model.generate(200, seed=9).preprocess()
+    from repro.core.segments import segments_from_fields
+
+    segments = []
+    for i, msg in enumerate(trace):
+        segments.extend(segments_from_fields(i, msg.data, model.dissect(msg.data)))
+    return unique_segments(segments)
+
+
+@pytest.fixture(scope="module")
+def ntp_matrix(ntp_segments):
+    return DissimilarityMatrix.build(ntp_segments)
+
+
+def test_matrix_build(benchmark, ntp_segments):
+    matrix = benchmark(DissimilarityMatrix.build, ntp_segments)
+    assert len(matrix) == len(ntp_segments)
+
+
+def test_knn_distances(benchmark, ntp_matrix):
+    knn = benchmark(ntp_matrix.knn_distances, 2)
+    assert knn.shape == (len(ntp_matrix),)
+
+
+def test_autoconf(benchmark, ntp_matrix):
+    auto = benchmark(configure, ntp_matrix)
+    assert auto.epsilon > 0
+
+
+def test_dbscan(benchmark, ntp_matrix):
+    result = benchmark(dbscan, ntp_matrix.values, 0.1, 5)
+    assert result.labels.shape == (len(ntp_matrix),)
+
+
+def test_nemesys_segmentation(benchmark):
+    model = get_model("dns")
+    trace = model.generate(200, seed=9).preprocess()
+    segmenter = NemesysSegmenter()
+    segments = benchmark(segmenter.segment, trace)
+    assert segments
+
+
+def test_csp_mining(benchmark):
+    model = get_model("dns")
+    trace = model.generate(200, seed=9).preprocess()
+    segmenter = CspSegmenter()
+    segments = benchmark(segmenter.segment, trace)
+    assert segments

@@ -1,0 +1,32 @@
+"""Benchmark (substrate) — message type identification (NEMETYL-style).
+
+Not a paper table, but the substrate the paper's Section II leans on:
+messages clustered by continuous segment similarity must recover the
+true message kinds with high precision, validating the shared Canberra
+machinery end-to-end from the message side.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.metrics import score_clustering
+from repro.msgtypes import MessageTypeClusterer
+from repro.protocols import get_model
+from repro.segmenters import GroundTruthSegmenter
+
+
+@pytest.mark.parametrize("protocol", ["ntp", "dns", "smb", "awdl"], ids=str)
+def test_message_type_identification(benchmark, protocol, seed):
+    model = get_model(protocol)
+    trace = model.generate(100, seed=seed).preprocess()
+    clusterer = MessageTypeClusterer(GroundTruthSegmenter(model))
+    result = run_once(benchmark, clusterer.cluster, trace)
+    truth = [model.message_kind(m.data) for m in trace]
+    score = score_clustering(
+        [(int(label), truth[i]) for i, label in enumerate(result.labels)], beta=1.0
+    )
+    benchmark.extra_info["types"] = result.type_count
+    benchmark.extra_info["true_kinds"] = len(set(truth))
+    benchmark.extra_info["precision"] = round(score.precision, 3)
+    benchmark.extra_info["recall"] = round(score.recall, 3)
+    assert score.precision >= 0.6

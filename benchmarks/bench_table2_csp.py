@@ -1,0 +1,22 @@
+"""Benchmark E2 (CSP column) — paper Table II with the contiguous
+sequential pattern segmenter."""
+
+import pytest
+
+from conftest import attach_score, run_once
+from repro.eval.runner import run_cell
+from repro.eval.tables import PAPER_TABLE2
+from repro.protocols.registry import ALL_ROWS
+
+
+@pytest.mark.parametrize("protocol,count", ALL_ROWS, ids=lambda v: str(v))
+def test_table2_csp(benchmark, protocol, count, seed):
+    cell = run_once(benchmark, run_cell, protocol, count, "csp", seed=seed)
+    paper = PAPER_TABLE2[(protocol, count, "csp")]
+    benchmark.extra_info["paper"] = "fails" if paper is None else f"F={paper[2]:.2f}"
+    if cell.failed:
+        benchmark.extra_info["result"] = "fails"
+        return
+    attach_score(benchmark, cell)
+    assert cell.score is not None
+    assert cell.score.fscore > 0.1

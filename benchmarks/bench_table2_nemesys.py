@@ -1,0 +1,22 @@
+"""Benchmark E2 (NEMESYS column) — paper Table II with the bit-congruence
+segmenter."""
+
+import pytest
+
+from conftest import attach_score, run_once
+from repro.eval.runner import run_cell
+from repro.eval.tables import PAPER_TABLE2
+from repro.protocols.registry import ALL_ROWS
+
+
+@pytest.mark.parametrize("protocol,count", ALL_ROWS, ids=lambda v: str(v))
+def test_table2_nemesys(benchmark, protocol, count, seed):
+    cell = run_once(benchmark, run_cell, protocol, count, "nemesys", seed=seed)
+    paper = PAPER_TABLE2[(protocol, count, "nemesys")]
+    benchmark.extra_info["paper"] = "fails" if paper is None else f"F={paper[2]:.2f}"
+    assert not cell.failed, "NEMESYS completes every trace in the paper"
+    attach_score(benchmark, cell)
+    assert cell.score is not None
+    # NEMESYS trades recall for precision on heuristic boundaries; the
+    # clustering must still find *some* correct pairs everywhere.
+    assert cell.score.precision > 0.15

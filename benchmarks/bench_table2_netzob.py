@@ -1,0 +1,29 @@
+"""Benchmark E2 (Netzob column) — paper Table II with the alignment
+segmenter.
+
+Cells whose resource guard trips are recorded as "fails", mirroring the
+paper's failed runs (Netzob on the large DHCP and SMB traces).
+"""
+
+import pytest
+
+from conftest import attach_score, run_once
+from repro.eval.runner import run_cell
+from repro.eval.tables import PAPER_TABLE2
+from repro.protocols.registry import ALL_ROWS
+
+
+@pytest.mark.parametrize("protocol,count", ALL_ROWS, ids=lambda v: str(v))
+def test_table2_netzob(benchmark, protocol, count, seed):
+    cell = run_once(benchmark, run_cell, protocol, count, "netzob", seed=seed)
+    paper = PAPER_TABLE2[(protocol, count, "netzob")]
+    benchmark.extra_info["paper"] = "fails" if paper is None else f"F={paper[2]:.2f}"
+    if cell.failed:
+        benchmark.extra_info["result"] = "fails"
+        # Our guard must trip on the same oversized traces as the paper's
+        # Netzob runs (DHCP-1000 and SMB-1000).
+        assert (protocol, count) in {("dhcp", 1000), ("smb", 1000)}
+        return
+    attach_score(benchmark, cell)
+    assert cell.score is not None
+    assert cell.score.fscore > 0.2

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Compare the three heuristic segmenters on one protocol.
+
+Section IV-C of the paper concludes that no segmenter dominates: Netzob
+shines on fixed/TLV structure, NEMESYS on large mixed messages, CSP on
+large traces.  This example reproduces that comparison on a protocol of
+your choice, scoring each segmenter's boundaries *and* the clustering
+quality built on top of them.
+
+Run:  python examples/compare_segmenters.py [protocol] [messages]
+      e.g.  python examples/compare_segmenters.py dns 200
+"""
+
+import sys
+
+from repro import FieldTypeClusterer, get_model
+from repro.eval.truth import label_with_truth
+from repro.metrics import score_result
+from repro.segmenters import (
+    CspSegmenter,
+    GroundTruthSegmenter,
+    NemesysSegmenter,
+    NetzobSegmenter,
+    SegmenterResourceError,
+)
+
+
+def boundary_accuracy(segments, model, trace) -> tuple[float, float]:
+    """Precision/recall of inferred boundaries against true boundaries."""
+    true_cuts = set()
+    inferred_cuts = set()
+    for index, message in enumerate(trace):
+        for field in model.dissect(message.data)[1:]:
+            true_cuts.add((index, field.offset))
+    for segment in segments:
+        if segment.offset > 0:
+            inferred_cuts.add((segment.message_index, segment.offset))
+    if not inferred_cuts or not true_cuts:
+        return 0.0, 0.0
+    hits = len(true_cuts & inferred_cuts)
+    return hits / len(inferred_cuts), hits / len(true_cuts)
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "dns"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    model = get_model(protocol)
+    trace = model.generate(count, seed=11).preprocess()
+    print(f"protocol={protocol}, {len(trace)} unique messages\n")
+    print(f"{'segmenter':12s} {'bound-P':>8s} {'bound-R':>8s} "
+          f"{'clust-P':>8s} {'clust-R':>8s} {'F(1/4)':>7s} {'coverage':>9s}")
+
+    segmenters = [
+        GroundTruthSegmenter(model),
+        NetzobSegmenter(),
+        NemesysSegmenter(),
+        CspSegmenter(),
+    ]
+    for segmenter in segmenters:
+        try:
+            segments = segmenter.segment(trace)
+        except SegmenterResourceError as error:
+            print(f"{segmenter.name:12s} fails ({error})")
+            continue
+        bp, br = boundary_accuracy(segments, model, trace)
+        if segmenter.name != "groundtruth":
+            segments = label_with_truth(segments, trace, model)
+        result = FieldTypeClusterer().cluster(segments)
+        score = score_result(result)
+        coverage = result.covered_bytes() / trace.total_bytes
+        print(
+            f"{segmenter.name:12s} {bp:8.2f} {br:8.2f} "
+            f"{score.precision:8.2f} {score.recall:8.2f} "
+            f"{score.fscore:7.2f} {coverage:9.0%}"
+        )
+
+    print(
+        "\nReading guide: ground truth shows the clustering ceiling; the\n"
+        "gap between boundary recall and clustering recall is the cost of\n"
+        "imperfect segmentation the paper analyzes in Section IV-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

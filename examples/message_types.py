@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Message type identification before field type clustering.
+
+The complete unknown-protocol workflow: first split the trace into
+message types (the NEMETYL substrate bundled with this library), then
+cluster field data types *within* the biggest type — sharpening the
+value distributions the field clustering sees.
+
+Run:  python examples/message_types.py [protocol]
+"""
+
+import sys
+from collections import Counter
+
+from repro import FieldTypeClusterer, NemesysSegmenter, get_model
+from repro.msgtypes import MessageTypeClusterer
+from repro.net.trace import Trace
+from repro.segmenters import GroundTruthSegmenter
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "smb"
+    model = get_model(protocol)
+    trace = model.generate(120, seed=19).preprocess()
+    print(f"{protocol.upper()}: {len(trace)} unique messages\n")
+
+    # Stage 1: message types via continuous segment similarity.
+    clusterer = MessageTypeClusterer(GroundTruthSegmenter(model))
+    types = clusterer.cluster(trace)
+    print(f"inferred {types.type_count} message types (epsilon={types.epsilon:.3f}):")
+    for type_id in range(types.type_count):
+        members = types.members(type_id)
+        # Grade against the protocol's true message kinds.
+        kinds = Counter(model.message_kind(trace[i].data) for i in members)
+        print(f"  type {type_id}: {len(members):3d} messages — true kinds {dict(kinds)}")
+    noise = [i for i, label in types.assignments() if label == -1]
+    print(f"  unassigned: {len(noise)} messages\n")
+
+    # Stage 2: field type clustering inside the largest message type.
+    largest = max(range(types.type_count), key=lambda t: len(types.members(t)))
+    subset = Trace(
+        messages=[trace[i] for i in types.members(largest)], protocol=protocol
+    )
+    segments = NemesysSegmenter().segment(subset)
+    fields = FieldTypeClusterer().cluster(segments)
+    print(
+        f"field clustering inside message type {largest} "
+        f"({len(subset)} messages): {fields.cluster_count} pseudo data "
+        f"types at epsilon={fields.epsilon:.3f}"
+    )
+    for index in range(fields.cluster_count):
+        values = fields.cluster_members(index)
+        print(
+            f"  pseudo type {index}: {len(values):3d} values, "
+            f"e.g. {values[0].data.hex()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

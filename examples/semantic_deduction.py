@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Semantics on top of pseudo data types (the paper's future work, live).
+
+After clustering, each pseudo data type is run through a battery of
+semantic detectors — constants, enums, text, random tokens, counters,
+timestamps, length fields, addresses — producing ranked, *explained*
+hypotheses about the field meaning.  Because detectors bind to clusters
+rather than byte offsets, this works for protocols with moving fields
+where FieldHunter-style offset rules cannot.
+
+Run:  python examples/semantic_deduction.py [protocol]
+"""
+
+import sys
+from collections import Counter
+
+from repro import FieldTypeClusterer, get_model
+from repro.segmenters import GroundTruthSegmenter
+from repro.semantics import deduce_semantics
+
+
+def main() -> None:
+    protocol = sys.argv[1] if len(sys.argv) > 1 else "smb"
+    model = get_model(protocol)
+    trace = model.generate(400, seed=17).preprocess()
+    segments = GroundTruthSegmenter(model).segment(trace)
+    result = FieldTypeClusterer().cluster(segments)
+    semantics = deduce_semantics(result, trace)
+
+    print(f"{protocol.upper()}: {result.cluster_count} pseudo data types\n")
+    for entry in semantics:
+        print(entry.render())
+        # Since this demo segments with ground truth, we can grade the
+        # hypotheses against the true field types.
+        truth = Counter(
+            result.segments[i].true_type for i in result.clusters[entry.cluster_id]
+        )
+        print(f"  ground truth: {dict(truth.most_common(3))}\n")
+
+    labeled = sum(1 for s in semantics if s.label != "unknown")
+    print(
+        f"{labeled}/{len(semantics)} pseudo types received a semantic "
+        "hypothesis — each one is a lead the analyst no longer has to "
+        "chase by hand."
+    )
+
+
+if __name__ == "__main__":
+    main()

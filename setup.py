@@ -1,0 +1,7 @@
+from setuptools import setup
+
+# Shim for environments without the `wheel` package where PEP 517
+# editable installs fail: `python setup.py develop` reads all metadata
+# (including console scripts) from pyproject.toml via setuptools'
+# PEP 621 support.
+setup()

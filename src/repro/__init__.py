@@ -1,0 +1,74 @@
+"""repro — Network message field type clustering for protocol reverse
+engineering.
+
+Reproduction of Kleber, Kargl, Stute, Hollick: *"Network Message Field
+Type Clustering for Reverse Engineering of Unknown Binary Protocols"*,
+IEEE DSN-W (DCDS) 2022.
+
+Quickstart::
+
+    from repro import FieldTypeClusterer, NemesysSegmenter, load_trace
+
+    trace = load_trace("capture.pcap", protocol="mystery", port=9999)
+    segments = NemesysSegmenter().segment(trace.preprocess())
+    result = FieldTypeClusterer().cluster(segments)
+    for i, members in enumerate(result.clusters):
+        print(f"pseudo type {i}: {len(members)} distinct values")
+
+Packages:
+
+- :mod:`repro.core` — the clustering method (the paper's contribution),
+- :mod:`repro.segmenters` — NEMESYS / Netzob / CSP heuristics,
+- :mod:`repro.protocols` — trace generators + ground-truth dissectors,
+- :mod:`repro.baselines` — the FieldHunter comparison baseline,
+- :mod:`repro.metrics` — pairwise cluster statistics and coverage,
+- :mod:`repro.net` — pcap/pcapng and packet-layer substrate,
+- :mod:`repro.eval` — regeneration of every table and figure.
+"""
+
+from repro.core import (
+    ClusteringConfig,
+    ClusteringResult,
+    FieldTypeClusterer,
+    Segment,
+    UniqueSegment,
+    canberra_dissimilarity,
+)
+from repro.formats import infer_all_templates
+from repro.fuzzing import MessageFuzzer
+from repro.msgtypes import MessageTypeClusterer
+from repro.net.trace import Trace, TraceMessage, load_trace
+from repro.protocols import available_protocols, get_model
+from repro.report import AnalysisReport
+from repro.segmenters import (
+    CspSegmenter,
+    GroundTruthSegmenter,
+    NemesysSegmenter,
+    NetzobSegmenter,
+)
+from repro.semantics import deduce_semantics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport",
+    "ClusteringConfig",
+    "ClusteringResult",
+    "CspSegmenter",
+    "FieldTypeClusterer",
+    "GroundTruthSegmenter",
+    "MessageFuzzer",
+    "MessageTypeClusterer",
+    "NemesysSegmenter",
+    "NetzobSegmenter",
+    "Segment",
+    "Trace",
+    "TraceMessage",
+    "UniqueSegment",
+    "available_protocols",
+    "canberra_dissimilarity",
+    "deduce_semantics",
+    "get_model",
+    "infer_all_templates",
+    "load_trace",
+]

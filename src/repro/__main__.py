@@ -1,0 +1,156 @@
+"""Analyst-facing CLI: ``python -m repro <command>``.
+
+Commands:
+
+- ``analyze``  — run the full pipeline on a pcap (or a built-in traffic
+  model) and print/save an :class:`~repro.report.AnalysisReport`.
+- ``generate`` — synthesize a trace with one of the bundled protocol
+  models and write it as a pcap for use with external tooling.
+- ``protocols`` — list the bundled protocol models.
+
+Examples::
+
+    python -m repro generate ntp -n 1000 -o /tmp/ntp.pcap
+    python -m repro analyze /tmp/ntp.pcap --port 123 --segmenter nemesys
+    python -m repro analyze --model awdl -n 500 --semantics --json report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
+from repro.net.packet import build_udp_ipv4_frame
+from repro.net.pcap import LINKTYPE_USER0, PcapPacket, write_pcap
+from repro.net.trace import load_trace
+from repro.protocols import available_protocols, get_model
+from repro.report import AnalysisReport
+from repro.segmenters import (
+    CspSegmenter,
+    NemesysSegmenter,
+    NetzobSegmenter,
+    SegmenterResourceError,
+)
+from repro.semantics import deduce_semantics
+
+_SEGMENTERS = {
+    "nemesys": NemesysSegmenter,
+    "netzob": NetzobSegmenter,
+    "csp": CspSegmenter,
+}
+
+
+def _cmd_protocols(_args) -> int:
+    for name in available_protocols():
+        model = get_model(name)
+        context = "IP" if model.has_ip_context else "no IP context"
+        print(f"{name:6s} ({context})")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    model = get_model(args.protocol)
+    trace = model.generate(args.count, seed=args.seed)
+    packets = []
+    for message in trace:
+        if message.src_ip is not None:
+            frame = build_udp_ipv4_frame(
+                message.data,
+                src_ip=message.src_ip,
+                dst_ip=message.dst_ip,
+                src_port=message.src_port,
+                dst_port=message.dst_port,
+            )
+            linktype = 1
+        else:
+            frame = message.data
+            linktype = LINKTYPE_USER0
+        packets.append(PcapPacket(timestamp=message.timestamp, data=frame))
+    written = write_pcap(args.output, packets, linktype=linktype)
+    print(f"wrote {written} packets to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    if args.model:
+        model = get_model(args.model)
+        trace = model.generate(args.count, seed=args.seed)
+        trace.protocol = args.model
+    elif args.capture:
+        trace = load_trace(args.capture, protocol=args.name, port=args.port)
+    else:
+        print("error: provide a capture file or --model", file=sys.stderr)
+        return 2
+    trace = trace.preprocess()
+    if not len(trace):
+        print("error: no messages after preprocessing", file=sys.stderr)
+        return 1
+    segmenter = _SEGMENTERS[args.segmenter]()
+    try:
+        segments = segmenter.segment(trace)
+    except SegmenterResourceError as error:
+        print(f"error: segmenter failed: {error}", file=sys.stderr)
+        return 1
+    config = ClusteringConfig()
+    result = FieldTypeClusterer(config).cluster(segments)
+    semantics = deduce_semantics(result, trace) if args.semantics else None
+    report = AnalysisReport.build(result, trace, semantics)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"report written to {args.json}")
+    if args.svg:
+        from repro.viz import save_svg
+
+        save_svg(result, args.svg, title=f"{trace.protocol}: pseudo data types")
+        print(f"cluster map written to {args.svg}")
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Field data type clustering for unknown binary protocols",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    protocols = sub.add_parser("protocols", help="list bundled protocol models")
+    protocols.set_defaults(handler=_cmd_protocols)
+
+    generate = sub.add_parser("generate", help="synthesize a trace as pcap")
+    generate.add_argument("protocol", choices=available_protocols())
+    generate.add_argument("-n", "--count", type=int, default=1000)
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.set_defaults(handler=_cmd_generate)
+
+    analyze = sub.add_parser("analyze", help="cluster field data types")
+    analyze.add_argument("capture", nargs="?", help="pcap/pcapng file")
+    analyze.add_argument("--model", choices=available_protocols(),
+                         help="analyze a synthesized trace instead of a capture")
+    analyze.add_argument("-n", "--count", type=int, default=500,
+                         help="messages to synthesize with --model")
+    analyze.add_argument("--name", default="unknown", help="protocol label")
+    analyze.add_argument("--port", type=int, help="UDP/TCP port filter")
+    analyze.add_argument("--segmenter", choices=sorted(_SEGMENTERS), default="nemesys")
+    analyze.add_argument("--semantics", action="store_true",
+                         help="run semantic deduction on the clusters")
+    analyze.add_argument("--json", help="also write the report as JSON")
+    analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
+    analyze.add_argument("--seed", type=int, default=42)
+    analyze.set_defaults(handler=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

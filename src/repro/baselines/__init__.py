@@ -1,0 +1,5 @@
+"""Baselines the paper compares against (FieldHunter)."""
+
+from repro.baselines.fieldhunter import FieldHunter, FieldHunterResult, TypedField
+
+__all__ = ["FieldHunter", "FieldHunterResult", "TypedField"]

@@ -1,0 +1,99 @@
+"""DBSCAN over a precomputed dissimilarity matrix (Ester et al., 1996).
+
+The paper chooses DBSCAN because it needs neither a target cluster
+count nor shape assumptions and treats outliers as noise; its
+parameters (epsilon, min_samples) come from
+:mod:`repro.core.autoconf`.  This is the textbook algorithm:
+density-core expansion over epsilon-neighborhoods, with the point
+itself included in its neighborhood count (the scikit-learn
+convention, which the original implementation relied on).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+NOISE = -1
+UNVISITED = -2
+
+
+@dataclass(frozen=True)
+class DbscanResult:
+    """Cluster labels per point: 0..m-1 for clusters, -1 for noise."""
+
+    labels: np.ndarray
+    epsilon: float
+    min_samples: int
+
+    @property
+    def cluster_count(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size and self.labels.max() >= 0 else 0
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.nonzero(self.labels == cluster)[0]
+
+    @property
+    def noise(self) -> np.ndarray:
+        return np.nonzero(self.labels == NOISE)[0]
+
+    def clusters(self) -> list[np.ndarray]:
+        return [self.members(c) for c in range(self.cluster_count)]
+
+
+def dbscan(
+    distances: np.ndarray,
+    epsilon: float,
+    min_samples: int,
+    weights: np.ndarray | None = None,
+) -> DbscanResult:
+    """Run DBSCAN on a square distance matrix.
+
+    Points with at least *min_samples* neighbors within *epsilon*
+    (including themselves) are core points; clusters are the connected
+    components of core points under the epsilon relation, plus border
+    points attached to the first core that reaches them.
+
+    *weights* gives each point a multiplicity for the density test (the
+    scikit-learn ``sample_weight`` semantics).  The clustering pipeline
+    deduplicates segment values for the distance computation but passes
+    each value's occurrence count here, so a value repeated across many
+    messages still forms a density core — exactly as if the duplicates
+    had participated at mutual distance zero.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"need a square matrix, got {distances.shape}")
+    count = distances.shape[0]
+    if weights is None:
+        weights = np.ones(count, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (count,):
+            raise ValueError(f"weights shape {weights.shape} != ({count},)")
+    labels = np.full(count, UNVISITED, dtype=np.int64)
+    within = distances <= epsilon
+    neighbor_counts = within @ weights  # includes self (diagonal zero)
+    is_core = neighbor_counts >= min_samples
+    cluster = 0
+    for point in range(count):
+        if labels[point] != UNVISITED:
+            continue
+        if not is_core[point]:
+            labels[point] = NOISE
+            continue
+        labels[point] = cluster
+        queue = deque(np.nonzero(within[point])[0].tolist())
+        while queue:
+            neighbor = queue.popleft()
+            if labels[neighbor] == NOISE:
+                labels[neighbor] = cluster  # border point reclaimed from noise
+            if labels[neighbor] != UNVISITED:
+                continue
+            labels[neighbor] = cluster
+            if is_core[neighbor]:
+                queue.extend(np.nonzero(within[neighbor])[0].tolist())
+        cluster += 1
+    return DbscanResult(labels=labels, epsilon=epsilon, min_samples=min_samples)

@@ -1,0 +1,62 @@
+"""Empirical cumulative distribution functions (paper Section III-D).
+
+The epsilon auto-configuration operates on the ECDF of k-NN
+dissimilarities: an evenly-stepped function jumping by 1/n at each
+sample.  :class:`Ecdf` stores the sorted samples and supports
+evaluation, trimming (for the multiple-knee fallback), and resampling
+onto an even grid for smoothing and knee detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """ECDF over a sample of (dissimilarity) values."""
+
+    samples: np.ndarray  # sorted ascending
+
+    @classmethod
+    def from_samples(cls, values) -> "Ecdf":
+        samples = np.sort(np.asarray(values, dtype=np.float64))
+        if samples.size == 0:
+            raise ValueError("ECDF needs at least one sample")
+        return cls(samples=samples)
+
+    def __len__(self) -> int:
+        return int(self.samples.size)
+
+    def evaluate(self, x) -> np.ndarray:
+        """Fraction of samples <= x (vectorized, right-continuous)."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self.samples, x, side="right") / self.samples.size
+
+    @property
+    def step_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (x, y) jump points of the step function."""
+        y = np.arange(1, self.samples.size + 1) / self.samples.size
+        return self.samples.copy(), y
+
+    def trim_below(self, threshold: float) -> "Ecdf":
+        """ECDF of the sub-sample strictly below *threshold*.
+
+        Implements the paper's fallback ``E'_k = E_k({d < d_kappa})``
+        used when a detected knee yields a too-large epsilon.
+        """
+        kept = self.samples[self.samples < threshold]
+        if kept.size == 0:
+            raise ValueError(f"no samples below {threshold}")
+        return Ecdf(samples=kept)
+
+    def grid(self, points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate on an even grid spanning the sample range."""
+        lo = float(self.samples[0])
+        hi = float(self.samples[-1])
+        if hi <= lo:
+            hi = lo + 1e-12
+        x = np.linspace(lo, hi, points)
+        return x, self.evaluate(x)

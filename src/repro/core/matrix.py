@@ -1,0 +1,98 @@
+"""Pairwise dissimilarity matrix over unique segments (paper Section III-C).
+
+Builds the full symmetric matrix **D** used as DBSCAN's precomputed
+metric and as the source of the k-NN distance distributions for the
+epsilon auto-configuration.  Computation is grouped by segment length so
+that equal-length pairs use the plain normalized Canberra distance and
+unequal-length pairs use the sliding/penalty extension, both vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.canberra import (
+    DEFAULT_PENALTY_FACTOR,
+    cross_length_block,
+    pairwise_equal_length,
+)
+from repro.core.segments import UniqueSegment
+
+
+@dataclass
+class DissimilarityMatrix:
+    """Symmetric matrix of Canberra dissimilarities between unique segments."""
+
+    segments: list[UniqueSegment]
+    values: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        segments: list[UniqueSegment],
+        penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+    ) -> "DissimilarityMatrix":
+        count = len(segments)
+        values = np.zeros((count, count), dtype=np.float64)
+        by_length: dict[int, list[int]] = {}
+        for index, segment in enumerate(segments):
+            by_length.setdefault(segment.length, []).append(index)
+        blocks = {
+            length: np.array(
+                [list(segments[i].data) for i in indices], dtype=np.float64
+            )
+            for length, indices in by_length.items()
+        }
+        lengths = sorted(by_length)
+        for li, length_a in enumerate(lengths):
+            indices_a = by_length[length_a]
+            block_a = blocks[length_a]
+            same = pairwise_equal_length(block_a)
+            values[np.ix_(indices_a, indices_a)] = same
+            for length_b in lengths[li + 1 :]:
+                indices_b = by_length[length_b]
+                cross = cross_length_block(
+                    block_a, blocks[length_b], penalty_factor=penalty_factor
+                )
+                values[np.ix_(indices_a, indices_b)] = cross
+                values[np.ix_(indices_b, indices_a)] = cross.T
+        return cls(segments=segments, values=values)
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.values[i, j])
+
+    def knn_distances(self, k: int) -> np.ndarray:
+        """Dissimilarity of every segment to its k-th nearest neighbor.
+
+        Neighbors exclude the segment itself (k=1 is the closest other
+        segment).  Requires ``k < len(self)``.
+        """
+        count = len(self)
+        if not 1 <= k < count:
+            raise ValueError(f"k must be in [1, {count - 1}], got {k}")
+        ordered = np.sort(self.values, axis=1)
+        # Column 0 is the self-distance (diagonal zero); column k is the
+        # k-th nearest other segment.  Duplicate zero distances cannot
+        # occur because segments are unique values.
+        return ordered[:, k]
+
+    def neighborhoods(self, epsilon: float) -> list[np.ndarray]:
+        """Indices within *epsilon* of each segment (excluding itself)."""
+        result = []
+        for index in range(len(self)):
+            close = np.nonzero(self.values[index] <= epsilon)[0]
+            result.append(close[close != index])
+        return result
+
+    def submatrix(self, indices: list[int]) -> np.ndarray:
+        return self.values[np.ix_(indices, indices)]
+
+    def condensed(self) -> np.ndarray:
+        """Upper-triangle distances as a flat vector (scipy convention)."""
+        iu = np.triu_indices(len(self), k=1)
+        return self.values[iu]

@@ -1,0 +1,225 @@
+"""End-to-end field data type clustering (paper Section III, Figure 1).
+
+:class:`FieldTypeClusterer` wires the stages together: unique-segment
+extraction → dissimilarity matrix → epsilon auto-configuration → DBSCAN
+→ giant-cluster fallback → refinement.  The output
+:class:`ClusteringResult` groups unique segments into *pseudo data
+types* and retains every intermediate artefact the evaluation needs
+(epsilon, ECDF curves, the matrix itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.autoconf import AutoConfig, configure
+from repro.core.canberra import DEFAULT_PENALTY_FACTOR
+from repro.core.dbscan import DbscanResult, dbscan
+from repro.core.kneedle import DEFAULT_SENSITIVITY
+from repro.core.matrix import DissimilarityMatrix
+from repro.core.refinement import (
+    EPSILON_RHO_THRESHOLD,
+    NEIGHBOR_DENSITY_THRESHOLD,
+    refine,
+)
+from repro.core.segments import Segment, UniqueSegment, unique_segments
+
+
+@dataclass(frozen=True)
+class ClusteringConfig:
+    """Tunables of the pipeline; defaults are the paper's choices."""
+
+    penalty_factor: float = DEFAULT_PENALTY_FACTOR
+    sensitivity: float = DEFAULT_SENSITIVITY
+    smoothness: float | None = None
+    eps_rho_threshold: float = EPSILON_RHO_THRESHOLD
+    neighbor_density_threshold: float = NEIGHBOR_DENSITY_THRESHOLD
+    merge: bool = True
+    split: bool = True
+    #: Cap on merge link distances, as a multiple of the DBSCAN epsilon.
+    link_cap_factor: float = 1.5
+    min_segment_length: int = 2
+    #: One cluster holding more than this fraction of non-noise segments
+    #: triggers the trim-and-retry epsilon fallback (Section III-E) when
+    #: the ECDF showed multiple knees.
+    giant_cluster_fraction: float = 0.6
+    #: Above this fraction the clustering is degenerate regardless of how
+    #: many knees were detected (a single cluster swallowing ~everything
+    #: cannot be a data type); the fallback then runs unconditionally.
+    extreme_cluster_fraction: float = 0.9
+    max_retrims: int = 3
+    #: Fixed epsilon override for ablation studies (skips Algorithm 1).
+    fixed_epsilon: float | None = None
+    #: Count each unique value's occurrences toward DBSCAN density
+    #: (scikit-learn sample_weight semantics).  Off by default: it raises
+    #: coverage for heavily repeated values (padding, constants) but lets
+    #: frequent values over-densify their neighborhoods and chain types
+    #: together; kept as an ablation knob.
+    weighted_density: bool = False
+
+
+@dataclass
+class ClusteringResult:
+    """Pseudo data types for one trace."""
+
+    segments: list[UniqueSegment]
+    clusters: list[np.ndarray]  # member indices into ``segments``
+    noise: np.ndarray
+    autoconfig: AutoConfig
+    matrix: DissimilarityMatrix
+    dbscan_result: DbscanResult
+    retrims: int = 0
+    #: Unique segments excluded before clustering (shorter than minimum).
+    excluded: list[UniqueSegment] = field(default_factory=list)
+
+    @property
+    def epsilon(self) -> float:
+        return self.autoconfig.epsilon
+
+    @property
+    def cluster_count(self) -> int:
+        return len(self.clusters)
+
+    def cluster_members(self, index: int) -> list[UniqueSegment]:
+        return [self.segments[i] for i in self.clusters[index]]
+
+    def noise_members(self) -> list[UniqueSegment]:
+        return [self.segments[i] for i in self.noise]
+
+    @property
+    def clustered_unique_count(self) -> int:
+        return sum(len(c) for c in self.clusters)
+
+    def covered_bytes(self) -> int:
+        """Message bytes covered by occurrences of clustered segments."""
+        return sum(
+            self.segments[i].covered_bytes for cluster in self.clusters for i in cluster
+        )
+
+    def labels(self) -> np.ndarray:
+        """Per-unique-segment labels after refinement (-1 = noise)."""
+        labels = np.full(len(self.segments), -1, dtype=np.int64)
+        for cluster_id, members in enumerate(self.clusters):
+            labels[members] = cluster_id
+        return labels
+
+
+class FieldTypeClusterer:
+    """The paper's fully automated pseudo-data-type clustering method."""
+
+    def __init__(self, config: ClusteringConfig | None = None):
+        self.config = config or ClusteringConfig()
+
+    def cluster(self, segments: list[Segment]) -> ClusteringResult:
+        """Cluster field candidates into pseudo data types."""
+        config = self.config
+        all_unique = unique_segments(segments, min_length=1)
+        analyzable = [u for u in all_unique if u.length >= config.min_segment_length]
+        excluded = [u for u in all_unique if u.length < config.min_segment_length]
+        if not analyzable:
+            raise ValueError("no analyzable segments (all shorter than the minimum)")
+        matrix = DissimilarityMatrix.build(analyzable, penalty_factor=config.penalty_factor)
+        weights = (
+            np.array([u.count for u in analyzable], dtype=np.float64)
+            if config.weighted_density
+            else None
+        )
+        auto = self._configure(matrix, trim_at=None)
+        result = dbscan(matrix.values, auto.epsilon, auto.min_samples, weights=weights)
+        retrims = 0
+        # Section III-E fallback, step 1: with multiple detected knees and
+        # a giant cluster, "instead select the next smaller knee for an
+        # epsilon".  Accepted only if it actually resolves the giant
+        # cluster (otherwise the smaller knee was not a density level
+        # either, and step 2 below walks down via ECDF trimming).
+        if len(auto.knees) >= 2 and self._has_giant_cluster(result):
+            smaller_knee = auto.knees[-2]
+            candidate = dbscan(
+                matrix.values, smaller_knee.x, auto.min_samples, weights=weights
+            )
+            if candidate.cluster_count and not self._has_giant_cluster(candidate):
+                auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
+                result = candidate
+                retrims += 1
+        trim_at = auto.knee.x if auto.knee is not None else None
+        # Step 2: repeat the auto-configuration on the ECDF trimmed below
+        # the detected knee.  Only the multiple-knee situation makes the
+        # detected epsilon untrustworthy; a legitimately dominant data
+        # type (e.g. NTP timestamps) must not trigger a retrim.
+        while (
+            retrims < config.max_retrims
+            and trim_at is not None
+            and (
+                (len(auto.knees) >= 2 and self._has_giant_cluster(result))
+                or self._has_giant_cluster(result, config.extreme_cluster_fraction)
+            )
+        ):
+            retry = self._configure(matrix, trim_at=trim_at)
+            if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
+                break
+            candidate = dbscan(
+                matrix.values, retry.epsilon, retry.min_samples, weights=weights
+            )
+            # A smaller epsilon that mostly manufactures noise did not
+            # find a better density level — keep the previous clustering.
+            previous_clustered = len(result.labels) - len(result.noise)
+            candidate_clustered = len(candidate.labels) - len(candidate.noise)
+            if candidate_clustered < 0.5 * previous_clustered:
+                break
+            auto = retry
+            result = candidate
+            trim_at = auto.knee.x if auto.knee is not None else None
+            retrims += 1
+        clusters = result.clusters()
+        refined = refine(
+            matrix.values,
+            clusters,
+            analyzable,
+            eps_rho_threshold=config.eps_rho_threshold,
+            neighbor_density_threshold=config.neighbor_density_threshold,
+            merge=config.merge,
+            split=config.split,
+            link_cap=config.link_cap_factor * auto.epsilon,
+        )
+        clustered = (
+            np.concatenate(refined) if refined else np.array([], dtype=np.int64)
+        )
+        noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
+        return ClusteringResult(
+            segments=analyzable,
+            clusters=refined,
+            noise=noise,
+            autoconfig=auto,
+            matrix=matrix,
+            dbscan_result=result,
+            retrims=retrims,
+            excluded=excluded,
+        )
+
+    def _configure(self, matrix: DissimilarityMatrix, trim_at: float | None) -> AutoConfig:
+        config = self.config
+        if config.fixed_epsilon is not None:
+            auto = configure(
+                matrix,
+                sensitivity=config.sensitivity,
+                smoothness=config.smoothness,
+                trim_at=trim_at,
+            )
+            return replace(auto, epsilon=config.fixed_epsilon)
+        return configure(
+            matrix,
+            sensitivity=config.sensitivity,
+            smoothness=config.smoothness,
+            trim_at=trim_at,
+        )
+
+    def _has_giant_cluster(self, result: DbscanResult, fraction: float | None = None) -> bool:
+        if fraction is None:
+            fraction = self.config.giant_cluster_fraction
+        sizes = [len(result.members(c)) for c in range(result.cluster_count)]
+        non_noise = sum(sizes)
+        if not non_noise:
+            return False
+        return max(sizes) > fraction * non_noise

@@ -1,0 +1,102 @@
+"""Segments: the unit of analysis for field data type clustering.
+
+A :class:`Segment` is one field candidate inside one concrete message —
+the output of a segmenter (paper Section III-B).  Clustering operates on
+*unique segment values* (Section III-C: "we consider duplicate segment
+values only once"), represented by :class:`UniqueSegment`, which keeps
+all concrete occurrences so that results can be projected back onto
+messages (for coverage and for the occurrence-count split heuristic).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One field candidate in one message.
+
+    ``ftype`` carries the ground-truth data type label when segmentation
+    came from a dissector; heuristic segmenters leave it None.
+    """
+
+    message_index: int
+    offset: int
+    data: bytes
+    ftype: str | None = None
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.data)
+
+
+@dataclass(frozen=True)
+class UniqueSegment:
+    """A distinct segment value plus all its occurrences in the trace."""
+
+    data: bytes
+    occurrences: tuple[Segment, ...] = field(default_factory=tuple)
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def count(self) -> int:
+        """Number of concrete occurrences of this value."""
+        return len(self.occurrences)
+
+    @property
+    def true_type(self) -> str | None:
+        """Majority ground-truth type among occurrences (None if unknown).
+
+        The same byte value occasionally occurs under different true
+        types (e.g. an all-zero timestamp vs. padding); the majority
+        label is the standard resolution when scoring unique values.
+        """
+        labels = [s.ftype for s in self.occurrences if s.ftype is not None]
+        if not labels:
+            return None
+        return Counter(labels).most_common(1)[0][0]
+
+    @property
+    def covered_bytes(self) -> int:
+        """Total message bytes covered by all occurrences."""
+        return len(self.data) * len(self.occurrences)
+
+
+def unique_segments(segments: list[Segment], min_length: int = 2) -> list[UniqueSegment]:
+    """Deduplicate *segments* by value, dropping those shorter than
+    *min_length* (the paper excludes 1-byte segments, Section III-C).
+
+    Order of first occurrence is preserved, which keeps downstream
+    results deterministic.
+    """
+    grouped: dict[bytes, list[Segment]] = {}
+    for segment in segments:
+        if segment.length < min_length:
+            continue
+        grouped.setdefault(segment.data, []).append(segment)
+    return [
+        UniqueSegment(data=data, occurrences=tuple(occurrences))
+        for data, occurrences in grouped.items()
+    ]
+
+
+def segments_from_fields(message_index: int, data: bytes, fields) -> list[Segment]:
+    """Convert ground-truth ``Field`` annotations into segments."""
+    return [
+        Segment(
+            message_index=message_index,
+            offset=f.offset,
+            data=f.value(data),
+            ftype=f.ftype,
+        )
+        for f in fields
+    ]

@@ -1,0 +1,45 @@
+"""Evaluation harness: runners, tables, figures, and the coverage study.
+
+Each paper artefact maps to one entry point (see DESIGN.md section 4):
+
+- Table I  -> :func:`repro.eval.tables.run_table1`
+- Table II -> :func:`repro.eval.tables.run_table2`
+- Figure 2 -> :func:`repro.eval.figures.run_figure2`
+- Figure 3 -> :func:`repro.eval.figures.run_figure3`
+- Coverage headline -> :func:`repro.eval.coverage_experiment.run_coverage_comparison`
+
+``python -m repro.eval <artefact>`` regenerates any of them from the CLI.
+"""
+
+from repro.eval.confusion import ConfusionReport, analyze_confusion
+from repro.eval.coverage_experiment import CoverageComparison, run_coverage_comparison
+from repro.eval.figures import Figure2, Figure3, run_figure2, run_figure3
+from repro.eval.paperdiff import Scorecard, build_scorecard
+from repro.eval.runner import ExperimentCell, Table1Row, run_cell, run_table1_row
+from repro.eval.stability import StabilityResult, run_stability
+from repro.eval.tables import Table1, Table2, run_table1, run_table2
+from repro.eval.truth import label_with_truth
+
+__all__ = [
+    "ConfusionReport",
+    "CoverageComparison",
+    "ExperimentCell",
+    "Figure2",
+    "Figure3",
+    "Scorecard",
+    "StabilityResult",
+    "Table1",
+    "Table1Row",
+    "Table2",
+    "analyze_confusion",
+    "build_scorecard",
+    "label_with_truth",
+    "run_cell",
+    "run_coverage_comparison",
+    "run_figure2",
+    "run_figure3",
+    "run_stability",
+    "run_table1",
+    "run_table1_row",
+    "run_table2",
+]

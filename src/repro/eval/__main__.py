@@ -1,0 +1,97 @@
+"""Command-line interface: regenerate every paper artefact.
+
+Examples::
+
+    python -m repro.eval table1
+    python -m repro.eval table2 --quick
+    python -m repro.eval fig2
+    python -m repro.eval fig3
+    python -m repro.eval coverage
+    python -m repro.eval all --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from pathlib import Path
+
+from repro.eval.coverage_experiment import run_coverage_comparison
+from repro.eval.export import table1_records, table2_records, to_csv, to_json
+from repro.eval.figures import run_figure2, run_figure3
+from repro.eval.runner import DEFAULT_SEED
+from repro.eval.tables import run_table1, run_table2
+from repro.protocols.registry import ALL_ROWS, SMALL_TRACE_ROWS
+
+
+def _rows(quick: bool):
+    return SMALL_TRACE_ROWS if quick else ALL_ROWS
+
+
+def _export(args, name: str, records: list[dict]) -> None:
+    """Write table records as JSON + CSV under --export-dir, if given."""
+    if not args.export_dir:
+        return
+    directory = Path(args.export_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{name}.json").write_text(to_json(records))
+    (directory / f"{name}.csv").write_text(to_csv(records))
+    print(f"exported {name} to {directory}/{name}.{{json,csv}}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate the tables and figures of the field type "
+        "clustering paper (Kleber et al., DSN-W 2022).",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=["table1", "table2", "fig2", "fig3", "coverage", "scorecard", "all"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the small-trace rows (fast smoke run)",
+    )
+    parser.add_argument(
+        "--export-dir",
+        help="also write table records as JSON + CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    outputs = []
+    if args.artefact in ("table1", "all"):
+        table = run_table1(seed=args.seed, rows=_rows(args.quick))
+        outputs.append(table.render())
+        _export(args, "table1", table1_records(table))
+    if args.artefact in ("table2", "all"):
+        table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+        outputs.append(table2.render())
+        _export(args, "table2", table2_records(table2))
+    if args.artefact == "scorecard":
+        from repro.eval.paperdiff import build_scorecard
+
+        table1 = run_table1(seed=args.seed, rows=_rows(args.quick))
+        table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+        outputs.append(build_scorecard(table1, table2).render())
+    if args.artefact in ("fig2", "all"):
+        count = 100 if args.quick else 1000
+        outputs.append(run_figure2(message_count=count, seed=args.seed).render())
+    if args.artefact in ("fig3", "all"):
+        outputs.append(run_figure3(seed=args.seed).render())
+    if args.artefact in ("coverage", "all"):
+        rows = SMALL_TRACE_ROWS if args.quick else None
+        outputs.append(run_coverage_comparison(seed=args.seed, rows=rows).render())
+    try:
+        print("\n\n".join(outputs))
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

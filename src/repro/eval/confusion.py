@@ -1,0 +1,96 @@
+"""Type-confusion analysis: which true data types get conflated?
+
+The paper explains its SMB failure by inspecting clusters ("timestamps
+and signatures have erroneously been placed together in one cluster").
+This module mechanizes that inspection: a confusion summary listing,
+per cluster, the true-type composition, plus the global pair matrix of
+type-vs-type conflations weighted by the pair count they cost.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.pipeline import ClusteringResult
+from repro.eval.reporting import render_table
+
+
+@dataclass(frozen=True)
+class Conflation:
+    """Two true types sharing clusters, with the false-pair count."""
+
+    type_a: str
+    type_b: str
+    false_pairs: int
+    clusters: tuple[int, ...]
+
+
+@dataclass
+class ConfusionReport:
+    """Cluster purity summary + ranked type conflations."""
+
+    cluster_compositions: list[tuple[int, dict[str, int]]]
+    conflations: list[Conflation]
+
+    @property
+    def pure_cluster_count(self) -> int:
+        return sum(1 for _, comp in self.cluster_compositions if len(comp) == 1)
+
+    def render(self, top: int = 10) -> str:
+        total = len(self.cluster_compositions)
+        lines = [
+            f"{self.pure_cluster_count}/{total} clusters are type-pure",
+        ]
+        if self.conflations:
+            body = [
+                [c.type_a, c.type_b, c.false_pairs, ",".join(map(str, c.clusters))]
+                for c in self.conflations[:top]
+            ]
+            lines.append(
+                render_table(
+                    ["type A", "type B", "false pairs", "clusters"],
+                    body,
+                    title="type conflations (ranked by pair cost)",
+                )
+            )
+        else:
+            lines.append("no type conflations — every cluster is pure")
+        return "\n".join(lines)
+
+
+def analyze_confusion(result: ClusteringResult) -> ConfusionReport:
+    """Build the confusion report from a scored clustering result.
+
+    Requires ground-truth types on the unique segments (i.e. ground-truth
+    segmentation or overlap-labeled heuristic segments).
+    """
+    compositions: list[tuple[int, dict[str, int]]] = []
+    pair_cost: Counter = Counter()
+    pair_clusters: dict[tuple[str, str], set[int]] = {}
+    for cluster_id, members in enumerate(result.clusters):
+        types = Counter()
+        for index in members:
+            true_type = result.segments[index].true_type
+            if true_type is None:
+                raise ValueError("segments carry no ground-truth types")
+            types[true_type] += 1
+        compositions.append((cluster_id, dict(types)))
+        distinct = sorted(types)
+        for i, type_a in enumerate(distinct):
+            for type_b in distinct[i + 1 :]:
+                key = (type_a, type_b)
+                pair_cost[key] += types[type_a] * types[type_b]
+                pair_clusters.setdefault(key, set()).add(cluster_id)
+    conflations = [
+        Conflation(
+            type_a=a,
+            type_b=b,
+            false_pairs=cost,
+            clusters=tuple(sorted(pair_clusters[(a, b)])),
+        )
+        for (a, b), cost in pair_cost.most_common()
+    ]
+    return ConfusionReport(
+        cluster_compositions=compositions, conflations=conflations
+    )

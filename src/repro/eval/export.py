@@ -1,0 +1,101 @@
+"""Machine-readable export of evaluation artefacts (JSON / CSV).
+
+Downstream consumers (plotting scripts, CI dashboards, the paper-diff
+tooling in EXPERIMENTS.md) read these rather than scraping the text
+tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from repro.eval.coverage_experiment import CoverageComparison
+from repro.eval.tables import PAPER_TABLE1, PAPER_TABLE2, Table1, Table2
+
+
+def table1_records(table: Table1) -> list[dict[str, Any]]:
+    records = []
+    for row in table.rows:
+        paper = PAPER_TABLE1.get((row.protocol, row.message_count))
+        records.append(
+            {
+                "protocol": row.protocol,
+                "messages": row.message_count,
+                "unique_fields": row.unique_fields,
+                "epsilon": round(row.epsilon, 4),
+                "precision": round(row.score.precision, 4),
+                "recall": round(row.score.recall, 4),
+                "fscore": round(row.score.fscore, 4),
+                "paper_epsilon": paper[0] if paper else None,
+                "paper_precision": paper[1] if paper else None,
+                "paper_recall": paper[2] if paper else None,
+                "paper_fscore": paper[3] if paper else None,
+            }
+        )
+    return records
+
+
+def table2_records(table: Table2) -> list[dict[str, Any]]:
+    records = []
+    for (protocol, count, segmenter), cell in table.cells.items():
+        paper = PAPER_TABLE2.get((protocol, count, segmenter))
+        record: dict[str, Any] = {
+            "protocol": protocol,
+            "messages": count,
+            "segmenter": segmenter,
+            "failed": cell.failed,
+            "paper_failed": paper is None,
+        }
+        if not cell.failed and cell.score is not None:
+            record.update(
+                precision=round(cell.score.precision, 4),
+                recall=round(cell.score.recall, 4),
+                fscore=round(cell.score.fscore, 4),
+                coverage=round(cell.coverage or 0.0, 4),
+            )
+        if paper is not None:
+            record.update(
+                paper_precision=paper[0],
+                paper_recall=paper[1],
+                paper_fscore=paper[2],
+                paper_coverage=paper[3],
+            )
+        records.append(record)
+    return records
+
+
+def coverage_records(comparison: CoverageComparison) -> list[dict[str, Any]]:
+    return [
+        {
+            "protocol": row.protocol,
+            "messages": row.message_count,
+            "fieldhunter_coverage": round(row.fieldhunter_coverage, 4),
+            "fieldhunter_applicable": row.fieldhunter_applicable,
+            "clustering_coverage": round(row.clustering_coverage, 4),
+            "best_segmenter": row.best_segmenter,
+        }
+        for row in comparison.rows
+    ]
+
+
+def to_json(records: list[dict[str, Any]], indent: int = 2) -> str:
+    return json.dumps(records, indent=indent)
+
+
+def to_csv(records: list[dict[str, Any]]) -> str:
+    if not records:
+        return ""
+    # Union of keys, first-record order first (stable headers).
+    fieldnames = list(records[0])
+    for record in records[1:]:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()

@@ -1,0 +1,102 @@
+"""Reproduction scorecard: quantitative agreement with the paper.
+
+Turns "does the shape hold?" into numbers: per-table mean absolute
+F-score deltas, agreement on the per-protocol best segmenter, agreement
+on failure cells, and the fraction of rows where both runs call the
+result a success (F >= 0.8, the paper's green threshold).  Printed by
+``python -m repro.eval scorecard`` and asserted by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.tables import PAPER_TABLE1, PAPER_TABLE2, Table1, Table2
+
+#: The paper colors F-scores >= 0.8 green ("successful analyses").
+SUCCESS_THRESHOLD = 0.8
+
+
+@dataclass
+class Scorecard:
+    """Agreement statistics between our tables and the paper's."""
+
+    table1_mean_abs_f_delta: float
+    table1_mean_abs_epsilon_delta: float
+    table1_success_agreement: float
+    table2_mean_abs_f_delta: float
+    table2_failure_agreement: float
+    table2_best_segmenter_agreement: float
+    rows_compared: int
+    cells_compared: int
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Reproduction scorecard (ours vs. paper)",
+                "---------------------------------------",
+                f"Table I  rows compared:            {self.rows_compared}",
+                f"Table I  mean |dF(1/4)|:           {self.table1_mean_abs_f_delta:.3f}",
+                f"Table I  mean |d epsilon|:         {self.table1_mean_abs_epsilon_delta:.3f}",
+                f"Table I  success-call agreement:   {self.table1_success_agreement:.0%}",
+                f"Table II cells compared:           {self.cells_compared}",
+                f"Table II mean |dF(1/4)|:           {self.table2_mean_abs_f_delta:.3f}",
+                f"Table II failure-cell agreement:   {self.table2_failure_agreement:.0%}",
+                f"Table II best-segmenter agreement: {self.table2_best_segmenter_agreement:.0%}",
+            ]
+        )
+
+
+def build_scorecard(table1: Table1, table2: Table2) -> Scorecard:
+    """Compare regenerated tables against the paper's printed values."""
+    # -- Table I ---------------------------------------------------------
+    f_deltas = []
+    eps_deltas = []
+    success_agree = 0
+    for row in table1.rows:
+        paper = PAPER_TABLE1[(row.protocol, row.message_count)]
+        f_deltas.append(abs(row.score.fscore - paper[3]))
+        eps_deltas.append(abs(row.epsilon - paper[0]))
+        ours_success = row.score.fscore >= SUCCESS_THRESHOLD
+        paper_success = paper[3] >= SUCCESS_THRESHOLD
+        success_agree += ours_success == paper_success
+
+    # -- Table II --------------------------------------------------------
+    cell_deltas = []
+    failure_agree = 0
+    failure_total = 0
+    ours_best: dict[tuple[str, int], tuple[float, str]] = {}
+    paper_best: dict[tuple[str, int], tuple[float, str]] = {}
+    for (protocol, count, segmenter), cell in table2.cells.items():
+        paper = PAPER_TABLE2[(protocol, count, segmenter)]
+        failure_total += 1
+        failure_agree += cell.failed == (paper is None)
+        if not cell.failed and cell.score is not None:
+            key = (protocol, count)
+            if key not in ours_best or cell.score.fscore > ours_best[key][0]:
+                ours_best[key] = (cell.score.fscore, segmenter)
+            if paper is not None:
+                cell_deltas.append(abs(cell.score.fscore - paper[2]))
+        if paper is not None:
+            key = (protocol, count)
+            if key not in paper_best or paper[2] > paper_best[key][0]:
+                paper_best[key] = (paper[2], segmenter)
+    shared_rows = set(ours_best) & set(paper_best)
+    best_agree = sum(
+        1 for key in shared_rows if ours_best[key][1] == paper_best[key][1]
+    )
+
+    return Scorecard(
+        table1_mean_abs_f_delta=sum(f_deltas) / len(f_deltas),
+        table1_mean_abs_epsilon_delta=sum(eps_deltas) / len(eps_deltas),
+        table1_success_agreement=success_agree / len(table1.rows),
+        table2_mean_abs_f_delta=(
+            sum(cell_deltas) / len(cell_deltas) if cell_deltas else 0.0
+        ),
+        table2_failure_agreement=failure_agree / failure_total,
+        table2_best_segmenter_agreement=(
+            best_agree / len(shared_rows) if shared_rows else 0.0
+        ),
+        rows_compared=len(table1.rows),
+        cells_compared=len(cell_deltas),
+    )

@@ -1,0 +1,72 @@
+"""Plain-text table rendering for evaluation reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    columns = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def fmt(value: float | None, precision: int = 2) -> str:
+    """Format an optional float; empty string for None."""
+    return "" if value is None else f"{value:.{precision}f}"
+
+
+def fmt_pct(value: float | None) -> str:
+    return "" if value is None else f"{value:.0%}"
+
+
+def ascii_plot(
+    x,
+    y,
+    width: int = 72,
+    height: int = 18,
+    marker: str = "*",
+    annotations: dict[float, str] | None = None,
+) -> str:
+    """Minimal ASCII scatter/line plot for terminal reports (Figure 2)."""
+    import numpy as np
+
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size == 0:
+        return "(no data)"
+    x_span = (x.max() - x.min()) or 1.0
+    y_span = (y.max() - y.min()) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = marker
+    if annotations:
+        for x_pos, label in annotations.items():
+            col = int((x_pos - x.min()) / x_span * (width - 1))
+            col = max(0, min(width - 1, col))
+            for row in range(height):
+                if grid[row][col] == " ":
+                    grid[row][col] = "|"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x.min():.3f}, {x.max():.3f}]  y: [{y.min():.2f}, {y.max():.2f}]")
+    if annotations:
+        for x_pos, label in annotations.items():
+            lines.append(f"| at x={x_pos:.3f}: {label}")
+    return "\n".join(lines)

@@ -1,0 +1,171 @@
+"""Experiment runner: one function per paper table/figure cell.
+
+Every run is deterministic given (protocol, message count, seed), so the
+benchmark harness and the CLI regenerate identical numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
+from repro.core.segments import Segment
+from repro.eval.truth import label_with_truth
+from repro.metrics import clustering_coverage, score_result
+from repro.metrics.pairwise import ClusterScore
+from repro.net.trace import Trace
+from repro.protocols import get_model
+from repro.protocols.base import ProtocolModel
+from repro.segmenters import (
+    CspSegmenter,
+    GroundTruthSegmenter,
+    NemesysSegmenter,
+    NetzobSegmenter,
+    Segmenter,
+    SegmenterResourceError,
+)
+
+DEFAULT_SEED = 42
+
+HEURISTIC_SEGMENTERS = ("netzob", "nemesys", "csp")
+
+
+def make_segmenter(name: str, model: ProtocolModel) -> Segmenter:
+    """Instantiate a segmenter by table name."""
+    name = name.lower()
+    if name == "groundtruth":
+        return GroundTruthSegmenter(model)
+    if name == "nemesys":
+        return NemesysSegmenter()
+    if name == "netzob":
+        return NetzobSegmenter()
+    if name == "csp":
+        return CspSegmenter()
+    raise KeyError(f"unknown segmenter {name!r}")
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One (protocol, size, segmenter) evaluation outcome."""
+
+    protocol: str
+    message_count: int
+    segmenter: str
+    failed: bool = False
+    failure_reason: str = ""
+    score: ClusterScore | None = None
+    coverage: float | None = None
+    epsilon: float | None = None
+    unique_segments: int = 0
+    runtime_seconds: float = 0.0
+
+    @property
+    def summary(self) -> str:
+        if self.failed:
+            return "fails"
+        assert self.score is not None
+        parts = (
+            f"P={self.score.precision:.2f} R={self.score.recall:.2f} "
+            f"F={self.score.fscore:.2f}"
+        )
+        if self.coverage is not None:
+            parts += f" cov={self.coverage:.0%}"
+        return parts
+
+
+def prepare_trace(protocol: str, message_count: int, seed: int = DEFAULT_SEED) -> tuple[
+    ProtocolModel, Trace
+]:
+    """Generate and preprocess the evaluation trace for one row."""
+    model = get_model(protocol)
+    trace = model.generate(message_count, seed=seed).preprocess()
+    return model, trace
+
+
+def cluster_segments(
+    segments: list[Segment], config: ClusteringConfig | None = None
+) -> ClusteringResult:
+    return FieldTypeClusterer(config).cluster(segments)
+
+
+def run_cell(
+    protocol: str,
+    message_count: int,
+    segmenter_name: str,
+    seed: int = DEFAULT_SEED,
+    config: ClusteringConfig | None = None,
+) -> ExperimentCell:
+    """Run segmentation + clustering + scoring for one table cell."""
+    model, trace = prepare_trace(protocol, message_count, seed)
+    segmenter = make_segmenter(segmenter_name, model)
+    started = time.perf_counter()
+    try:
+        segments = segmenter.segment(trace)
+    except SegmenterResourceError as error:
+        return ExperimentCell(
+            protocol=protocol,
+            message_count=message_count,
+            segmenter=segmenter_name,
+            failed=True,
+            failure_reason=str(error),
+            runtime_seconds=time.perf_counter() - started,
+        )
+    if segmenter_name != "groundtruth":
+        segments = label_with_truth(segments, trace, model)
+    result = cluster_segments(segments, config)
+    score = score_result(result)
+    coverage = clustering_coverage(result, trace).ratio
+    return ExperimentCell(
+        protocol=protocol,
+        message_count=message_count,
+        segmenter=segmenter_name,
+        score=score,
+        coverage=coverage,
+        epsilon=result.epsilon,
+        unique_segments=len(result.segments),
+        runtime_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I: clustering from ground-truth segments."""
+
+    protocol: str
+    message_count: int
+    unique_fields: int
+    epsilon: float
+    score: ClusterScore
+
+    @property
+    def summary(self) -> str:
+        return (
+            f"{self.protocol:6s} {self.message_count:5d} {self.unique_fields:6d} "
+            f"{self.epsilon:6.3f} {self.score.precision:5.2f} "
+            f"{self.score.recall:5.2f} {self.score.fscore:5.2f}"
+        )
+
+
+def run_table1_row(
+    protocol: str,
+    message_count: int,
+    seed: int = DEFAULT_SEED,
+    config: ClusteringConfig | None = None,
+) -> Table1Row:
+    """One Table I row: cluster ground-truth segments of one trace."""
+    cell = run_cell(protocol, message_count, "groundtruth", seed=seed, config=config)
+    assert cell.score is not None and cell.epsilon is not None
+    return Table1Row(
+        protocol=protocol,
+        message_count=message_count,
+        unique_fields=cell.unique_segments,
+        epsilon=cell.epsilon,
+        score=cell.score,
+    )
+
+
+def expected_min_samples(unique_count: int) -> int:
+    """Reference for reports: the paper's ln-n rule."""
+    return max(2, round(math.log(unique_count))) if unique_count > 1 else 1

@@ -1,0 +1,109 @@
+"""Seed-stability study: how robust are the reproduced numbers?
+
+The paper evaluates one capture per protocol.  With synthetic traces we
+can do better: re-run any experiment across independent seeds and
+report mean and spread, distinguishing structural results (stable
+across seeds) from lucky draws.  Used by the ablation benchmarks and by
+EXPERIMENTS.md's robustness notes.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.pipeline import ClusteringConfig
+from repro.eval.runner import run_cell
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread of one metric across seeds."""
+
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def of(cls, values: list[float]) -> "MetricSummary":
+        if not values:
+            raise ValueError("no samples")
+        return cls(
+            mean=statistics.fmean(values),
+            stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+            samples=len(values),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} +- {self.stdev:.3f} [{self.minimum:.3f}, {self.maximum:.3f}]"
+
+
+@dataclass
+class StabilityResult:
+    """Cross-seed summaries for one experiment cell."""
+
+    protocol: str
+    message_count: int
+    segmenter: str
+    seeds: list[int]
+    precision: MetricSummary
+    recall: MetricSummary
+    fscore: MetricSummary
+    coverage: MetricSummary
+    epsilon: MetricSummary
+    failures: int
+
+    def render(self) -> str:
+        return (
+            f"{self.protocol}/{self.message_count}/{self.segmenter} over "
+            f"{len(self.seeds)} seeds ({self.failures} failed runs):\n"
+            f"  precision {self.precision}\n"
+            f"  recall    {self.recall}\n"
+            f"  F(1/4)    {self.fscore}\n"
+            f"  coverage  {self.coverage}\n"
+            f"  epsilon   {self.epsilon}"
+        )
+
+
+def run_stability(
+    protocol: str,
+    message_count: int,
+    segmenter: str = "groundtruth",
+    seeds: list[int] | None = None,
+    config: ClusteringConfig | None = None,
+) -> StabilityResult:
+    """Run one experiment cell across *seeds* and summarize the metrics."""
+    if seeds is None:
+        seeds = [11, 23, 37, 42, 59]
+    precisions, recalls, fscores, coverages, epsilons = [], [], [], [], []
+    failures = 0
+    for seed in seeds:
+        cell = run_cell(protocol, message_count, segmenter, seed=seed, config=config)
+        if cell.failed or cell.score is None:
+            failures += 1
+            continue
+        precisions.append(cell.score.precision)
+        recalls.append(cell.score.recall)
+        fscores.append(cell.score.fscore)
+        coverages.append(cell.coverage or 0.0)
+        epsilons.append(cell.epsilon or 0.0)
+    if not fscores:
+        raise RuntimeError(
+            f"every seed failed for {protocol}/{message_count}/{segmenter}"
+        )
+    return StabilityResult(
+        protocol=protocol,
+        message_count=message_count,
+        segmenter=segmenter,
+        seeds=seeds,
+        precision=MetricSummary.of(precisions),
+        recall=MetricSummary.of(recalls),
+        fscore=MetricSummary.of(fscores),
+        coverage=MetricSummary.of(coverages),
+        epsilon=MetricSummary.of(epsilons),
+        failures=failures,
+    )

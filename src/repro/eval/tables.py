@@ -1,0 +1,172 @@
+"""Regeneration of the paper's Table I and Table II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ClusteringConfig
+from repro.eval.reporting import fmt, fmt_pct, render_table
+from repro.eval.runner import (
+    DEFAULT_SEED,
+    HEURISTIC_SEGMENTERS,
+    ExperimentCell,
+    Table1Row,
+    run_cell,
+    run_table1_row,
+)
+from repro.protocols.registry import ALL_ROWS
+
+#: Paper values for side-by-side comparison in reports:
+#: (protocol, messages) -> (epsilon, precision, recall, fscore)
+PAPER_TABLE1 = {
+    ("dhcp", 1000): (0.172, 0.96, 0.93, 0.95),
+    ("dns", 1000): (0.063, 1.00, 0.95, 1.00),
+    ("nbns", 1000): (0.049, 1.00, 0.91, 0.99),
+    ("ntp", 1000): (0.121, 1.00, 0.96, 1.00),
+    ("smb", 1000): (0.218, 0.59, 0.70, 0.60),
+    ("awdl", 768): (0.096, 1.00, 0.77, 0.98),
+    ("dhcp", 100): (0.212, 0.76, 0.66, 0.75),
+    ("dns", 100): (0.143, 1.00, 0.89, 0.99),
+    ("nbns", 100): (0.121, 1.00, 0.56, 0.96),
+    ("ntp", 100): (0.198, 1.00, 1.00, 1.00),
+    ("smb", 100): (0.169, 0.92, 0.48, 0.87),
+    ("awdl", 100): (0.101, 0.99, 0.59, 0.95),
+    ("au", 123): (0.366, 1.00, 0.44, 0.93),
+}
+
+#: (protocol, messages, segmenter) -> (P, R, F, coverage) or None for "fails".
+PAPER_TABLE2 = {
+    ("dhcp", 1000, "netzob"): None,
+    ("dhcp", 1000, "nemesys"): (0.88, 0.33, 0.80, 0.99),
+    ("dhcp", 1000, "csp"): (0.85, 0.35, 0.79, 0.99),
+    ("dns", 1000, "netzob"): (0.99, 0.96, 0.99, 1.00),
+    ("dns", 1000, "nemesys"): (1.00, 0.85, 0.99, 0.99),
+    ("dns", 1000, "csp"): (0.95, 0.76, 0.93, 0.99),
+    ("nbns", 1000, "netzob"): (0.99, 0.74, 0.97, 1.00),
+    ("nbns", 1000, "nemesys"): (1.00, 0.95, 1.00, 1.00),
+    ("nbns", 1000, "csp"): (0.90, 0.30, 0.80, 0.99),
+    ("ntp", 1000, "netzob"): (0.94, 0.90, 0.94, 0.88),
+    ("ntp", 1000, "nemesys"): (0.65, 0.61, 0.64, 0.95),
+    ("ntp", 1000, "csp"): (0.68, 0.53, 0.67, 0.73),
+    ("smb", 1000, "netzob"): None,
+    ("smb", 1000, "nemesys"): (0.57, 0.02, 0.24, 0.81),
+    ("smb", 1000, "csp"): (0.38, 0.01, 0.11, 0.79),
+    ("awdl", 768, "netzob"): (1.00, 0.93, 0.99, 0.99),
+    ("awdl", 768, "nemesys"): (0.80, 0.16, 0.64, 0.98),
+    ("awdl", 768, "csp"): None,
+    ("dhcp", 100, "netzob"): (0.44, 0.11, 0.38, 0.83),
+    ("dhcp", 100, "nemesys"): (0.83, 0.52, 0.80, 0.87),
+    ("dhcp", 100, "csp"): (0.24, 0.07, 0.21, 0.87),
+    ("dns", 100, "netzob"): (0.98, 0.86, 0.97, 1.00),
+    ("dns", 100, "nemesys"): (0.98, 0.75, 0.96, 0.95),
+    ("dns", 100, "csp"): (0.46, 0.13, 0.40, 0.87),
+    ("nbns", 100, "netzob"): (0.91, 0.85, 0.91, 0.93),
+    ("nbns", 100, "nemesys"): (0.98, 0.56, 0.94, 0.99),
+    ("nbns", 100, "csp"): (0.93, 0.32, 0.84, 0.82),
+    ("ntp", 100, "netzob"): (0.98, 0.23, 0.82, 0.65),
+    ("ntp", 100, "nemesys"): (0.87, 0.01, 0.19, 0.39),
+    ("ntp", 100, "csp"): (0.71, 0.00, 0.05, 0.65),
+    ("smb", 100, "netzob"): (0.59, 0.20, 0.53, 0.81),
+    ("smb", 100, "nemesys"): (0.84, 0.12, 0.63, 0.67),
+    ("smb", 100, "csp"): (0.42, 0.11, 0.36, 0.74),
+    ("awdl", 100, "netzob"): (0.99, 0.51, 0.94, 0.90),
+    ("awdl", 100, "nemesys"): (0.59, 0.05, 0.35, 0.92),
+    ("awdl", 100, "csp"): (0.99, 0.43, 0.92, 0.92),
+    ("au", 123, "netzob"): None,
+    ("au", 123, "nemesys"): (1.00, 0.05, 0.49, 0.84),
+    ("au", 123, "csp"): (1.00, 0.14, 0.74, 0.81),
+}
+
+
+@dataclass
+class Table1:
+    rows: list[Table1Row]
+
+    def render(self) -> str:
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get((row.protocol, row.message_count))
+            body.append(
+                [
+                    row.protocol,
+                    row.message_count,
+                    row.unique_fields,
+                    fmt(row.epsilon, 3),
+                    fmt(row.score.precision),
+                    fmt(row.score.recall),
+                    fmt(row.score.fscore),
+                    fmt(paper[3]) if paper else "",
+                ]
+            )
+        return render_table(
+            ["proto", "msgs", "fields", "eps", "P", "R", "F(1/4)", "paper F"],
+            body,
+            title="Table I - clustering from ground-truth segments",
+        )
+
+
+@dataclass
+class Table2:
+    cells: dict[tuple[str, int, str], ExperimentCell]
+
+    def render(self) -> str:
+        body = []
+        for (proto, count, seg), cell in self.cells.items():
+            paper = PAPER_TABLE2.get((proto, count, seg))
+            paper_f = "fails" if paper is None else fmt(paper[2])
+            if cell.failed:
+                body.append([proto, count, seg, "fails", "", "", "", paper_f])
+            else:
+                assert cell.score is not None
+                body.append(
+                    [
+                        proto,
+                        count,
+                        seg,
+                        fmt(cell.score.precision),
+                        fmt(cell.score.recall),
+                        fmt(cell.score.fscore),
+                        fmt_pct(cell.coverage),
+                        paper_f,
+                    ]
+                )
+        return render_table(
+            ["proto", "msgs", "segmenter", "P", "R", "F(1/4)", "cov", "paper F"],
+            body,
+            title="Table II - clustering from heuristic segments",
+        )
+
+    def average_coverage(self) -> float:
+        values = [
+            c.coverage for c in self.cells.values() if not c.failed and c.coverage
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_table1(
+    seed: int = DEFAULT_SEED,
+    rows: list[tuple[str, int]] | None = None,
+    config: ClusteringConfig | None = None,
+) -> Table1:
+    """Run every Table I row (ground-truth segment clustering)."""
+    selected = rows if rows is not None else ALL_ROWS
+    return Table1(
+        rows=[run_table1_row(p, n, seed=seed, config=config) for p, n in selected]
+    )
+
+
+def run_table2(
+    seed: int = DEFAULT_SEED,
+    rows: list[tuple[str, int]] | None = None,
+    segmenters: tuple[str, ...] = HEURISTIC_SEGMENTERS,
+    config: ClusteringConfig | None = None,
+) -> Table2:
+    """Run every Table II cell (heuristic segmenters x protocols)."""
+    selected = rows if rows is not None else ALL_ROWS
+    cells = {}
+    for proto, count in selected:
+        for segmenter in segmenters:
+            cells[(proto, count, segmenter)] = run_cell(
+                proto, count, segmenter, seed=seed, config=config
+            )
+    return Table2(cells=cells)

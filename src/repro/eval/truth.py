@@ -1,0 +1,44 @@
+"""Ground-truth labeling of heuristic segments.
+
+To score a clustering of *heuristic* segments against true data types
+(paper Table II), every segment needs a reference label even though its
+boundaries rarely coincide with a true field.  Following the byte-
+overlap convention, a segment inherits the data type of the true field
+it overlaps most (ties broken toward the earlier field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.segments import Segment
+from repro.net.trace import Trace
+from repro.protocols.base import ProtocolModel
+
+
+def dominant_type(segment: Segment, fields) -> str | None:
+    """Data type of the true field overlapping *segment* the most."""
+    best_type = None
+    best_overlap = 0
+    for field in fields:
+        overlap = min(segment.end, field.end) - max(segment.offset, field.offset)
+        if overlap > best_overlap:
+            best_overlap = overlap
+            best_type = field.ftype
+    return best_type
+
+
+def label_with_truth(
+    segments: list[Segment], trace: Trace, model: ProtocolModel
+) -> list[Segment]:
+    """Attach majority-overlap ground-truth types to heuristic segments."""
+    dissections = {
+        index: model.dissect(message.data) for index, message in enumerate(trace)
+    }
+    labeled = []
+    for segment in segments:
+        fields = dissections.get(segment.message_index)
+        if fields is None:
+            raise KeyError(f"segment references unknown message {segment.message_index}")
+        labeled.append(replace(segment, ftype=dominant_type(segment, fields)))
+    return labeled

@@ -1,0 +1,158 @@
+"""Message format templates: the analyst's end product.
+
+Combines the two clustering layers this library provides — message
+types (:mod:`repro.msgtypes`) and field pseudo data types
+(:mod:`repro.core`) — into per-message-type *format templates*: the
+ordered sequence of fields with their pseudo types, length ranges, and
+observed example values.  This is the "large-scale structure of
+messages" the paper's conclusion names as the typical high-effort PRE
+task its method is meant to support.
+
+A template is built by majority vote over the label sequences of the
+type's messages; per-slot statistics record how uniform the trace
+really is.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ClusteringResult
+from repro.core.segments import Segment
+from repro.net.trace import Trace
+
+
+@dataclass
+class FieldSlot:
+    """One position of a format template."""
+
+    position: int
+    pseudo_type: int  # -1: unclustered
+    min_length: int
+    max_length: int
+    #: fraction of the type's messages whose segment at this position
+    #: carries the majority pseudo type
+    agreement: float
+    examples: list[bytes] = field(default_factory=list)
+
+    def render(self) -> str:
+        length = (
+            f"{self.min_length}"
+            if self.min_length == self.max_length
+            else f"{self.min_length}-{self.max_length}"
+        )
+        label = "?" if self.pseudo_type < 0 else f"T{self.pseudo_type}"
+        example = self.examples[0].hex() if self.examples else ""
+        return (
+            f"  [{self.position:2d}] {label:>4s}  len {length:>5s}  "
+            f"agree {self.agreement:4.0%}  e.g. {example}"
+        )
+
+
+@dataclass
+class FormatTemplate:
+    """Inferred format of one message type."""
+
+    message_type: int
+    message_count: int
+    slots: list[FieldSlot]
+    #: fraction of messages whose full label sequence matches the template
+    conformance: float
+
+    def render(self) -> str:
+        head = (
+            f"message type {self.message_type}: {self.message_count} messages, "
+            f"{len(self.slots)} fields, {self.conformance:.0%} conform exactly"
+        )
+        return "\n".join([head] + [slot.render() for slot in self.slots])
+
+
+def _label_sequences(
+    segments: list[Segment],
+    result: ClusteringResult,
+    message_indices: list[int],
+) -> dict[int, list[tuple[int, Segment]]]:
+    """Per selected message: ordered (pseudo_type, segment) pairs."""
+    labels = result.labels()
+    label_of = {
+        unique.data: int(labels[i]) for i, unique in enumerate(result.segments)
+    }
+    wanted = set(message_indices)
+    sequences: dict[int, list[tuple[int, Segment]]] = {i: [] for i in message_indices}
+    for segment in segments:
+        if segment.message_index in wanted:
+            sequences[segment.message_index].append(
+                (label_of.get(segment.data, -1), segment)
+            )
+    for sequence in sequences.values():
+        sequence.sort(key=lambda pair: pair[1].offset)
+    return sequences
+
+
+def infer_template(
+    message_type: int,
+    message_indices: list[int],
+    segments: list[Segment],
+    result: ClusteringResult,
+    max_examples: int = 3,
+) -> FormatTemplate:
+    """Build the format template of one message type."""
+    sequences = _label_sequences(segments, result, message_indices)
+    shapes = Counter(
+        tuple(label for label, _ in sequences[i]) for i in message_indices
+    )
+    template_shape, template_votes = shapes.most_common(1)[0]
+    slot_count = len(template_shape)
+    slots: list[FieldSlot] = []
+    for position in range(slot_count):
+        type_votes: Counter = Counter()
+        lengths: list[int] = []
+        examples: list[bytes] = []
+        for index in message_indices:
+            sequence = sequences[index]
+            if position >= len(sequence):
+                continue
+            label, segment = sequence[position]
+            type_votes[label] += 1
+            lengths.append(segment.length)
+            if len(examples) < max_examples and segment.data not in examples:
+                examples.append(segment.data)
+        majority, votes = type_votes.most_common(1)[0]
+        slots.append(
+            FieldSlot(
+                position=position,
+                pseudo_type=majority,
+                min_length=min(lengths),
+                max_length=max(lengths),
+                agreement=votes / sum(type_votes.values()),
+                examples=examples,
+            )
+        )
+    return FormatTemplate(
+        message_type=message_type,
+        message_count=len(message_indices),
+        slots=slots,
+        conformance=template_votes / len(message_indices),
+    )
+
+
+def infer_all_templates(
+    trace: Trace,
+    segments: list[Segment],
+    field_result: ClusteringResult,
+    type_assignments: list[tuple[int, int]],
+) -> list[FormatTemplate]:
+    """Templates for every message type from a msgtypes assignment list.
+
+    *type_assignments* is ``MessageTypeResult.assignments()``: pairs of
+    (message_index, type_label); noise messages (-1) are skipped.
+    """
+    by_type: dict[int, list[int]] = {}
+    for message_index, type_label in type_assignments:
+        if type_label >= 0:
+            by_type.setdefault(type_label, []).append(message_index)
+    return [
+        infer_template(type_label, indices, segments, field_result)
+        for type_label, indices in sorted(by_type.items())
+    ]

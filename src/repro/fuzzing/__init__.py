@@ -1,0 +1,34 @@
+"""Value-generation models and smart fuzzing (paper future work).
+
+The paper's conclusion proposes "automatically learn[ing] value
+generation rules from the cluster contents ... to predict probable
+field values for fuzzing and misbehavior detection".  This package
+implements that idea with transparent statistical models instead of an
+LSTM (which the offline environment cannot train and the cluster sizes
+would not support anyway):
+
+- :class:`~repro.fuzzing.valuemodel.ClusterValueModel` learns a
+  per-cluster generator — byte-column distributions for fixed-width
+  value domains, an order-1 Markov chain with a length model for
+  variable-width ones — supporting sampling *and* likelihood scoring
+  (the misbehavior-detection half of the proposal).
+- :class:`~repro.fuzzing.mutator.MessageFuzzer` combines the clustering,
+  the semantic labels, and the value models into a message-level fuzz
+  case generator with per-domain mutation strategies.
+"""
+
+from repro.fuzzing.mutator import FuzzCase, MessageFuzzer, MutationStrategy
+from repro.fuzzing.valuemodel import (
+    ByteColumnModel,
+    ClusterValueModel,
+    MarkovValueModel,
+)
+
+__all__ = [
+    "ByteColumnModel",
+    "ClusterValueModel",
+    "FuzzCase",
+    "MarkovValueModel",
+    "MessageFuzzer",
+    "MutationStrategy",
+]

@@ -1,0 +1,219 @@
+"""Message-level smart fuzzing driven by pseudo data types.
+
+The fuzzer ties together the three analysis layers this library
+produces for an unknown protocol:
+
+1. the segmentation (where fields are),
+2. the clustering (which fields share a value domain),
+3. the semantics (what the domain probably means),
+
+and derives a per-domain mutation strategy.  Compared with blind
+bit-flipping this concentrates mutations where they can change protocol
+behaviour (identifiers, counters, lengths) and avoids wasting cases on
+bytes that only gate parsing (magic constants).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.pipeline import ClusteringResult
+from repro.core.segments import Segment
+from repro.fuzzing.valuemodel import ClusterValueModel
+from repro.net.trace import Trace
+from repro.semantics.engine import ClusterSemantics
+
+
+class MutationStrategy(Enum):
+    """How a value domain should be mutated."""
+
+    KEEP = "keep"  # constants / magic: mutating only breaks parsing
+    ENUMERATE = "enumerate"  # enums: walk observed + unseen neighbor codes
+    ARITHMETIC = "arithmetic"  # counters/lengths: off-by-one, extremes
+    RESAMPLE = "resample"  # ids/nonces: draw from the learned model
+    GENERATE = "generate"  # text: novel model-generated strings
+    BITFLIP = "bitflip"  # unknown domains: classic fallback
+
+
+#: semantic label -> strategy
+STRATEGY_BY_LABEL = {
+    "constant": MutationStrategy.KEEP,
+    "enum": MutationStrategy.ENUMERATE,
+    "counter": MutationStrategy.ARITHMETIC,
+    "length-field": MutationStrategy.ARITHMETIC,
+    "timestamp": MutationStrategy.ARITHMETIC,
+    "random-token": MutationStrategy.RESAMPLE,
+    "address": MutationStrategy.RESAMPLE,
+    "text": MutationStrategy.GENERATE,
+}
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated fuzz input."""
+
+    data: bytes
+    base_message_index: int
+    mutated_offset: int
+    mutated_length: int
+    cluster_id: int
+    strategy: MutationStrategy
+    description: str
+
+
+@dataclass
+class MessageFuzzer:
+    """Generate fuzz cases for one analyzed trace."""
+
+    trace: Trace
+    segments: list[Segment]
+    result: ClusteringResult
+    semantics: list[ClusterSemantics] | None = None
+    _models: dict[int, ClusterValueModel] = field(default_factory=dict)
+    _label_by_value: dict[bytes, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        labels = self.result.labels()
+        for index, unique in enumerate(self.result.segments):
+            self._label_by_value[unique.data] = int(labels[index])
+
+    def cluster_of(self, segment: Segment) -> int:
+        """Cluster id of a segment's value, -1 when unclustered."""
+        return self._label_by_value.get(segment.data, -1)
+
+    def strategy_for(self, cluster_id: int) -> MutationStrategy:
+        """Mutation strategy for a cluster, chosen by its semantic label."""
+        if cluster_id < 0:
+            return MutationStrategy.BITFLIP
+        if self.semantics is not None:
+            for semantics in self.semantics:
+                if semantics.cluster_id == cluster_id:
+                    return STRATEGY_BY_LABEL.get(
+                        semantics.label, MutationStrategy.BITFLIP
+                    )
+        return MutationStrategy.RESAMPLE
+
+    def model_for(self, cluster_id: int) -> ClusterValueModel:
+        """Value model of one cluster, fitted lazily and cached."""
+        if cluster_id not in self._models:
+            values = [m.data for m in self.result.cluster_members(cluster_id)]
+            self._models[cluster_id] = ClusterValueModel.fit(values)
+        return self._models[cluster_id]
+
+    # -- mutation primitives --------------------------------------------------
+
+    def _mutate_value(
+        self, value: bytes, cluster_id: int, strategy: MutationStrategy, rng: random.Random
+    ) -> tuple[bytes, str]:
+        if strategy is MutationStrategy.KEEP:
+            return value, "kept constant"
+        if strategy is MutationStrategy.ENUMERATE:
+            members = [m.data for m in self.result.cluster_members(cluster_id)]
+            others = [m for m in members if m != value and len(m) == len(value)]
+            if others and rng.random() < 0.7:
+                return rng.choice(others), "swapped with observed enum value"
+            mutated = bytearray(value)
+            mutated[-1] = (mutated[-1] + rng.choice([1, 2, 0x7F])) & 0xFF
+            return bytes(mutated), "probed unseen enum code"
+        if strategy is MutationStrategy.ARITHMETIC:
+            number = int.from_bytes(value, "big")
+            limit = (1 << (8 * len(value))) - 1
+            choice = rng.choice(["+1", "-1", "zero", "max", "msb"])
+            mutated_number = {
+                "+1": (number + 1) & limit,
+                "-1": (number - 1) & limit,
+                "zero": 0,
+                "max": limit,
+                "msb": number ^ (1 << (8 * len(value) - 1)),
+            }[choice]
+            return (
+                mutated_number.to_bytes(len(value), "big"),
+                f"arithmetic mutation ({choice})",
+            )
+        if strategy is MutationStrategy.RESAMPLE:
+            sample = self.model_for(cluster_id).sample(rng)
+            if len(sample) != len(value):
+                sample = (sample + bytes(len(value)))[: len(value)]
+            return sample, "resampled from the cluster value model"
+        if strategy is MutationStrategy.GENERATE:
+            generated = self.model_for(cluster_id).sample_novel(rng)
+            return generated, "generated novel text-like value"
+        mutated = bytearray(value)
+        position = rng.randrange(len(mutated))
+        mutated[position] ^= 1 << rng.randrange(8)
+        return bytes(mutated), "bit flip (unclustered fallback)"
+
+    # -- public API ------------------------------------------------------------
+
+    def fuzz_segment(self, segment: Segment, rng: random.Random) -> FuzzCase:
+        """Produce one fuzz case mutating exactly this segment."""
+        cluster_id = self.cluster_of(segment)
+        strategy = self.strategy_for(cluster_id)
+        mutated_value, description = self._mutate_value(
+            segment.data, cluster_id, strategy, rng
+        )
+        base = self.trace[segment.message_index].data
+        data = base[: segment.offset] + mutated_value + base[segment.end :]
+        return FuzzCase(
+            data=data,
+            base_message_index=segment.message_index,
+            mutated_offset=segment.offset,
+            mutated_length=len(mutated_value),
+            cluster_id=cluster_id,
+            strategy=strategy,
+            description=description,
+        )
+
+    def generate(self, count: int, seed: int = 0) -> list[FuzzCase]:
+        """Generate *count* fuzz cases, preferring mutable domains."""
+        rng = random.Random(seed)
+        mutable = [
+            s
+            for s in self.segments
+            if self.strategy_for(self.cluster_of(s)) is not MutationStrategy.KEEP
+        ]
+        if not mutable:
+            raise ValueError("every segment is a constant; nothing to fuzz")
+        cases = []
+        for _ in range(count):
+            segment = rng.choice(mutable)
+            cases.append(self.fuzz_segment(segment, rng))
+        return cases
+
+    def detect_misbehavior(self, message: bytes, threshold: float = 8.0) -> list[tuple[int, float]]:
+        """Anomaly scores for a new message's known-domain values.
+
+        Splits *message* with the observed segment layout of the closest
+        base message (byte-identical when present, else same length) and
+        scores each value against its cluster's model.  Returns
+        (offset, score) for values above *threshold* — the
+        misbehavior-detection application.
+        """
+        exact = [
+            index
+            for index, base in enumerate(self.trace)
+            if base.data == message
+        ]
+        if exact:
+            wanted = set(exact)
+            candidates = [s for s in self.segments if s.message_index in wanted]
+        else:
+            candidates = [
+                s
+                for s in self.segments
+                if len(self.trace[s.message_index].data) == len(message)
+            ]
+        flagged = []
+        for segment in candidates:
+            cluster_id = self.cluster_of(segment)
+            if cluster_id < 0:
+                continue
+            value = message[segment.offset : segment.end]
+            if len(value) != segment.length:
+                continue
+            score = self.model_for(cluster_id).anomaly_score(value)
+            if score > threshold:
+                flagged.append((segment.offset, score))
+        return sorted(set(flagged))

@@ -1,0 +1,183 @@
+"""Statistical value-generation models learned from cluster contents.
+
+Two model families cover the value domains clustering produces:
+
+- :class:`ByteColumnModel` — fixed-width domains (ids, counters,
+  addresses, timestamps): an independent byte distribution per column.
+  Captures positional structure like "first byte is always 0x0a".
+- :class:`MarkovValueModel` — variable-width domains (names, paths):
+  an order-1 byte Markov chain plus an empirical length distribution.
+  Captures local structure like "letters follow letters".
+
+Both support ``sample`` (generation: fuzzing) and ``log_likelihood``
+(scoring: misbehavior detection — an observed value that the model
+finds wildly improbable is an anomaly candidate).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+#: Laplace smoothing mass given to unseen bytes.
+SMOOTHING = 0.5
+
+
+@dataclass
+class ByteColumnModel:
+    """Independent per-column byte distributions for fixed-width values."""
+
+    width: int
+    columns: list[Counter] = field(default_factory=list)
+    total: int = 0
+
+    @classmethod
+    def fit(cls, values: list[bytes]) -> "ByteColumnModel":
+        if not values:
+            raise ValueError("cannot fit on an empty value set")
+        widths = {len(v) for v in values}
+        if len(widths) != 1:
+            raise ValueError(f"mixed widths {sorted(widths)}; use MarkovValueModel")
+        width = widths.pop()
+        columns = [Counter() for _ in range(width)]
+        for value in values:
+            for position, byte in enumerate(value):
+                columns[position][byte] += 1
+        return cls(width=width, columns=columns, total=len(values))
+
+    def sample(self, rng: random.Random) -> bytes:
+        out = bytearray()
+        for column in self.columns:
+            bytes_, counts = zip(*column.items())
+            out.append(rng.choices(bytes_, weights=counts, k=1)[0])
+        return bytes(out)
+
+    def column_probability(self, position: int, byte: int) -> float:
+        column = self.columns[position]
+        return (column.get(byte, 0) + SMOOTHING) / (self.total + SMOOTHING * 256)
+
+    def log_likelihood(self, value: bytes) -> float:
+        """Log-probability of *value*; -inf-ish for wrong widths."""
+        if len(value) != self.width:
+            return -math.inf
+        return sum(
+            math.log(self.column_probability(position, byte))
+            for position, byte in enumerate(value)
+        )
+
+
+@dataclass
+class MarkovValueModel:
+    """Order-1 byte Markov chain + length distribution."""
+
+    transitions: dict[int, Counter] = field(default_factory=dict)
+    initial: Counter = field(default_factory=Counter)
+    lengths: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def fit(cls, values: list[bytes]) -> "MarkovValueModel":
+        if not values:
+            raise ValueError("cannot fit on an empty value set")
+        transitions: dict[int, Counter] = defaultdict(Counter)
+        initial: Counter = Counter()
+        lengths: Counter = Counter()
+        for value in values:
+            lengths[len(value)] += 1
+            if not value:
+                continue
+            initial[value[0]] += 1
+            for current, following in zip(value, value[1:]):
+                transitions[current][following] += 1
+        return cls(transitions=dict(transitions), initial=initial, lengths=lengths)
+
+    def sample(self, rng: random.Random) -> bytes:
+        lengths, weights = zip(*self.lengths.items())
+        length = rng.choices(lengths, weights=weights, k=1)[0]
+        if length == 0 or not self.initial:
+            return b""
+        out = bytearray()
+        symbols, counts = zip(*self.initial.items())
+        out.append(rng.choices(symbols, weights=counts, k=1)[0])
+        while len(out) < length:
+            column = self.transitions.get(out[-1])
+            if not column:
+                # Dead end: restart from the initial distribution.
+                column = self.initial
+            symbols, counts = zip(*column.items())
+            out.append(rng.choices(symbols, weights=counts, k=1)[0])
+        return bytes(out)
+
+    def _transition_probability(self, current: int, following: int) -> float:
+        column = self.transitions.get(current, Counter())
+        total = sum(column.values())
+        return (column.get(following, 0) + SMOOTHING) / (total + SMOOTHING * 256)
+
+    def log_likelihood(self, value: bytes) -> float:
+        total_initial = sum(self.initial.values())
+        total_lengths = sum(self.lengths.values())
+        score = math.log(
+            (self.lengths.get(len(value), 0) + SMOOTHING)
+            / (total_lengths + SMOOTHING * 64)
+        )
+        if not value:
+            return score
+        score += math.log(
+            (self.initial.get(value[0], 0) + SMOOTHING)
+            / (total_initial + SMOOTHING * 256)
+        )
+        for current, following in zip(value, value[1:]):
+            score += math.log(self._transition_probability(current, following))
+        return score
+
+
+@dataclass
+class ClusterValueModel:
+    """Facade: fit the appropriate model family for one cluster."""
+
+    model: ByteColumnModel | MarkovValueModel
+    observed: frozenset[bytes]
+    #: Minimum log-likelihood over the training values: anomaly scores
+    #: measure how far below the *least* plausible observed value a
+    #: candidate falls, so every training value scores <= 0 by
+    #: construction.
+    baseline: float = 0.0
+
+    @classmethod
+    def fit(cls, values: list[bytes]) -> "ClusterValueModel":
+        if not values:
+            raise ValueError("cannot fit on an empty value set")
+        widths = {len(v) for v in values}
+        model: ByteColumnModel | MarkovValueModel
+        if len(widths) == 1:
+            model = ByteColumnModel.fit(values)
+        else:
+            model = MarkovValueModel.fit(values)
+        baseline = min(model.log_likelihood(v) for v in values)
+        return cls(model=model, observed=frozenset(values), baseline=baseline)
+
+    def sample(self, rng: random.Random) -> bytes:
+        return self.model.sample(rng)
+
+    def sample_novel(self, rng: random.Random, attempts: int = 50) -> bytes:
+        """A sampled value not observed in the trace, if one is found."""
+        for _ in range(attempts):
+            value = self.sample(rng)
+            if value not in self.observed:
+                return value
+        return self.sample(rng)
+
+    def log_likelihood(self, value: bytes) -> float:
+        return self.model.log_likelihood(value)
+
+    def anomaly_score(self, value: bytes) -> float:
+        """Positive score: how much less likely than the least plausible
+        observed value.
+
+        Training values score <= 0 by construction; scores above ~5
+        (nats) flag values the cluster's generation rule would
+        essentially never produce — the misbehavior-detection reading of
+        the paper's future work.
+        """
+        return self.baseline - self.log_likelihood(value)

@@ -1,0 +1,19 @@
+"""Evaluation metrics: combinatorial pairwise cluster statistics,
+byte coverage, and segmentation boundary quality."""
+
+from repro.metrics.boundaries import BoundaryScore, boundary_score, format_match_score
+from repro.metrics.coverage import Coverage, clustering_coverage, typed_field_coverage
+from repro.metrics.pairwise import ClusterScore, f_beta, score_clustering, score_result
+
+__all__ = [
+    "BoundaryScore",
+    "ClusterScore",
+    "Coverage",
+    "boundary_score",
+    "clustering_coverage",
+    "f_beta",
+    "format_match_score",
+    "score_clustering",
+    "score_result",
+    "typed_field_coverage",
+]

@@ -1,0 +1,115 @@
+"""Segmentation quality metrics: boundary accuracy and format match.
+
+Table II's clustering quality is downstream of segmentation quality;
+these metrics measure the segmenters directly, in the spirit of the
+NEMESYS paper's Format Match Score (FMS):
+
+- boundary precision / recall / F1, exact or with a byte tolerance
+  (a boundary one byte off is a *near miss*, still useful structure),
+- per-message format match score: the geometric mean of boundary
+  precision and recall, averaged over messages — 1.0 for a perfect
+  segmentation, 0.0 when nothing aligns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+from repro.core.segments import Segment
+
+
+@dataclass(frozen=True)
+class BoundaryScore:
+    """Aggregate boundary statistics over a trace."""
+
+    precision: float
+    recall: float
+    true_boundaries: int
+    inferred_boundaries: int
+    matched: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def _boundaries_per_message(segments: list[Segment]) -> dict[int, set[int]]:
+    out: dict[int, set[int]] = {}
+    for segment in segments:
+        out.setdefault(segment.message_index, set())
+        if segment.offset > 0:
+            out[segment.message_index].add(segment.offset)
+    return out
+
+
+def _match_count(true: set[int], inferred: set[int], tolerance: int) -> int:
+    """Number of inferred boundaries matching a true one (1:1, greedy)."""
+    if tolerance == 0:
+        return len(true & inferred)
+    available = sorted(true)
+    matched = 0
+    for boundary in sorted(inferred):
+        for candidate in available:
+            if abs(candidate - boundary) <= tolerance:
+                available.remove(candidate)
+                matched += 1
+                break
+    return matched
+
+
+def boundary_score(
+    true_segments: list[Segment],
+    inferred_segments: list[Segment],
+    tolerance: int = 0,
+) -> BoundaryScore:
+    """Boundary precision/recall of a segmentation against ground truth."""
+    true_map = _boundaries_per_message(true_segments)
+    inferred_map = _boundaries_per_message(inferred_segments)
+    matched = 0
+    true_total = 0
+    inferred_total = 0
+    for message_index in true_map.keys() | inferred_map.keys():
+        true = true_map.get(message_index, set())
+        inferred = inferred_map.get(message_index, set())
+        true_total += len(true)
+        inferred_total += len(inferred)
+        matched += _match_count(true, inferred, tolerance)
+    return BoundaryScore(
+        precision=matched / inferred_total if inferred_total else 0.0,
+        recall=matched / true_total if true_total else 0.0,
+        true_boundaries=true_total,
+        inferred_boundaries=inferred_total,
+        matched=matched,
+    )
+
+
+def format_match_score(
+    true_segments: list[Segment],
+    inferred_segments: list[Segment],
+    tolerance: int = 0,
+) -> float:
+    """Mean per-message geometric boundary accuracy (FMS-style, 0..1).
+
+    Messages with no true inner boundaries score 1.0 when the inference
+    also leaves them unsplit, 0.0 otherwise.
+    """
+    true_map = _boundaries_per_message(true_segments)
+    inferred_map = _boundaries_per_message(inferred_segments)
+    if not true_map:
+        return 0.0
+    scores = []
+    for message_index in true_map:
+        true = true_map[message_index]
+        inferred = inferred_map.get(message_index, set())
+        if not true and not inferred:
+            scores.append(1.0)
+            continue
+        if not true or not inferred:
+            scores.append(0.0)
+            continue
+        matched = _match_count(true, inferred, tolerance)
+        scores.append(sqrt((matched / len(inferred)) * (matched / len(true))))
+    return sum(scores) / len(scores)

@@ -1,0 +1,46 @@
+"""Coverage: fraction of message bytes the inference says something about.
+
+The paper defines coverage as "the ratio between the number of inferred
+bytes and all bytes of all messages in a trace" (Section IV-A) and uses
+it for the headline comparison: clustering reaches 87 % average
+coverage versus FieldHunter's 3 % (Section IV-D).
+
+For the clustering method, a byte is *inferred* when it belongs to an
+occurrence of a unique segment that was placed in some cluster (noise
+and the excluded one-byte segments contribute nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """Byte-level coverage of a trace by some inference."""
+
+    covered_bytes: int
+    total_bytes: int
+
+    @property
+    def ratio(self) -> float:
+        return self.covered_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.ratio:.0%} ({self.covered_bytes}/{self.total_bytes} bytes)"
+
+
+def clustering_coverage(result, trace) -> Coverage:
+    """Coverage of *trace* by a :class:`ClusteringResult`'s clusters."""
+    return Coverage(covered_bytes=result.covered_bytes(), total_bytes=trace.total_bytes)
+
+
+def typed_field_coverage(typed_bytes_per_message: list[int], trace) -> Coverage:
+    """Coverage from per-message counts of bytes with an inferred type.
+
+    Used by the FieldHunter baseline, which types whole fixed-offset
+    fields rather than clustering segments.
+    """
+    return Coverage(
+        covered_bytes=sum(typed_bytes_per_message), total_bytes=trace.total_bytes
+    )

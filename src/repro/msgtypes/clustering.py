@@ -1,0 +1,94 @@
+"""Clustering messages into message types (NEMETYL substrate).
+
+Reuses the field-type machinery: the message dissimilarity matrix feeds
+the same k-NN-ECDF epsilon auto-configuration and DBSCAN.  The result
+groups trace messages into inferred message types, which downstream
+analyses (per-type format inference, state machines) build on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dbscan import DbscanResult, dbscan
+from repro.core.ecdf import Ecdf
+from repro.core.kneedle import detect_knees, smooth_ecdf
+from repro.core.segments import Segment
+from repro.msgtypes.similarity import message_dissimilarity_matrix
+from repro.net.trace import Trace
+from repro.segmenters.base import Segmenter
+
+
+@dataclass
+class MessageTypeResult:
+    """Inferred message types for one trace."""
+
+    trace: Trace
+    distances: np.ndarray
+    epsilon: float
+    min_samples: int
+    dbscan_result: DbscanResult
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dbscan_result.labels
+
+    @property
+    def type_count(self) -> int:
+        return self.dbscan_result.cluster_count
+
+    def members(self, message_type: int) -> list[int]:
+        return self.dbscan_result.members(message_type).tolist()
+
+    def assignments(self) -> list[tuple[int, int]]:
+        """(message_index, type_label) pairs; -1 labels noise."""
+        return [(i, int(label)) for i, label in enumerate(self.labels)]
+
+
+class MessageTypeClusterer:
+    """Cluster whole messages by continuous segment similarity."""
+
+    def __init__(
+        self,
+        segmenter: Segmenter,
+        gap_penalty: float = 0.8,
+        sensitivity: float = 1.0,
+    ):
+        self.segmenter = segmenter
+        self.gap_penalty = gap_penalty
+        self.sensitivity = sensitivity
+
+    def cluster(self, trace: Trace) -> MessageTypeResult:
+        """Segment the trace, align segment sequences, cluster messages."""
+        segments: list[Segment] = self.segmenter.segment(trace)
+        distances = message_dissimilarity_matrix(
+            segments, len(trace), gap_penalty=self.gap_penalty
+        )
+        epsilon, min_samples = self._configure(distances)
+        result = dbscan(distances, epsilon, min_samples)
+        return MessageTypeResult(
+            trace=trace,
+            distances=distances,
+            epsilon=epsilon,
+            min_samples=min_samples,
+            dbscan_result=result,
+        )
+
+    def _configure(self, distances: np.ndarray) -> tuple[float, int]:
+        count = distances.shape[0]
+        min_samples = max(2, round(math.log(count))) if count > 1 else 1
+        if count < 4:
+            return float(distances.max() if count > 1 else 0.0), min_samples
+        # k-NN distance ECDF knee, like the field-type auto-configuration
+        # but over message distances.
+        ordered = np.sort(distances, axis=1)
+        k = min(2, count - 1)
+        ecdf = Ecdf.from_samples(ordered[:, k])
+        x, y = smooth_ecdf(ecdf)
+        knees = detect_knees(x, y, sensitivity=self.sensitivity)
+        if knees and knees[-1].x > 0:
+            return float(knees[-1].x), min_samples
+        return float(np.median(ecdf.samples)), min_samples

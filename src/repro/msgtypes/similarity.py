@@ -1,0 +1,99 @@
+"""Continuous segment similarity between messages (NEMETYL's core idea).
+
+Two messages are similar when their *segment sequences* align well:
+matching positions contribute the Canberra similarity of the aligned
+segments, gaps are penalized.  The pairwise segment dissimilarities are
+precomputed once over unique segment values (vectorized), so the
+alignment DP only performs table lookups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import DissimilarityMatrix
+from repro.core.segments import Segment, unique_segments
+
+GAP_PENALTY = 0.8
+
+
+def segment_sequences(segments: list[Segment], message_count: int) -> list[list[Segment]]:
+    """Group a flat segment list into ordered per-message sequences."""
+    sequences: list[list[Segment]] = [[] for _ in range(message_count)]
+    for segment in segments:
+        sequences[segment.message_index].append(segment)
+    for sequence in sequences:
+        sequence.sort(key=lambda s: s.offset)
+    return sequences
+
+
+def _align_score(
+    a: list[int], b: list[int], distances: np.ndarray, gap_penalty: float
+) -> float:
+    """Needleman–Wunsch similarity score of two index sequences.
+
+    Match score is ``1 - d`` for the aligned segments' dissimilarity;
+    gaps cost ``-gap_penalty``.  Index -1 denotes a segment excluded
+    from the distance table (1-byte segments), matched with score 0.
+    """
+    m, n = len(a), len(b)
+    previous = -gap_penalty * np.arange(n + 1)
+    for i in range(1, m + 1):
+        current = np.empty(n + 1)
+        current[0] = -gap_penalty * i
+        ai = a[i - 1]
+        if ai >= 0:
+            b_arr = np.array(b, dtype=np.int64)
+            valid = b_arr >= 0
+            match_scores = np.zeros(n)
+            match_scores[valid] = 1.0 - distances[ai, b_arr[valid]]
+        else:
+            match_scores = np.zeros(n)
+        diagonal = previous[:-1] + match_scores
+        up = previous[1:] - gap_penalty
+        best = np.maximum(diagonal, up)
+        # Left dependency is sequential.
+        running = current[0]
+        for j in range(1, n + 1):
+            running = max(best[j - 1], running - gap_penalty)
+            current[j] = running
+        previous = current
+    return float(previous[-1])
+
+
+def message_dissimilarity_matrix(
+    segments: list[Segment],
+    message_count: int,
+    gap_penalty: float = GAP_PENALTY,
+    min_segment_length: int = 2,
+) -> np.ndarray:
+    """Pairwise message dissimilarities in [0, 1].
+
+    The alignment similarity is normalized by the self-alignment scores:
+    ``d(A, B) = 1 - score(A, B) / max(score(A, A), score(B, B))``,
+    clipped to [0, 1].
+    """
+    uniques = unique_segments(segments, min_length=min_segment_length)
+    matrix = DissimilarityMatrix.build(uniques)
+    index_of = {u.data: i for i, u in enumerate(matrix.segments)}
+    sequences = segment_sequences(segments, message_count)
+    indexed: list[list[int]] = [
+        [index_of.get(s.data, -1) for s in sequence] for sequence in sequences
+    ]
+    self_scores = np.array(
+        [
+            _align_score(seq, seq, matrix.values, gap_penalty) if seq else 0.0
+            for seq in indexed
+        ]
+    )
+    out = np.zeros((message_count, message_count), dtype=np.float64)
+    for i in range(message_count):
+        for j in range(i + 1, message_count):
+            if not indexed[i] or not indexed[j]:
+                out[i, j] = out[j, i] = 1.0
+                continue
+            score = _align_score(indexed[i], indexed[j], matrix.values, gap_penalty)
+            norm = max(self_scores[i], self_scores[j])
+            dissimilarity = 1.0 - score / norm if norm > 0 else 1.0
+            out[i, j] = out[j, i] = float(np.clip(dissimilarity, 0.0, 1.0))
+    return out

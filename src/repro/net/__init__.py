@@ -1,0 +1,44 @@
+"""Network substrate: pcap/pcapng I/O, packet-layer parsing, and traces.
+
+This package replaces external capture tooling (scapy, Wireshark) for the
+reproduction.  It provides:
+
+- :mod:`repro.net.pcap` / :mod:`repro.net.pcapng` — capture file formats,
+- :mod:`repro.net.packet` — Ethernet/IPv4/IPv6/UDP/TCP header parsing,
+- :mod:`repro.net.trace` — the :class:`~repro.net.trace.Trace` abstraction
+  consumed by the inference pipeline, including the paper's preprocessing
+  step (protocol filtering and payload de-duplication).
+"""
+
+from repro.net.packet import (
+    EthernetFrame,
+    IPv4Packet,
+    IPv6Packet,
+    ParsedPacket,
+    TcpSegment,
+    UdpDatagram,
+    parse_ethernet_frame,
+)
+from repro.net.pcap import PcapError, PcapPacket, read_pcap, write_pcap
+from repro.net.pcapng import read_pcapng, write_pcapng
+from repro.net.trace import Trace, TraceMessage, deduplicate, load_trace
+
+__all__ = [
+    "EthernetFrame",
+    "IPv4Packet",
+    "IPv6Packet",
+    "ParsedPacket",
+    "PcapError",
+    "PcapPacket",
+    "TcpSegment",
+    "Trace",
+    "TraceMessage",
+    "UdpDatagram",
+    "deduplicate",
+    "load_trace",
+    "parse_ethernet_frame",
+    "read_pcap",
+    "read_pcapng",
+    "write_pcap",
+    "write_pcapng",
+]

@@ -1,0 +1,84 @@
+"""Small helpers for working with raw packet bytes."""
+
+from __future__ import annotations
+
+import string
+
+_PRINTABLE = frozenset(string.printable.encode("ascii")) - frozenset(b"\x0b\x0c")
+
+
+def hexdump(data: bytes, width: int = 16) -> str:
+    """Render *data* as a classic offset/hex/ASCII dump for debugging."""
+    lines = []
+    for offset in range(0, len(data), width):
+        chunk = data[offset : offset + width]
+        hexpart = " ".join(f"{b:02x}" for b in chunk)
+        asciipart = "".join(
+            chr(b) if 0x20 <= b < 0x7F else "." for b in chunk
+        )
+        lines.append(f"{offset:08x}  {hexpart:<{width * 3}} {asciipart}")
+    return "\n".join(lines)
+
+
+def is_printable(data: bytes, threshold: float = 1.0) -> bool:
+    """Return True if at least *threshold* of the bytes are printable ASCII."""
+    if not data:
+        return False
+    printable = sum(1 for b in data if b in _PRINTABLE)
+    return printable / len(data) >= threshold
+
+
+def printable_ratio(data: bytes) -> float:
+    """Fraction of bytes in *data* that are printable ASCII characters."""
+    if not data:
+        return 0.0
+    return sum(1 for b in data if b in _PRINTABLE) / len(data)
+
+
+def format_ipv4(addr: bytes) -> str:
+    """Format a 4-byte big-endian address as dotted-quad text."""
+    if len(addr) != 4:
+        raise ValueError(f"IPv4 address must be 4 bytes, got {len(addr)}")
+    return ".".join(str(b) for b in addr)
+
+
+def parse_ipv4(text: str) -> bytes:
+    """Parse dotted-quad text into 4 bytes."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    values = [int(p) for p in parts]
+    if any(not 0 <= v <= 255 for v in values):
+        raise ValueError(f"octet out of range in {text!r}")
+    return bytes(values)
+
+
+def format_mac(addr: bytes) -> str:
+    """Format a 6-byte MAC address as colon-separated hex."""
+    if len(addr) != 6:
+        raise ValueError(f"MAC address must be 6 bytes, got {len(addr)}")
+    return ":".join(f"{b:02x}" for b in addr)
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Shannon entropy of the byte distribution, in bits per byte (0..8)."""
+    if not data:
+        return 0.0
+    import math
+
+    counts: dict[int, int] = {}
+    for b in data:
+        counts[b] = counts.get(b, 0) + 1
+    n = len(data)
+    return -sum((c / n) * math.log2(c / n) for c in counts.values())

@@ -1,0 +1,347 @@
+"""Minimal packet-layer parsing: Ethernet, IPv4, IPv6, UDP, TCP.
+
+The reproduction only needs enough of the stack to (1) carry synthetic
+application payloads through realistic encapsulation and (2) recover the
+payload plus addressing context (for FieldHunter, which correlates field
+values with source/destination addresses).  Each layer is a small frozen
+dataclass with ``parse``/``build`` round-trip support.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.bytesutil import internet_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+
+class PacketError(ValueError):
+    """Raised when a packet cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame."""
+
+    dst: bytes
+    src: bytes
+    ethertype: int
+    payload: bytes
+
+    def build(self) -> bytes:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise PacketError("MAC addresses must be 6 bytes")
+        return self.dst + self.src + struct.pack("!H", self.ethertype) + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < 14:
+            raise PacketError(f"Ethernet frame too short: {len(data)} bytes")
+        dst, src = data[0:6], data[6:12]
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype, payload=data[14:])
+
+
+@dataclass(frozen=True)
+class IPv4Packet:
+    """An IPv4 packet (options unsupported: IHL fixed at 5)."""
+
+    src: bytes
+    dst: bytes
+    protocol: int
+    payload: bytes
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+
+    HEADER_LEN = 20
+
+    def build(self) -> bytes:
+        total_length = self.HEADER_LEN + len(self.payload)
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            (4 << 4) | 5,
+            self.dscp,
+            total_length,
+            self.identification,
+            0,  # flags / fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv4Packet":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"IPv4 packet too short: {len(data)} bytes")
+        version_ihl = data[0]
+        version = version_ihl >> 4
+        ihl = (version_ihl & 0x0F) * 4
+        if version != 4:
+            raise PacketError(f"not IPv4 (version={version})")
+        if ihl < cls.HEADER_LEN or len(data) < ihl:
+            raise PacketError(f"bad IHL: {ihl}")
+        (total_length,) = struct.unpack("!H", data[2:4])
+        if total_length < ihl or total_length > len(data):
+            raise PacketError(f"bad total length: {total_length}")
+        return cls(
+            src=data[12:16],
+            dst=data[16:20],
+            protocol=data[9],
+            payload=data[ihl:total_length],
+            ttl=data[8],
+            identification=struct.unpack("!H", data[4:6])[0],
+            dscp=data[1],
+        )
+
+
+@dataclass(frozen=True)
+class IPv6Packet:
+    """An IPv6 packet without extension headers."""
+
+    src: bytes
+    dst: bytes
+    next_header: int
+    payload: bytes
+    hop_limit: int = 64
+
+    HEADER_LEN = 40
+
+    def build(self) -> bytes:
+        header = struct.pack(
+            "!IHBB16s16s",
+            6 << 28,
+            len(self.payload),
+            self.next_header,
+            self.hop_limit,
+            self.src,
+            self.dst,
+        )
+        return header + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "IPv6Packet":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"IPv6 packet too short: {len(data)} bytes")
+        (vtf,) = struct.unpack("!I", data[0:4])
+        if vtf >> 28 != 6:
+            raise PacketError(f"not IPv6 (version={vtf >> 28})")
+        (payload_len,) = struct.unpack("!H", data[4:6])
+        if cls.HEADER_LEN + payload_len > len(data):
+            raise PacketError("IPv6 payload length exceeds packet")
+        return cls(
+            src=data[8:24],
+            dst=data[24:40],
+            next_header=data[6],
+            payload=data[cls.HEADER_LEN : cls.HEADER_LEN + payload_len],
+            hop_limit=data[7],
+        )
+
+
+@dataclass(frozen=True)
+class UdpDatagram:
+    """A UDP datagram (checksum emitted as 0: optional over IPv4)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    HEADER_LEN = 8
+
+    def build(self) -> bytes:
+        length = self.HEADER_LEN + len(self.payload)
+        return struct.pack("!HHHH", self.src_port, self.dst_port, length, 0) + self.payload
+
+    @classmethod
+    def parse(cls, data: bytes) -> "UdpDatagram":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"UDP datagram too short: {len(data)} bytes")
+        src_port, dst_port, length, _checksum = struct.unpack("!HHHH", data[:8])
+        if length < cls.HEADER_LEN or length > len(data):
+            raise PacketError(f"bad UDP length: {length}")
+        return cls(src_port=src_port, dst_port=dst_port, payload=data[8:length])
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    """A TCP segment with a fixed 20-byte header (no options)."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload: bytes
+    window: int = 65535
+
+    HEADER_LEN = 20
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+    def build(self) -> bytes:
+        return (
+            struct.pack(
+                "!HHIIBBHHH",
+                self.src_port,
+                self.dst_port,
+                self.seq,
+                self.ack,
+                5 << 4,  # data offset
+                self.flags,
+                self.window,
+                0,  # checksum (not validated by our reader)
+                0,  # urgent pointer
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TcpSegment":
+        if len(data) < cls.HEADER_LEN:
+            raise PacketError(f"TCP segment too short: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, offset_byte, flags, window, _cs, _urg) = struct.unpack(
+            "!HHIIBBHHH", data[:20]
+        )
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < cls.HEADER_LEN or data_offset > len(data):
+            raise PacketError(f"bad TCP data offset: {data_offset}")
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            payload=data[data_offset:],
+            window=window,
+        )
+
+
+@dataclass(frozen=True)
+class ParsedPacket:
+    """Fully parsed encapsulation context for one captured packet.
+
+    ``payload`` is the application-layer payload the inference pipeline
+    consumes.  Addressing fields are None for link layers without IP
+    (e.g., AWDL action frames), which is exactly the situation in which
+    FieldHunter's context-dependent rules become inapplicable.
+    """
+
+    payload: bytes
+    src_ip: bytes | None = None
+    dst_ip: bytes | None = None
+    src_port: int | None = None
+    dst_port: int | None = None
+    transport: str | None = None
+    link: str = "ethernet"
+    extra: dict = field(default_factory=dict)
+
+
+def parse_ethernet_frame(data: bytes) -> ParsedPacket:
+    """Parse an Ethernet frame down to the application payload.
+
+    Unknown ethertypes and transports degrade gracefully: the remaining
+    bytes become the payload with whatever context was recovered so far.
+    """
+    frame = EthernetFrame.parse(data)
+    if frame.ethertype == ETHERTYPE_IPV4:
+        ip: IPv4Packet | IPv6Packet = IPv4Packet.parse(frame.payload)
+    elif frame.ethertype == ETHERTYPE_IPV6:
+        ip = IPv6Packet.parse(frame.payload)
+    else:
+        return ParsedPacket(payload=frame.payload, link="ethernet")
+    protocol = ip.protocol if isinstance(ip, IPv4Packet) else ip.next_header
+    if protocol == IPPROTO_UDP:
+        udp = UdpDatagram.parse(ip.payload)
+        return ParsedPacket(
+            payload=udp.payload,
+            src_ip=ip.src,
+            dst_ip=ip.dst,
+            src_port=udp.src_port,
+            dst_port=udp.dst_port,
+            transport="udp",
+        )
+    if protocol == IPPROTO_TCP:
+        tcp = TcpSegment.parse(ip.payload)
+        return ParsedPacket(
+            payload=tcp.payload,
+            src_ip=ip.src,
+            dst_ip=ip.dst,
+            src_port=tcp.src_port,
+            dst_port=tcp.dst_port,
+            transport="tcp",
+        )
+    return ParsedPacket(payload=ip.payload, src_ip=ip.src, dst_ip=ip.dst)
+
+
+def build_udp_ipv4_frame(
+    payload: bytes,
+    src_ip: bytes,
+    dst_ip: bytes,
+    src_port: int,
+    dst_port: int,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+    identification: int = 0,
+) -> bytes:
+    """Wrap *payload* in UDP/IPv4/Ethernet, returning raw frame bytes."""
+    udp = UdpDatagram(src_port=src_port, dst_port=dst_port, payload=payload)
+    ip = IPv4Packet(
+        src=src_ip,
+        dst=dst_ip,
+        protocol=IPPROTO_UDP,
+        payload=udp.build(),
+        identification=identification,
+    )
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=ip.build())
+    return frame.build()
+
+
+def build_udp_ipv6_frame(
+    payload: bytes,
+    src_ip: bytes,
+    dst_ip: bytes,
+    src_port: int,
+    dst_port: int,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+) -> bytes:
+    """Wrap *payload* in UDP/IPv6/Ethernet, returning raw frame bytes."""
+    udp = UdpDatagram(src_port=src_port, dst_port=dst_port, payload=payload)
+    ip = IPv6Packet(src=src_ip, dst=dst_ip, next_header=IPPROTO_UDP, payload=udp.build())
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV6, payload=ip.build())
+    return frame.build()
+
+
+def build_tcp_ipv4_frame(
+    payload: bytes,
+    src_ip: bytes,
+    dst_ip: bytes,
+    src_port: int,
+    dst_port: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TcpSegment.PSH | TcpSegment.ACK,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+) -> bytes:
+    """Wrap *payload* in TCP/IPv4/Ethernet, returning raw frame bytes."""
+    tcp = TcpSegment(
+        src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags, payload=payload
+    )
+    ip = IPv4Packet(src=src_ip, dst=dst_ip, protocol=IPPROTO_TCP, payload=tcp.build())
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV4, payload=ip.build())
+    return frame.build()

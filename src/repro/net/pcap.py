@@ -1,0 +1,151 @@
+"""Classic libpcap capture file format (``.pcap``) reader and writer.
+
+Implements the de-facto format described in the pcap(3) manual and the
+IETF opsawg draft: a 24-byte global header followed by per-packet record
+headers.  Both endiannesses and both timestamp resolutions (micro / nano)
+are supported for reading; writing emits little-endian microsecond files,
+which is what tcpdump produces on x86.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator
+
+MAGIC_MICRO_LE = 0xA1B2C3D4
+MAGIC_NANO_LE = 0xA1B23C4D
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+LINKTYPE_IEEE802_11 = 105
+LINKTYPE_USER0 = 147  # we use USER0 for AU and USER1 for AWDL payload captures
+LINKTYPE_USER1 = 148
+
+
+class PcapError(ValueError):
+    """Raised for malformed capture files."""
+
+
+@dataclass(frozen=True)
+class PcapPacket:
+    """One captured packet: epoch timestamp (float seconds) + raw bytes."""
+
+    timestamp: float
+    data: bytes
+    orig_len: int | None = None
+
+    @property
+    def captured_len(self) -> int:
+        return len(self.data)
+
+
+def _read_exact(stream: BinaryIO, size: int, what: str) -> bytes:
+    data = stream.read(size)
+    if len(data) != size:
+        raise PcapError(f"truncated pcap: expected {size} bytes for {what}, got {len(data)}")
+    return data
+
+
+def read_pcap(path: str | Path) -> tuple[int, list[PcapPacket]]:
+    """Read a pcap file, returning ``(linktype, packets)``."""
+    with open(path, "rb") as stream:
+        return read_pcap_stream(stream)
+
+
+def read_pcap_stream(stream: BinaryIO) -> tuple[int, list[PcapPacket]]:
+    """Read a pcap from an open binary stream."""
+    header = _read_exact(stream, 24, "global header")
+    (magic,) = struct.unpack("<I", header[:4])
+    if magic == MAGIC_MICRO_LE:
+        endian, resolution = "<", 1e-6
+    elif magic == MAGIC_NANO_LE:
+        endian, resolution = "<", 1e-9
+    else:
+        (magic_be,) = struct.unpack(">I", header[:4])
+        if magic_be == MAGIC_MICRO_LE:
+            endian, resolution = ">", 1e-6
+        elif magic_be == MAGIC_NANO_LE:
+            endian, resolution = ">", 1e-9
+        else:
+            raise PcapError(f"bad magic number: 0x{magic:08x}")
+    version_major, version_minor, _tz, _sigfigs, snaplen, linktype = struct.unpack(
+        endian + "HHiIII", header[4:]
+    )
+    if version_major != 2:
+        raise PcapError(f"unsupported pcap version {version_major}.{version_minor}")
+    packets = []
+    while True:
+        record = stream.read(16)
+        if not record:
+            break
+        if len(record) != 16:
+            raise PcapError("truncated pcap: partial record header")
+        ts_sec, ts_frac, incl_len, orig_len = struct.unpack(endian + "IIII", record)
+        if incl_len > snaplen and snaplen:
+            raise PcapError(f"record length {incl_len} exceeds snaplen {snaplen}")
+        data = _read_exact(stream, incl_len, "packet data")
+        packets.append(
+            PcapPacket(timestamp=ts_sec + ts_frac * resolution, data=data, orig_len=orig_len)
+        )
+    return linktype, packets
+
+
+def write_pcap(
+    path: str | Path,
+    packets: Iterable[PcapPacket],
+    linktype: int = LINKTYPE_ETHERNET,
+    snaplen: int = 262144,
+) -> int:
+    """Write packets to a little-endian microsecond pcap; returns the count."""
+    with open(path, "wb") as stream:
+        return write_pcap_stream(stream, packets, linktype=linktype, snaplen=snaplen)
+
+
+def write_pcap_stream(
+    stream: BinaryIO,
+    packets: Iterable[PcapPacket],
+    linktype: int = LINKTYPE_ETHERNET,
+    snaplen: int = 262144,
+) -> int:
+    stream.write(struct.pack("<IHHiIII", MAGIC_MICRO_LE, 2, 4, 0, 0, snaplen, linktype))
+    count = 0
+    for packet in packets:
+        ts_sec = int(packet.timestamp)
+        ts_usec = int(round((packet.timestamp - ts_sec) * 1e6))
+        if ts_usec >= 1_000_000:  # rounding spill-over at .9999995
+            ts_sec += 1
+            ts_usec -= 1_000_000
+        orig_len = packet.orig_len if packet.orig_len is not None else len(packet.data)
+        stream.write(struct.pack("<IIII", ts_sec, ts_usec, len(packet.data), orig_len))
+        stream.write(packet.data)
+        count += 1
+    return count
+
+
+def iter_pcap(path: str | Path) -> Iterator[PcapPacket]:
+    """Stream packets from a pcap file one at a time."""
+    with open(path, "rb") as stream:
+        header = _read_exact(stream, 24, "global header")
+        (magic,) = struct.unpack("<I", header[:4])
+        if magic in (MAGIC_MICRO_LE, MAGIC_NANO_LE):
+            endian = "<"
+            resolution = 1e-6 if magic == MAGIC_MICRO_LE else 1e-9
+        else:
+            (magic_be,) = struct.unpack(">I", header[:4])
+            if magic_be not in (MAGIC_MICRO_LE, MAGIC_NANO_LE):
+                raise PcapError(f"bad magic number: 0x{magic:08x}")
+            endian = ">"
+            resolution = 1e-6 if magic_be == MAGIC_MICRO_LE else 1e-9
+        while True:
+            record = stream.read(16)
+            if not record:
+                return
+            if len(record) != 16:
+                raise PcapError("truncated pcap: partial record header")
+            ts_sec, ts_frac, incl_len, orig_len = struct.unpack(endian + "IIII", record)
+            data = _read_exact(stream, incl_len, "packet data")
+            yield PcapPacket(
+                timestamp=ts_sec + ts_frac * resolution, data=data, orig_len=orig_len
+            )

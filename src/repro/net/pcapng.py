@@ -1,0 +1,190 @@
+"""pcapng (next-generation capture) reader and writer.
+
+Supports the block types needed for interchange with Wireshark-era
+captures: Section Header (SHB), Interface Description (IDB), Enhanced
+Packet (EPB), and Simple Packet (SPB).  Options are parsed and preserved
+as raw (code, value) pairs.  Multiple interfaces per section are
+supported; multiple sections concatenate their packets.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable
+
+from repro.net.pcap import PcapError, PcapPacket
+
+BLOCK_SHB = 0x0A0D0D0A
+BLOCK_IDB = 0x00000001
+BLOCK_SPB = 0x00000003
+BLOCK_EPB = 0x00000006
+
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+
+@dataclass(frozen=True)
+class Interface:
+    """One capture interface: linktype, snaplen, and timestamp resolution."""
+
+    linktype: int
+    snaplen: int
+    ts_resolution: float = 1e-6
+
+
+def _pad4(n: int) -> int:
+    return (4 - n % 4) % 4
+
+
+def _parse_options(data: bytes, endian: str) -> list[tuple[int, bytes]]:
+    options = []
+    offset = 0
+    while offset + 4 <= len(data):
+        code, length = struct.unpack(endian + "HH", data[offset : offset + 4])
+        offset += 4
+        if code == 0:  # opt_endofopt
+            break
+        value = data[offset : offset + length]
+        offset += length + _pad4(length)
+        options.append((code, value))
+    return options
+
+
+def _ts_resolution_from_options(options: list[tuple[int, bytes]]) -> float:
+    for code, value in options:
+        if code == 9 and len(value) >= 1:  # if_tsresol
+            raw = value[0]
+            if raw & 0x80:
+                return 2.0 ** -(raw & 0x7F)
+            return 10.0 ** -raw
+    return 1e-6
+
+
+def read_pcapng(path: str | Path) -> tuple[list[Interface], list[PcapPacket]]:
+    """Read a pcapng file, returning ``(interfaces, packets)``.
+
+    Packet timestamps are converted to float epoch seconds using each
+    interface's declared resolution.
+    """
+    with open(path, "rb") as stream:
+        return read_pcapng_stream(stream)
+
+
+def read_pcapng_stream(stream: BinaryIO) -> tuple[list[Interface], list[PcapPacket]]:
+    interfaces: list[Interface] = []
+    packets: list[PcapPacket] = []
+    endian = "<"
+    while True:
+        head = stream.read(8)
+        if not head:
+            break
+        if len(head) != 8:
+            raise PcapError("truncated pcapng: partial block header")
+        (block_type,) = struct.unpack(endian + "I", head[:4])
+        if block_type == BLOCK_SHB:
+            # Byte order may change per section; peek at the magic.
+            magic_bytes = stream.read(4)
+            if len(magic_bytes) != 4:
+                raise PcapError("truncated pcapng: missing byte-order magic")
+            (magic_le,) = struct.unpack("<I", magic_bytes)
+            endian = "<" if magic_le == BYTE_ORDER_MAGIC else ">"
+            (block_len,) = struct.unpack(endian + "I", head[4:])
+            if block_len < 28:
+                raise PcapError(f"SHB too short: {block_len}")
+            body = stream.read(block_len - 12)
+            if len(body) != block_len - 12:
+                raise PcapError("truncated pcapng: SHB body")
+            continue
+        (block_len,) = struct.unpack(endian + "I", head[4:])
+        if block_len < 12 or block_len % 4:
+            raise PcapError(f"bad block length {block_len}")
+        body = stream.read(block_len - 12)
+        if len(body) != block_len - 12:
+            raise PcapError("truncated pcapng: block body")
+        trailer = stream.read(4)
+        if len(trailer) != 4:
+            raise PcapError("truncated pcapng: block trailer")
+        (trailer_len,) = struct.unpack(endian + "I", trailer)
+        if trailer_len != block_len:
+            raise PcapError(f"block length mismatch: {block_len} != {trailer_len}")
+        if block_type == BLOCK_IDB:
+            linktype, _reserved, snaplen = struct.unpack(endian + "HHI", body[:8])
+            options = _parse_options(body[8:], endian)
+            interfaces.append(
+                Interface(
+                    linktype=linktype,
+                    snaplen=snaplen,
+                    ts_resolution=_ts_resolution_from_options(options),
+                )
+            )
+        elif block_type == BLOCK_EPB:
+            iface_id, ts_high, ts_low, cap_len, orig_len = struct.unpack(
+                endian + "IIIII", body[:20]
+            )
+            if iface_id >= len(interfaces):
+                raise PcapError(f"EPB references unknown interface {iface_id}")
+            data = body[20 : 20 + cap_len]
+            if len(data) != cap_len:
+                raise PcapError("EPB captured data shorter than declared")
+            resolution = interfaces[iface_id].ts_resolution
+            timestamp = ((ts_high << 32) | ts_low) * resolution
+            packets.append(PcapPacket(timestamp=timestamp, data=data, orig_len=orig_len))
+        elif block_type == BLOCK_SPB:
+            if not interfaces:
+                raise PcapError("SPB before any interface description")
+            (orig_len,) = struct.unpack(endian + "I", body[:4])
+            cap_len = min(orig_len, interfaces[0].snaplen or orig_len)
+            data = body[4 : 4 + cap_len]
+            packets.append(PcapPacket(timestamp=0.0, data=data, orig_len=orig_len))
+        # Unknown block types (NRB, ISB, custom) are skipped by design.
+    return interfaces, packets
+
+
+def write_pcapng(
+    path: str | Path,
+    packets: Iterable[PcapPacket],
+    linktype: int = 1,
+    snaplen: int = 262144,
+) -> int:
+    """Write packets to a single-interface little-endian pcapng file."""
+    with open(path, "wb") as stream:
+        return write_pcapng_stream(stream, packets, linktype=linktype, snaplen=snaplen)
+
+
+def _write_block(stream: BinaryIO, block_type: int, body: bytes) -> None:
+    padding = b"\x00" * _pad4(len(body))
+    total = 12 + len(body) + len(padding)
+    stream.write(struct.pack("<II", block_type, total))
+    stream.write(body + padding)
+    stream.write(struct.pack("<I", total))
+
+
+def write_pcapng_stream(
+    stream: BinaryIO,
+    packets: Iterable[PcapPacket],
+    linktype: int = 1,
+    snaplen: int = 262144,
+) -> int:
+    shb_body = struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1)
+    _write_block(stream, BLOCK_SHB, shb_body)
+    idb_body = struct.pack("<HHI", linktype, 0, snaplen)
+    _write_block(stream, BLOCK_IDB, idb_body)
+    count = 0
+    for packet in packets:
+        ticks = int(round(packet.timestamp * 1e6))
+        orig_len = packet.orig_len if packet.orig_len is not None else len(packet.data)
+        epb_body = (
+            struct.pack(
+                "<IIIII",
+                0,
+                (ticks >> 32) & 0xFFFFFFFF,
+                ticks & 0xFFFFFFFF,
+                len(packet.data),
+                orig_len,
+            )
+            + packet.data
+        )
+        _write_block(stream, BLOCK_EPB, epb_body)
+        count += 1
+    return count

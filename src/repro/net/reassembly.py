@@ -1,0 +1,133 @@
+"""TCP stream reassembly and NBSS message splitting.
+
+Real SMB captures arrive as TCP segments, not application messages.
+This module rebuilds per-direction byte streams from captured segments
+(ordering by sequence number, dropping retransmitted overlap) and
+splits NBSS-framed streams (SMB's 4-byte length framing) back into the
+application messages the inference pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.packet import IPPROTO_TCP, EthernetFrame, IPv4Packet, TcpSegment
+from repro.net.trace import Trace, TraceMessage
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """One direction of a TCP conversation."""
+
+    src_ip: bytes
+    dst_ip: bytes
+    src_port: int
+    dst_port: int
+
+
+@dataclass
+class StreamBuffer:
+    """Sequence-ordered reassembly buffer for one flow direction."""
+
+    base_seq: int | None = None
+    chunks: dict[int, bytes] = field(default_factory=dict)  # seq -> payload
+    first_timestamp: float = 0.0
+
+    def add(self, seq: int, payload: bytes, timestamp: float) -> None:
+        if not payload:
+            return
+        if self.base_seq is None:
+            self.base_seq = seq
+            self.first_timestamp = timestamp
+        existing = self.chunks.get(seq)
+        if existing is None or len(payload) > len(existing):
+            self.chunks[seq] = payload
+
+    def assemble(self) -> bytes:
+        """Contiguous stream bytes from the base sequence onward.
+
+        Overlapping retransmissions are dominated by the longest chunk at
+        each offset; a gap (lost segment not captured) truncates the
+        stream at the gap, which is the safe behaviour for inference.
+        """
+        if self.base_seq is None:
+            return b""
+        out = bytearray()
+        expected = self.base_seq
+        for seq in sorted(self.chunks):
+            payload = self.chunks[seq]
+            if seq > expected:
+                break  # gap: stop rather than fabricate bytes
+            skip = expected - seq
+            if skip < len(payload):
+                out += payload[skip:]
+                expected = seq + len(payload)
+        return bytes(out)
+
+
+def reassemble_streams(
+    frames: list[tuple[float, bytes]],
+) -> dict[FlowKey, StreamBuffer]:
+    """Group raw Ethernet frames into per-direction TCP stream buffers."""
+    streams: dict[FlowKey, StreamBuffer] = {}
+    for timestamp, raw in frames:
+        try:
+            frame = EthernetFrame.parse(raw)
+            ip = IPv4Packet.parse(frame.payload)
+            if ip.protocol != IPPROTO_TCP:
+                continue
+            tcp = TcpSegment.parse(ip.payload)
+        except ValueError:
+            continue
+        key = FlowKey(
+            src_ip=ip.src, dst_ip=ip.dst, src_port=tcp.src_port, dst_port=tcp.dst_port
+        )
+        streams.setdefault(key, StreamBuffer()).add(tcp.seq, tcp.payload, timestamp)
+    return streams
+
+
+def split_nbss_messages(stream: bytes) -> list[bytes]:
+    """Split an NBSS-framed stream into messages (4-byte header each).
+
+    Each message keeps its NBSS header, matching the framing our SMB
+    model emits.  A trailing partial message (stream cut mid-capture)
+    is dropped.
+    """
+    messages = []
+    offset = 0
+    while offset + 4 <= len(stream):
+        length = int.from_bytes(stream[offset + 1 : offset + 4], "big")
+        end = offset + 4 + length
+        if end > len(stream):
+            break
+        messages.append(stream[offset:end])
+        offset = end
+    return messages
+
+
+def trace_from_tcp_capture(
+    frames: list[tuple[float, bytes]],
+    protocol: str = "smb",
+    port: int = 445,
+) -> Trace:
+    """Full path: raw frames -> reassembled NBSS messages -> Trace."""
+    streams = reassemble_streams(frames)
+    messages: list[TraceMessage] = []
+    for key, buffer in streams.items():
+        if port not in (key.src_port, key.dst_port):
+            continue
+        direction = "request" if key.dst_port == port else "response"
+        for data in split_nbss_messages(buffer.assemble()):
+            messages.append(
+                TraceMessage(
+                    data=data,
+                    timestamp=buffer.first_timestamp,
+                    src_ip=key.src_ip,
+                    dst_ip=key.dst_ip,
+                    src_port=key.src_port,
+                    dst_port=key.dst_port,
+                    direction=direction,
+                )
+            )
+    messages.sort(key=lambda m: m.timestamp)
+    return Trace(messages=messages, protocol=protocol)

@@ -1,0 +1,162 @@
+"""Trace abstraction and the paper's preprocessing step.
+
+A :class:`Trace` is the unit of analysis: an ordered list of
+application-layer :class:`TraceMessage` objects of (presumably) a single
+protocol.  ``load_trace`` builds one from a pcap file; protocol generators
+in :mod:`repro.protocols` build them directly.
+
+Preprocessing (paper Section III-A) filters the capture to the desired
+protocol and de-duplicates payloads: the method exploits variance in
+message contents, so byte-identical duplicates carry no information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.net.packet import ParsedPacket, parse_ethernet_frame
+from repro.net.pcap import LINKTYPE_ETHERNET, read_pcap
+
+
+@dataclass(frozen=True)
+class TraceMessage:
+    """One application-layer message plus its capture context.
+
+    The addressing context is optional — link-layer protocols such as AWDL
+    have none — and is consumed only by context-dependent baselines
+    (FieldHunter), never by the clustering pipeline itself.
+    """
+
+    data: bytes
+    timestamp: float = 0.0
+    src_ip: bytes | None = None
+    dst_ip: bytes | None = None
+    src_port: int | None = None
+    dst_port: int | None = None
+    direction: str | None = None  # "request" / "response" when known
+    extra: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def with_data(self, data: bytes) -> "TraceMessage":
+        return replace(self, data=data)
+
+
+@dataclass
+class Trace:
+    """An ordered collection of messages of one protocol."""
+
+    messages: list[TraceMessage]
+    protocol: str = "unknown"
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(messages=self.messages[index], protocol=self.protocol)
+        return self.messages[index]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes across all messages (coverage denominator)."""
+        return sum(len(m.data) for m in self.messages)
+
+    def truncate(self, count: int) -> "Trace":
+        """First *count* messages, as used to build the 100/1000-message sets."""
+        return Trace(messages=self.messages[:count], protocol=self.protocol)
+
+    def filter(self, predicate: Callable[[TraceMessage], bool]) -> "Trace":
+        """Messages satisfying *predicate* (protocol filtering)."""
+        return Trace(
+            messages=[m for m in self.messages if predicate(m)], protocol=self.protocol
+        )
+
+    def deduplicate(self) -> "Trace":
+        """Remove byte-identical payloads, keeping first occurrences."""
+        return Trace(messages=deduplicate(self.messages), protocol=self.protocol)
+
+    def preprocess(
+        self,
+        predicate: Callable[[TraceMessage], bool] | None = None,
+        drop_empty: bool = True,
+    ) -> "Trace":
+        """The paper's preprocessing: filter, drop empties, de-duplicate."""
+        messages: Iterable[TraceMessage] = self.messages
+        if predicate is not None:
+            messages = (m for m in messages if predicate(m))
+        if drop_empty:
+            messages = (m for m in messages if m.data)
+        return Trace(messages=deduplicate(messages), protocol=self.protocol)
+
+
+def deduplicate(messages: Iterable[TraceMessage]) -> list[TraceMessage]:
+    """Stable de-duplication of messages by payload bytes."""
+    seen: set[bytes] = set()
+    unique = []
+    for message in messages:
+        if message.data in seen:
+            continue
+        seen.add(message.data)
+        unique.append(message)
+    return unique
+
+
+def port_filter(*ports: int) -> Callable[[TraceMessage], bool]:
+    """Predicate matching messages with any of *ports* as src or dst."""
+    wanted = set(ports)
+    return lambda m: m.src_port in wanted or m.dst_port in wanted
+
+
+def load_trace(
+    path: str | Path,
+    protocol: str = "unknown",
+    port: int | None = None,
+) -> Trace:
+    """Load a Trace from an Ethernet pcap file.
+
+    Frames that do not parse down to a transport payload are kept with
+    their raw link payload so nothing silently disappears; pass *port* to
+    filter to one UDP/TCP service.
+    """
+    linktype, packets = read_pcap(path)
+    messages = []
+    for packet in packets:
+        if linktype == LINKTYPE_ETHERNET:
+            try:
+                parsed: ParsedPacket = parse_ethernet_frame(packet.data)
+            except ValueError:
+                parsed = ParsedPacket(payload=packet.data)
+        else:
+            # Non-Ethernet linktypes carry the application payload directly
+            # (the convention our generators use for AWDL / AU captures).
+            parsed = ParsedPacket(payload=packet.data, link=f"linktype-{linktype}")
+        messages.append(
+            TraceMessage(
+                data=parsed.payload,
+                timestamp=packet.timestamp,
+                src_ip=parsed.src_ip,
+                dst_ip=parsed.dst_ip,
+                src_port=parsed.src_port,
+                dst_port=parsed.dst_port,
+            )
+        )
+    trace = Trace(messages=messages, protocol=protocol)
+    if port is not None:
+        trace = trace.filter(port_filter(port))
+    return trace
+
+
+def concat(traces: Sequence[Trace], protocol: str | None = None) -> Trace:
+    """Concatenate traces preserving order."""
+    messages: list[TraceMessage] = []
+    for trace in traces:
+        messages.extend(trace.messages)
+    name = protocol if protocol is not None else (traces[0].protocol if traces else "unknown")
+    return Trace(messages=messages, protocol=name)

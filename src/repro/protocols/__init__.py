@@ -1,0 +1,39 @@
+"""Protocol substrate: trace generators + ground-truth dissectors.
+
+Each module models one protocol from the paper's evaluation set
+(Section IV-A): NTP, DNS, NBNS, DHCP, SMB, and the two proprietary
+protocols AWDL and AU.  Generators replace the (offline-unavailable)
+public captures; dissectors replace Wireshark as the ground-truth
+source.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.protocols.base import (
+    DissectionError,
+    Field,
+    FieldBuilder,
+    ProtocolModel,
+    validate_tiling,
+)
+from repro.protocols.registry import (
+    ALL_ROWS,
+    LARGE_TRACE_ROWS,
+    SMALL_TRACE_ROWS,
+    available_protocols,
+    get_model,
+)
+from repro.protocols.render import render_dissection, render_side_by_side
+
+__all__ = [
+    "ALL_ROWS",
+    "DissectionError",
+    "Field",
+    "FieldBuilder",
+    "LARGE_TRACE_ROWS",
+    "ProtocolModel",
+    "SMALL_TRACE_ROWS",
+    "available_protocols",
+    "get_model",
+    "render_dissection",
+    "render_side_by_side",
+    "validate_tiling",
+]

@@ -1,0 +1,136 @@
+"""Framework shared by all protocol models.
+
+Each protocol module provides a :class:`ProtocolModel` with two duties:
+
+- **generate**: synthesize a :class:`~repro.net.trace.Trace` of realistic
+  messages (seeded, deterministic), standing in for the public captures
+  the paper used (see DESIGN.md, substitutions), and
+- **dissect**: parse raw message bytes into ground-truth
+  :class:`Field` annotations, standing in for Wireshark dissectors.
+
+Dissection is always performed on the actual bytes (never from generator
+side-channels), so tests can verify generate→dissect round-trips and the
+dissector remains honest for any conforming input.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.net.trace import Trace, TraceMessage
+
+
+class DissectionError(ValueError):
+    """Raised when a message does not conform to the protocol grammar."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """One ground-truth field instance inside a concrete message."""
+
+    offset: int
+    length: int
+    ftype: str
+    name: str
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def value(self, data: bytes) -> bytes:
+        """The field's bytes within its message."""
+        return data[self.offset : self.end]
+
+
+class FieldBuilder:
+    """Accumulates contiguous fields while a dissector walks a message.
+
+    Guards against the two classic dissector bugs — overlaps and gaps —
+    by construction: every ``add`` appends immediately after the previous
+    field.
+    """
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.offset = 0
+        self.fields: list[Field] = []
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def peek(self, length: int, at: int = 0) -> bytes:
+        return self.data[self.offset + at : self.offset + at + length]
+
+    def add(self, length: int, ftype: str, name: str) -> bytes:
+        """Consume *length* bytes as one field; returns the field value."""
+        if length <= 0:
+            raise DissectionError(f"field {name!r} has non-positive length {length}")
+        if self.offset + length > len(self.data):
+            raise DissectionError(
+                f"field {name!r} ({length} B at {self.offset}) exceeds "
+                f"message of {len(self.data)} B"
+            )
+        field = Field(offset=self.offset, length=length, ftype=ftype, name=name)
+        self.fields.append(field)
+        self.offset += length
+        return field.value(self.data)
+
+    def finish(self, expect_exhausted: bool = True) -> list[Field]:
+        if expect_exhausted and self.offset != len(self.data):
+            raise DissectionError(
+                f"dissection stopped at {self.offset} of {len(self.data)} bytes"
+            )
+        return self.fields
+
+
+class ProtocolModel(abc.ABC):
+    """A protocol the evaluation can generate and dissect."""
+
+    #: short lowercase identifier, e.g. "ntp"
+    name: str = "unknown"
+    #: True when messages travel without IP encapsulation (AWDL, AU) —
+    #: FieldHunter's context-dependent rules are then inapplicable.
+    has_ip_context: bool = True
+
+    @abc.abstractmethod
+    def generate(self, count: int, seed: int = 0) -> Trace:
+        """Generate a deterministic trace of *count* messages."""
+
+    @abc.abstractmethod
+    def dissect(self, data: bytes) -> list[Field]:
+        """Parse *data* into ground-truth fields tiling the message."""
+
+    def message_kind(self, data: bytes) -> str:
+        """Ground-truth message type label (e.g. "query", "offer").
+
+        Derived from the wire bytes per the protocol specification; used
+        to validate message-type identification (the NEMETYL substrate).
+        """
+        raise NotImplementedError(f"{self.name} does not define message kinds")
+
+    def dissect_message(self, message: TraceMessage) -> list[Field]:
+        return self.dissect(message.data)
+
+    def iter_dissections(self, trace: Trace) -> Iterator[tuple[TraceMessage, list[Field]]]:
+        for message in trace:
+            yield message, self.dissect(message.data)
+
+
+def validate_tiling(fields: Sequence[Field], data: bytes) -> None:
+    """Assert that *fields* exactly tile *data* (no gaps, no overlaps).
+
+    Raises :class:`DissectionError` otherwise.  Used by tests and by the
+    ground-truth segmenter, which relies on the tiling property.
+    """
+    offset = 0
+    for field in fields:
+        if field.offset != offset:
+            raise DissectionError(
+                f"field {field.name!r} starts at {field.offset}, expected {offset}"
+            )
+        offset = field.end
+    if offset != len(data):
+        raise DissectionError(f"fields cover {offset} of {len(data)} bytes")

@@ -1,0 +1,330 @@
+"""DHCP (RFC 2131) message model.
+
+The complex-format representative: a 236-byte BOOTP fixed part, the
+magic cookie, and a TLV option list whose composition differs per
+message type.  Generates full DORA exchanges (DISCOVER / OFFER /
+REQUEST / ACK) for a population of clients against one server, the
+traffic shape of the SMIA-2011 capture.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import fieldtypes as ft
+from repro.protocols.base import DissectionError, Field, FieldBuilder, ProtocolModel
+
+DHCP_SERVER_PORT = 67
+DHCP_CLIENT_PORT = 68
+
+MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+DISCOVER, OFFER, REQUEST, ACK = 1, 2, 3, 5
+
+OPT_PAD = 0
+OPT_SUBNET_MASK = 1
+OPT_ROUTER = 3
+OPT_DNS = 6
+OPT_HOSTNAME = 12
+OPT_REQUESTED_IP = 50
+OPT_LEASE_TIME = 51
+OPT_MSG_TYPE = 53
+OPT_SERVER_ID = 54
+OPT_PARAM_LIST = 55
+OPT_CLIENT_ID = 61
+OPT_END = 255
+
+_HOSTNAMES = [
+    "alice-laptop",
+    "bob-desktop",
+    "printer-2f",
+    "meeting-room",
+    "lab-pc-03",
+    "guest-phone",
+    "carol-tablet",
+    "dev-vm-17",
+]
+
+
+def _option(code: int, value: bytes) -> bytes:
+    return bytes([code, len(value)]) + value
+
+
+class DhcpModel(ProtocolModel):
+    """Generator + ground-truth dissector for DHCP."""
+
+    name = "dhcp"
+    has_ip_context = True
+
+    def __init__(
+        self,
+        client_count: int = 30,
+        sname_rate: float = 0.2,
+        bootfile_rate: float = 0.1,
+    ):
+        """*sname_rate* / *bootfile_rate* control how often the server
+        fills the legacy BOOTP text fields (value diversity in the
+        otherwise zero regions)."""
+        self.client_count = client_count
+        self.sname_rate = sname_rate
+        self.bootfile_rate = bootfile_rate
+
+    def generate(self, count: int, seed: int = 0) -> Trace:
+        rng = random.Random(seed)
+        server_ip = bytes([192, 168, 0, 1])
+        subnet_mask = bytes([255, 255, 255, 0])
+        router = server_ip
+        dns_servers = bytes([192, 168, 0, 1]) + bytes([8, 8, 8, 8])
+        clients = [
+            (
+                bytes([0x00, 0x1B, 0x63] + [rng.getrandbits(8) for _ in range(3)]),
+                rng.choice(_HOSTNAMES),
+            )
+            for _ in range(self.client_count)
+        ]
+        messages: list[TraceMessage] = []
+        when = 1_318_000_000.0
+        zero_ip = bytes(4)
+        broadcast = bytes([255, 255, 255, 255])
+        while len(messages) < count:
+            when += rng.expovariate(1 / 30.0)
+            mac, hostname = rng.choice(clients)
+            xid = rng.getrandbits(32)
+            offered = bytes([192, 168, 0, rng.randint(10, 250)])
+            lease = rng.choice([3600, 7200, 86400])
+            secs = rng.choice([0, 0, 1, 3, 7])
+            flags = rng.choice([0x0000, 0x0000, 0x8000])
+
+            def emit(data: bytes, from_server: bool, delta: float) -> None:
+                messages.append(
+                    TraceMessage(
+                        data=data,
+                        timestamp=when + delta,
+                        src_ip=server_ip if from_server else zero_ip,
+                        dst_ip=broadcast,
+                        src_port=DHCP_SERVER_PORT if from_server else DHCP_CLIENT_PORT,
+                        dst_port=DHCP_CLIENT_PORT if from_server else DHCP_SERVER_PORT,
+                        direction="response" if from_server else "request",
+                    )
+                )
+
+            discover = self._build(
+                op=1,
+                xid=xid,
+                secs=secs,
+                flags=flags,
+                mac=mac,
+                options=[
+                    _option(OPT_MSG_TYPE, bytes([DISCOVER])),
+                    _option(OPT_CLIENT_ID, b"\x01" + mac),
+                    _option(OPT_HOSTNAME, hostname.encode("ascii")),
+                    _option(OPT_PARAM_LIST, bytes([1, 3, 6, 15, 51, 54])),
+                ],
+            )
+            emit(discover, from_server=False, delta=0.0)
+            if len(messages) >= count:
+                break
+            # Real server implementations occasionally fill the legacy
+            # BOOTP fields (server host name, boot file), as seen in the
+            # SMIA capture.
+            sname = (
+                b"dhcp-srv-%02d" % rng.randint(1, 3)
+                if rng.random() < self.sname_rate
+                else b""
+            )
+            bootfile = b"pxelinux.0" if rng.random() < self.bootfile_rate else b""
+            offer = self._build(
+                op=2,
+                xid=xid,
+                secs=0,
+                flags=flags,
+                mac=mac,
+                yiaddr=offered,
+                siaddr=server_ip,
+                sname=sname,
+                file=bootfile,
+                options=[
+                    _option(OPT_MSG_TYPE, bytes([OFFER])),
+                    _option(OPT_SERVER_ID, server_ip),
+                    _option(OPT_LEASE_TIME, struct.pack("!I", lease)),
+                    _option(OPT_SUBNET_MASK, subnet_mask),
+                    _option(OPT_ROUTER, router),
+                    _option(OPT_DNS, dns_servers),
+                ],
+            )
+            emit(offer, from_server=True, delta=rng.uniform(0.001, 0.3))
+            if len(messages) >= count:
+                break
+            request = self._build(
+                op=1,
+                xid=xid,
+                secs=secs,
+                flags=flags,
+                mac=mac,
+                options=[
+                    _option(OPT_MSG_TYPE, bytes([REQUEST])),
+                    _option(OPT_CLIENT_ID, b"\x01" + mac),
+                    _option(OPT_REQUESTED_IP, offered),
+                    _option(OPT_SERVER_ID, server_ip),
+                    _option(OPT_HOSTNAME, hostname.encode("ascii")),
+                    _option(OPT_PARAM_LIST, bytes([1, 3, 6, 15, 51, 54])),
+                ],
+            )
+            emit(request, from_server=False, delta=rng.uniform(0.3, 1.0))
+            if len(messages) >= count:
+                break
+            ack = self._build(
+                op=2,
+                xid=xid,
+                secs=0,
+                flags=flags,
+                mac=mac,
+                yiaddr=offered,
+                siaddr=server_ip,
+                sname=sname,
+                file=bootfile,
+                options=[
+                    _option(OPT_MSG_TYPE, bytes([ACK])),
+                    _option(OPT_SERVER_ID, server_ip),
+                    _option(OPT_LEASE_TIME, struct.pack("!I", lease)),
+                    _option(OPT_SUBNET_MASK, subnet_mask),
+                    _option(OPT_ROUTER, router),
+                    _option(OPT_DNS, dns_servers),
+                ],
+            )
+            emit(ack, from_server=True, delta=rng.uniform(1.0, 1.4))
+        return Trace(messages=messages[:count], protocol=self.name)
+
+    def _build(
+        self,
+        op: int,
+        xid: int,
+        secs: int,
+        flags: int,
+        mac: bytes,
+        options: list[bytes],
+        yiaddr: bytes = bytes(4),
+        siaddr: bytes = bytes(4),
+        sname: bytes = b"",
+        file: bytes = b"",
+    ) -> bytes:
+        fixed = struct.pack(
+            "!BBBBIHH4s4s4s4s",
+            op,
+            1,  # htype: Ethernet
+            6,  # hlen
+            0,  # hops
+            xid,
+            secs,
+            flags,
+            bytes(4),  # ciaddr
+            yiaddr,
+            siaddr,
+            bytes(4),  # giaddr
+        )
+        chaddr = mac + bytes(10)
+        sname_field = sname[:63].ljust(64, b"\x00")
+        file_field = file[:127].ljust(128, b"\x00")
+        return (
+            fixed
+            + chaddr
+            + sname_field
+            + file_field
+            + MAGIC_COOKIE
+            + b"".join(options)
+            + bytes([OPT_END])
+        )
+
+    def dissect(self, data: bytes) -> list[Field]:
+        if len(data) < 240:
+            raise DissectionError(f"DHCP message too short: {len(data)} bytes")
+        builder = FieldBuilder(data)
+        builder.add(1, ft.ENUM, "op")
+        builder.add(1, ft.ENUM, "htype")
+        builder.add(1, ft.UINT8, "hlen")
+        builder.add(1, ft.UINT8, "hops")
+        builder.add(4, ft.ID, "xid")
+        builder.add(2, ft.UINT16, "secs")
+        builder.add(2, ft.FLAGS, "flags")
+        builder.add(4, ft.IPV4, "ciaddr")
+        builder.add(4, ft.IPV4, "yiaddr")
+        builder.add(4, ft.IPV4, "siaddr")
+        builder.add(4, ft.IPV4, "giaddr")
+        builder.add(6, ft.MACADDR, "chaddr")
+        builder.add(10, ft.PAD, "chaddr_padding")
+        # Legacy BOOTP text fields: chars when populated, padding when zero.
+        builder.add(64, ft.CHARS if data[44] else ft.PAD, "sname")
+        builder.add(128, ft.CHARS if data[108] else ft.PAD, "file")
+        if builder.peek(4) != MAGIC_COOKIE:
+            raise DissectionError("missing DHCP magic cookie")
+        builder.add(4, ft.ENUM, "magic_cookie")
+        self._dissect_options(builder)
+        return builder.finish()
+
+    def _dissect_options(self, builder: FieldBuilder) -> None:
+        index = 0
+        while builder.remaining:
+            code = builder.peek(1)[0]
+            if code == OPT_PAD:
+                run = 0
+                while run < builder.remaining and builder.peek(1, at=run)[0] == OPT_PAD:
+                    run += 1
+                builder.add(run, ft.PAD, f"opt_pad[{index}]")
+                index += 1
+                continue
+            builder.add(1, ft.ENUM, f"opt_code[{index}]")
+            if code == OPT_END:
+                if builder.remaining:
+                    builder.add(builder.remaining, ft.PAD, "trailer_padding")
+                return
+            length = builder.add(1, ft.LENGTH, f"opt_len[{index}]")[0]
+            self._dissect_option_value(builder, code, length, index)
+            index += 1
+        raise DissectionError("options not terminated by END")
+
+    def _dissect_option_value(
+        self, builder: FieldBuilder, code: int, length: int, index: int
+    ) -> None:
+        name = f"opt_value[{index}]"
+        if length == 0:
+            return
+        if code == OPT_MSG_TYPE:
+            builder.add(length, ft.ENUM, name)
+        elif code in (OPT_SUBNET_MASK, OPT_ROUTER, OPT_REQUESTED_IP, OPT_SERVER_ID):
+            builder.add(length, ft.IPV4, name)
+        elif code == OPT_DNS:
+            for n in range(length // 4):
+                builder.add(4, ft.IPV4, f"{name}.addr[{n}]")
+            if length % 4:
+                builder.add(length % 4, ft.BYTES, f"{name}.trail")
+        elif code == OPT_LEASE_TIME:
+            builder.add(length, ft.UINT32, name)
+        elif code == OPT_HOSTNAME:
+            builder.add(length, ft.CHARS, name)
+        elif code == OPT_CLIENT_ID and length == 7:
+            builder.add(1, ft.ENUM, f"{name}.hwtype")
+            builder.add(6, ft.MACADDR, f"{name}.mac")
+        else:
+            builder.add(length, ft.BYTES, name)
+
+    def message_kind(self, data: bytes) -> str:
+        names = {1: "discover", 2: "offer", 3: "request", 5: "ack"}
+        # Walk the options directly: option 53's value is the message type.
+        if len(data) < 240:
+            raise DissectionError("DHCP message too short")
+        offset = 240
+        while offset < len(data):
+            code = data[offset]
+            if code == 255:
+                break
+            if code == 0:
+                offset += 1
+                continue
+            length = data[offset + 1]
+            if code == 53 and length == 1:
+                value = data[offset + 2]
+                return names.get(value, f"type{value}")
+            offset += 2 + length
+        raise DissectionError("no DHCP message type option")

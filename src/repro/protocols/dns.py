@@ -1,0 +1,211 @@
+"""DNS (RFC 1035) message model.
+
+Queries and responses with A / AAAA / CNAME records over a realistic
+name pool (modelled after the iCTF-2010 capture the paper used: many
+clients resolving a moderate set of service names).  Names are encoded
+as standard length-prefixed label sequences; answer owner names use the
+classic 0xC00C compression pointer.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import fieldtypes as ft
+from repro.protocols.base import DissectionError, Field, FieldBuilder, ProtocolModel
+
+DNS_PORT = 53
+
+QTYPE_A = 1
+QTYPE_CNAME = 5
+QTYPE_AAAA = 28
+
+_HOSTS = ["www", "mail", "ns1", "ns2", "ftp", "api", "db", "login", "team", "scoring"]
+_DOMAINS = [
+    "example.com",
+    "ictf.test",
+    "services.lan",
+    "university.edu",
+    "game.local",
+    "vpn.example.org",
+]
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a dotted name into length-prefixed DNS labels."""
+    out = bytearray()
+    for label in name.split("."):
+        raw = label.encode("ascii")
+        if not 0 < len(raw) < 64:
+            raise ValueError(f"bad label {label!r}")
+        out.append(len(raw))
+        out += raw
+    out.append(0)
+    return bytes(out)
+
+
+def name_length(data: bytes, offset: int) -> int:
+    """Wire length of the (possibly compressed) name starting at *offset*."""
+    start = offset
+    while True:
+        if offset >= len(data):
+            raise DissectionError("name runs past end of message")
+        length = data[offset]
+        if length == 0:
+            return offset - start + 1
+        if length & 0xC0 == 0xC0:
+            if offset + 2 > len(data):
+                raise DissectionError("truncated compression pointer")
+            return offset - start + 2
+        if length & 0xC0:
+            raise DissectionError(f"reserved label type 0x{length:02x}")
+        offset += 1 + length
+
+
+class DnsModel(ProtocolModel):
+    """Generator + ground-truth dissector for DNS queries/responses."""
+
+    name = "dns"
+    has_ip_context = True
+
+    def __init__(
+        self,
+        client_count: int = 58,
+        unanswered_rate: float = 0.15,
+        randomizing_fraction: float = 0.3,
+    ):
+        """Population knobs: *unanswered_rate* is the fraction of queries
+        without a response; *randomizing_fraction* is the share of
+        clients that randomize transaction ids instead of incrementing."""
+        self.client_count = client_count
+        self.unanswered_rate = unanswered_rate
+        self.randomizing_fraction = randomizing_fraction
+
+    def generate(self, count: int, seed: int = 0) -> Trace:
+        rng = random.Random(seed)
+        names = [f"{h}.{d}" for h in _HOSTS for d in _DOMAINS]
+        resolver = bytes([10, 0, 0, 53])
+        clients = [
+            bytes([172, 16, rng.randint(0, 3), 2 + c % 250])
+            for c in range(self.client_count)
+        ]
+        # Resolver implementations differ: most stub resolvers increment
+        # their transaction id per query, a minority randomizes it.  The
+        # resulting mixed-density id distribution matches real captures.
+        txid_state = {
+            client: (rng.getrandbits(16), rng.random() < self.randomizing_fraction)
+            for client in clients
+        }
+        address_pool = {
+            name: bytes([10, 1, rng.randint(0, 7), rng.randint(1, 254)]) for name in names
+        }
+        messages: list[TraceMessage] = []
+        when = 1_318_000_000.0
+        while len(messages) < count:
+            when += rng.expovariate(1 / 0.4)
+            client = rng.choice(clients)
+            name = rng.choice(names)
+            qtype = rng.choice([QTYPE_A] * 7 + [QTYPE_AAAA, QTYPE_CNAME])
+            last_txid, randomizes = txid_state[client]
+            txid = rng.getrandbits(16) if randomizes else (last_txid + 1) & 0xFFFF
+            txid_state[client] = (txid, randomizes)
+            sport = rng.randint(1024, 65535)
+            query = self._build_query(txid, name, qtype)
+            messages.append(
+                TraceMessage(
+                    data=query,
+                    timestamp=when,
+                    src_ip=client,
+                    dst_ip=resolver,
+                    src_port=sport,
+                    dst_port=DNS_PORT,
+                    direction="request",
+                )
+            )
+            if len(messages) >= count or rng.random() < self.unanswered_rate:
+                continue  # unanswered query
+            response = self._build_response(txid, name, qtype, address_pool, rng)
+            when += rng.uniform(0.001, 0.05)
+            messages.append(
+                TraceMessage(
+                    data=response,
+                    timestamp=when,
+                    src_ip=resolver,
+                    dst_ip=client,
+                    src_port=DNS_PORT,
+                    dst_port=sport,
+                    direction="response",
+                )
+            )
+        return Trace(messages=messages[:count], protocol=self.name)
+
+    def _header(self, txid: int, flags: int, qd: int, an: int) -> bytes:
+        return struct.pack("!HHHHHH", txid, flags, qd, an, 0, 0)
+
+    def _build_query(self, txid: int, name: str, qtype: int) -> bytes:
+        question = encode_name(name) + struct.pack("!HH", qtype, 1)
+        return self._header(txid, 0x0100, 1, 0) + question
+
+    def _build_response(
+        self,
+        txid: int,
+        name: str,
+        qtype: int,
+        address_pool: dict[str, bytes],
+        rng: random.Random,
+    ) -> bytes:
+        question = encode_name(name) + struct.pack("!HH", qtype, 1)
+        answers = bytearray()
+        count = rng.choice([1, 1, 1, 2])
+        for _ in range(count):
+            ttl = rng.choice([60, 300, 300, 3600, 86400])
+            if qtype == QTYPE_A:
+                rdata = address_pool[name]
+                rtype = QTYPE_A
+            elif qtype == QTYPE_AAAA:
+                rdata = bytes([0x20, 0x01, 0x0D, 0xB8]) + bytes(
+                    rng.getrandbits(8) for _ in range(12)
+                )
+                rtype = QTYPE_AAAA
+            else:
+                rdata = encode_name(rng.choice(list(address_pool)))
+                rtype = QTYPE_CNAME
+            answers += b"\xc0\x0c" + struct.pack("!HHIH", rtype, 1, ttl, len(rdata)) + rdata
+        return self._header(txid, 0x8180, 1, count) + question + bytes(answers)
+
+    def dissect(self, data: bytes) -> list[Field]:
+        builder = FieldBuilder(data)
+        builder.add(2, ft.ID, "transaction_id")
+        builder.add(2, ft.FLAGS, "flags")
+        qdcount = struct.unpack("!H", builder.add(2, ft.UINT16, "qdcount"))[0]
+        ancount = struct.unpack("!H", builder.add(2, ft.UINT16, "ancount"))[0]
+        nscount = struct.unpack("!H", builder.add(2, ft.UINT16, "nscount"))[0]
+        arcount = struct.unpack("!H", builder.add(2, ft.UINT16, "arcount"))[0]
+        for index in range(qdcount):
+            builder.add(name_length(data, builder.offset), ft.DOMAIN, f"qname[{index}]")
+            builder.add(2, ft.ENUM, f"qtype[{index}]")
+            builder.add(2, ft.ENUM, f"qclass[{index}]")
+        for index in range(ancount + nscount + arcount):
+            builder.add(name_length(data, builder.offset), ft.DOMAIN, f"rrname[{index}]")
+            rtype = struct.unpack("!H", builder.add(2, ft.ENUM, f"rrtype[{index}]"))[0]
+            builder.add(2, ft.ENUM, f"rrclass[{index}]")
+            builder.add(4, ft.UINT32, f"ttl[{index}]")
+            rdlength = struct.unpack("!H", builder.add(2, ft.LENGTH, f"rdlength[{index}]"))[0]
+            if rdlength:
+                if rtype == QTYPE_A and rdlength == 4:
+                    builder.add(rdlength, ft.IPV4, f"rdata[{index}]")
+                elif rtype == QTYPE_CNAME:
+                    builder.add(rdlength, ft.DOMAIN, f"rdata[{index}]")
+                else:
+                    builder.add(rdlength, ft.BYTES, f"rdata[{index}]")
+        return builder.finish()
+
+    def message_kind(self, data: bytes) -> str:
+        if len(data) < 4:
+            raise DissectionError("truncated DNS header")
+        flags = struct.unpack("!H", data[2:4])[0]
+        qr = "response" if flags & 0x8000 else "query"
+        opcode = (flags >> 11) & 0xF
+        return qr if opcode == 0 else f"{qr}-op{opcode}"

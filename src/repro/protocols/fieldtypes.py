@@ -1,0 +1,66 @@
+"""Canonical field data-type labels used as clustering ground truth.
+
+The paper validates clusters against "true field data types from the
+Wireshark dissectors".  Our generators' dissectors emit these labels in
+the same spirit: one label per *data type / value domain*, not per field
+name.  Two fields share a label exactly when Wireshark would give them
+the same ``ftype`` + semantic class (e.g., all four NTP timestamps are
+``timestamp``; xid and mid are both ``id``).
+"""
+
+from __future__ import annotations
+
+# Numeric scalars
+UINT8 = "uint8"
+UINT16 = "uint16"
+UINT32 = "uint32"
+UINT64 = "uint64"
+INT8 = "int8"
+FIXEDPOINT = "fixedpoint"  # NTP 16.16 / 32.32 fixed point metrics
+
+# Semantic classes
+ENUM = "enum"  # small closed value set (opcodes, message types)
+FLAGS = "flags"  # bitfield
+ID = "id"  # random identifiers (transaction ids, session ids)
+TIMESTAMP = "timestamp"  # absolute time (NTP era, FILETIME)
+LENGTH = "length"  # value counts bytes/elements elsewhere in the message
+COUNTER = "counter"  # monotonically increasing sequence numbers
+CHECKSUM = "checksum"  # CRC / signature / MAC-tag style high-entropy check value
+MEASUREMENT = "measurement"  # AU ranging measurements (32-bit)
+
+# Addresses and names
+IPV4 = "ipv4"
+MACADDR = "macaddr"
+CHARS = "chars"  # printable character sequences
+DOMAIN = "domain"  # DNS-encoded names (length-prefixed labels)
+NBNAME = "nbname"  # NetBIOS first-level-encoded names
+
+# Raw / filler
+BYTES = "bytes"  # opaque binary blobs (nonces, vendor data)
+PAD = "pad"  # zero padding / reserved-must-be-zero
+
+ALL_TYPES = frozenset(
+    {
+        UINT8,
+        UINT16,
+        UINT32,
+        UINT64,
+        INT8,
+        FIXEDPOINT,
+        ENUM,
+        FLAGS,
+        ID,
+        TIMESTAMP,
+        LENGTH,
+        COUNTER,
+        CHECKSUM,
+        MEASUREMENT,
+        IPV4,
+        MACADDR,
+        CHARS,
+        DOMAIN,
+        NBNAME,
+        BYTES,
+        PAD,
+    }
+)

@@ -1,0 +1,196 @@
+"""NBNS / NetBIOS Name Service (RFC 1002) message model.
+
+DNS-shaped header plus first-level-encoded NetBIOS names: a 16-byte
+name (15 chars + suffix) is expanded nibble-wise into 32 bytes of
+A..P characters, wrapped as a single 34-byte label sequence.  Models
+name queries, positive responses, and registration requests — the mix
+that dominates the SMIA-2011 capture used by the paper.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import fieldtypes as ft
+from repro.protocols.base import DissectionError, Field, FieldBuilder, ProtocolModel
+
+NBNS_PORT = 137
+
+QTYPE_NB = 0x0020
+QTYPE_NBSTAT = 0x0021
+
+_SUFFIX_WORKSTATION = 0x00
+_SUFFIX_SERVER = 0x20
+_SUFFIX_BROWSER = 0x1D
+
+_HOSTNAMES = [
+    "WORKSTATION01",
+    "FILESERVER",
+    "PRINTSRV",
+    "ACCOUNTING",
+    "LABPC07",
+    "DESKTOP-A12",
+    "SCANNER",
+    "DOMAINCTRL",
+    "BACKUPSRV",
+    "RECEPTION",
+]
+
+
+def encode_netbios_name(name: str, suffix: int) -> bytes:
+    """First-level encode *name* + *suffix* into a 34-byte label sequence."""
+    padded = name.upper().ljust(15)[:15].encode("ascii") + bytes([suffix])
+    encoded = bytearray()
+    for byte in padded:
+        encoded.append(ord("A") + (byte >> 4))
+        encoded.append(ord("A") + (byte & 0x0F))
+    return bytes([32]) + bytes(encoded) + b"\x00"
+
+
+def decode_netbios_name(wire: bytes) -> tuple[str, int]:
+    """Inverse of :func:`encode_netbios_name`; returns (name, suffix)."""
+    if len(wire) != 34 or wire[0] != 32 or wire[-1] != 0:
+        raise DissectionError("not an encoded NetBIOS name")
+    raw = bytearray()
+    for i in range(1, 33, 2):
+        high, low = wire[i] - ord("A"), wire[i + 1] - ord("A")
+        if not (0 <= high < 16 and 0 <= low < 16):
+            raise DissectionError("invalid NetBIOS name nibble")
+        raw.append((high << 4) | low)
+    return raw[:15].decode("ascii").rstrip(), raw[15]
+
+
+class NbnsModel(ProtocolModel):
+    """Generator + ground-truth dissector for NBNS."""
+
+    name = "nbns"
+    has_ip_context = True
+
+    def __init__(self, response_rate: float = 0.6, query_fraction: float = 0.5):
+        """*query_fraction* of messages start name queries (the rest are
+        registrations); *response_rate* of queries get answered."""
+        self.response_rate = response_rate
+        self.query_fraction = query_fraction
+
+    def generate(self, count: int, seed: int = 0) -> Trace:
+        rng = random.Random(seed)
+        broadcast = bytes([192, 168, 0, 255])
+        hosts = {
+            host: bytes([192, 168, 0, rng.randint(2, 250)]) for host in _HOSTNAMES
+        }
+        messages: list[TraceMessage] = []
+        when = 1_318_000_000.0
+        while len(messages) < count:
+            when += rng.expovariate(1 / 3.0)
+            host = rng.choice(_HOSTNAMES)
+            suffix = rng.choice([_SUFFIX_WORKSTATION, _SUFFIX_SERVER, _SUFFIX_BROWSER])
+            asker = bytes([192, 168, 0, rng.randint(2, 250)])
+            txid = rng.getrandbits(16)
+            kind = rng.random()
+            if kind < self.query_fraction:  # broadcast name query
+                data = self._build_query(txid, host, suffix)
+                messages.append(
+                    TraceMessage(
+                        data=data,
+                        timestamp=when,
+                        src_ip=asker,
+                        dst_ip=broadcast,
+                        src_port=NBNS_PORT,
+                        dst_port=NBNS_PORT,
+                        direction="request",
+                    )
+                )
+                if len(messages) < count and rng.random() < self.response_rate:
+                    response = self._build_response(txid, host, suffix, hosts[host], rng)
+                    messages.append(
+                        TraceMessage(
+                            data=response,
+                            timestamp=when + rng.uniform(0.001, 0.2),
+                            src_ip=hosts[host],
+                            dst_ip=asker,
+                            src_port=NBNS_PORT,
+                            dst_port=NBNS_PORT,
+                            direction="response",
+                        )
+                    )
+            else:  # name registration request
+                data = self._build_registration(txid, host, suffix, asker, rng)
+                messages.append(
+                    TraceMessage(
+                        data=data,
+                        timestamp=when,
+                        src_ip=asker,
+                        dst_ip=broadcast,
+                        src_port=NBNS_PORT,
+                        dst_port=NBNS_PORT,
+                        direction="request",
+                    )
+                )
+        return Trace(messages=messages[:count], protocol=self.name)
+
+    def _build_query(self, txid: int, host: str, suffix: int) -> bytes:
+        header = struct.pack("!HHHHHH", txid, 0x0110, 1, 0, 0, 0)
+        return header + encode_netbios_name(host, suffix) + struct.pack("!HH", QTYPE_NB, 1)
+
+    def _build_response(
+        self, txid: int, host: str, suffix: int, addr: bytes, rng: random.Random
+    ) -> bytes:
+        header = struct.pack("!HHHHHH", txid, 0x8500, 0, 1, 0, 0)
+        ttl = rng.choice([300, 3600, 300000])
+        rdata = struct.pack("!H", 0x0000) + addr  # nb_flags (b-node, unique) + address
+        rr = (
+            encode_netbios_name(host, suffix)
+            + struct.pack("!HHIH", QTYPE_NB, 1, ttl, len(rdata))
+            + rdata
+        )
+        return header + rr
+
+    def _build_registration(
+        self, txid: int, host: str, suffix: int, addr: bytes, rng: random.Random
+    ) -> bytes:
+        header = struct.pack("!HHHHHH", txid, 0x2910, 1, 0, 0, 1)
+        question = encode_netbios_name(host, suffix) + struct.pack("!HH", QTYPE_NB, 1)
+        ttl = rng.choice([300000, 300000, 4147200])
+        rdata = struct.pack("!H", 0x0000) + addr
+        additional = (
+            encode_netbios_name(host, suffix)
+            + struct.pack("!HHIH", QTYPE_NB, 1, ttl, len(rdata))
+            + rdata
+        )
+        return header + question + additional
+
+    def dissect(self, data: bytes) -> list[Field]:
+        builder = FieldBuilder(data)
+        builder.add(2, ft.ID, "transaction_id")
+        builder.add(2, ft.FLAGS, "flags")
+        qdcount = struct.unpack("!H", builder.add(2, ft.UINT16, "qdcount"))[0]
+        ancount = struct.unpack("!H", builder.add(2, ft.UINT16, "ancount"))[0]
+        nscount = struct.unpack("!H", builder.add(2, ft.UINT16, "nscount"))[0]
+        arcount = struct.unpack("!H", builder.add(2, ft.UINT16, "arcount"))[0]
+        for index in range(qdcount):
+            builder.add(34, ft.NBNAME, f"qname[{index}]")
+            builder.add(2, ft.ENUM, f"qtype[{index}]")
+            builder.add(2, ft.ENUM, f"qclass[{index}]")
+        for index in range(ancount + nscount + arcount):
+            builder.add(34, ft.NBNAME, f"rrname[{index}]")
+            builder.add(2, ft.ENUM, f"rrtype[{index}]")
+            builder.add(2, ft.ENUM, f"rrclass[{index}]")
+            builder.add(4, ft.UINT32, f"ttl[{index}]")
+            rdlength = struct.unpack("!H", builder.add(2, ft.LENGTH, f"rdlength[{index}]"))[0]
+            if rdlength == 6:
+                builder.add(2, ft.FLAGS, f"nb_flags[{index}]")
+                builder.add(4, ft.IPV4, f"nb_address[{index}]")
+            elif rdlength:
+                builder.add(rdlength, ft.BYTES, f"rdata[{index}]")
+        return builder.finish()
+
+    def message_kind(self, data: bytes) -> str:
+        if len(data) < 4:
+            raise DissectionError("truncated NBNS header")
+        flags = struct.unpack("!H", data[2:4])[0]
+        qr = "response" if flags & 0x8000 else "request"
+        opcode = (flags >> 11) & 0xF
+        names = {0: "query", 5: "registration"}
+        return f"{names.get(opcode, f'op{opcode}')}-{qr}"

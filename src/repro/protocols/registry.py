@@ -1,0 +1,65 @@
+"""Registry mapping protocol names to their models and evaluation sizes.
+
+``TRACE_SIZES`` mirrors the paper's Table I/II row structure: each
+protocol is evaluated at a "large" and a "small" trace size (1000/100,
+except AWDL's 768-message capture and AU's single 123-message capture).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.au import AuModel
+from repro.protocols.awdl import AwdlModel
+from repro.protocols.base import ProtocolModel
+from repro.protocols.dhcp import DhcpModel
+from repro.protocols.dns import DnsModel
+from repro.protocols.nbns import NbnsModel
+from repro.protocols.ntp import NtpModel
+from repro.protocols.smb import SmbModel
+
+_MODELS: dict[str, type[ProtocolModel]] = {
+    "ntp": NtpModel,
+    "dns": DnsModel,
+    "nbns": NbnsModel,
+    "dhcp": DhcpModel,
+    "smb": SmbModel,
+    "awdl": AwdlModel,
+    "au": AuModel,
+}
+
+#: (protocol, message count) pairs forming the paper's large-trace rows.
+LARGE_TRACE_ROWS: list[tuple[str, int]] = [
+    ("dhcp", 1000),
+    ("dns", 1000),
+    ("nbns", 1000),
+    ("ntp", 1000),
+    ("smb", 1000),
+    ("awdl", 768),
+]
+
+#: (protocol, message count) pairs forming the paper's small-trace rows.
+SMALL_TRACE_ROWS: list[tuple[str, int]] = [
+    ("dhcp", 100),
+    ("dns", 100),
+    ("nbns", 100),
+    ("ntp", 100),
+    ("smb", 100),
+    ("awdl", 100),
+    ("au", 123),
+]
+
+ALL_ROWS = LARGE_TRACE_ROWS + SMALL_TRACE_ROWS
+
+
+def available_protocols() -> list[str]:
+    """Names of all registered protocol models."""
+    return sorted(_MODELS)
+
+
+def get_model(name: str) -> ProtocolModel:
+    """Instantiate the model for *name* (case-insensitive)."""
+    try:
+        return _MODELS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None

@@ -1,0 +1,77 @@
+"""Human-readable rendering of dissected messages (tshark-lite).
+
+Formats a dissector's field list next to the raw bytes, for debugging
+traffic models and for presenting ground truth alongside inference
+results in examples and reports.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.base import Field, ProtocolModel
+
+_VALUE_PREVIEW = 24
+
+
+def _printable(value: bytes) -> str:
+    text = "".join(chr(b) if 0x20 <= b < 0x7F else "." for b in value)
+    return text
+
+
+def render_field(field: Field, data: bytes, name_width: int = 28) -> str:
+    value = field.value(data)
+    hex_part = value.hex()
+    if len(hex_part) > _VALUE_PREVIEW:
+        hex_part = hex_part[: _VALUE_PREVIEW - 2] + ".."
+    return (
+        f"{field.offset:4d}:{field.end:<4d} {field.name:<{name_width}s} "
+        f"{field.ftype:<11s} {hex_part:<{_VALUE_PREVIEW}s} |{_printable(value[:12])}|"
+    )
+
+
+def render_dissection(model: ProtocolModel, data: bytes) -> str:
+    """Full field-by-field view of one message."""
+    fields = model.dissect(data)
+    name_width = max((len(f.name) for f in fields), default=10)
+    name_width = min(max(name_width, 10), 36)
+    header = (
+        f"{model.name.upper()} message, {len(data)} bytes, "
+        f"{len(fields)} fields ({model.message_kind(data)})"
+        if _has_kind(model, data)
+        else f"{model.name.upper()} message, {len(data)} bytes, {len(fields)} fields"
+    )
+    lines = [header, "-" * len(header)]
+    lines += [render_field(field, data, name_width) for field in fields]
+    return "\n".join(lines)
+
+
+def _has_kind(model: ProtocolModel, data: bytes) -> bool:
+    try:
+        model.message_kind(data)
+        return True
+    except Exception:
+        return False
+
+
+def render_side_by_side(
+    model: ProtocolModel, data: bytes, inferred_boundaries: list[int]
+) -> str:
+    """True fields vs. inferred boundaries, for segmentation debugging.
+
+    Marks each true field with the inferred cut positions falling inside
+    it ('!' = boundary error) or at its edges ('=' = exact match).
+    """
+    fields = model.dissect(data)
+    cuts = set(inferred_boundaries)
+    lines = [f"true field{'':24s} verdict"]
+    for field in fields:
+        inside = sorted(c for c in cuts if field.offset < c < field.end)
+        start_hit = field.offset in cuts or field.offset == 0
+        end_hit = field.end in cuts or field.end == len(data)
+        if inside:
+            verdict = f"! split at {inside}"
+        elif start_hit and end_hit:
+            verdict = "= exact"
+        else:
+            verdict = "~ merged with neighbor"
+        lines.append(f"{field.name:<32s} {verdict}")
+    return "\n".join(lines)

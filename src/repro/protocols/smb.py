@@ -1,0 +1,424 @@
+"""SMB1 / CIFS message model (over direct-TCP NBSS framing, port 445).
+
+Models the session-establishment dialogue that dominates desktop SMB
+traffic: Negotiate, Session Setup AndX, and Tree Connect AndX, each in
+request and response flavours.  All multi-byte quantities are
+little-endian per the SMB1 wire format; the 8-byte security signature
+in every header is high-entropy — the field the paper singles out as
+the cause of SMB's recall collapse under heuristic segmentation.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import fieldtypes as ft
+from repro.protocols.base import DissectionError, Field, FieldBuilder, ProtocolModel
+
+SMB_PORT = 445
+
+SMB_MAGIC = b"\xffSMB"
+
+CMD_NEGOTIATE = 0x72
+CMD_SESSION_SETUP = 0x73
+CMD_TREE_CONNECT = 0x75
+CMD_WRITE_ANDX = 0x2F
+
+FLAGS_REPLY = 0x80
+
+#: 100-ns intervals between 1601-01-01 and the Unix epoch.
+FILETIME_UNIX_DELTA = 11_644_473_600
+
+_DIALECTS = [b"PC NETWORK PROGRAM 1.0", b"LANMAN1.0", b"LM1.2X002", b"NT LM 0.12"]
+_ACCOUNTS = ["administrator", "jsmith", "backup", "svc_print", "mwagner", "guest"]
+_DOMAINS = ["WORKGROUP", "CORP", "LABNET"]
+_OS_STRINGS = ["Windows 5.1", "Windows 2002 Service Pack 3", "Unix", "Windows 7"]
+_LANMAN_STRINGS = ["Windows 2000 LAN Manager", "Samba 3.5.6", "NT LAN Manager 4.0"]
+_SHARES = ["IPC$", "public", "scans", "backup", "homes"]
+
+_FILE_WORDS = (
+    "quarterly report totals invoice meeting minutes draft revision budget "
+    "inventory shipment order confirmation summary project schedule notes"
+).split()
+
+
+def pack_filetime(unix_time: float) -> bytes:
+    """Pack float Unix time as a little-endian 64-bit FILETIME."""
+    ticks = int((unix_time + FILETIME_UNIX_DELTA) * 10_000_000)
+    return struct.pack("<Q", ticks)
+
+
+def _cstr(text: str) -> bytes:
+    return text.encode("ascii") + b"\x00"
+
+
+class SmbModel(ProtocolModel):
+    """Generator + ground-truth dissector for SMB1 session setup traffic."""
+
+    name = "smb"
+    has_ip_context = True
+
+    def __init__(self, client_count: int = 30, max_writes_per_session: int = 2):
+        self.client_count = client_count
+        self.max_writes_per_session = max_writes_per_session
+
+    def generate(self, count: int, seed: int = 0) -> Trace:
+        rng = random.Random(seed)
+        server_ip = bytes([10, 0, 0, 20])
+        clients = [bytes([10, 0, 1, c]) for c in range(10, 10 + self.client_count)]
+        messages: list[TraceMessage] = []
+        when = 1_318_000_000.0
+        uid_counter = 2048
+        tid_counter = 1
+        while len(messages) < count:
+            when += rng.expovariate(1 / 20.0)
+            client = rng.choice(clients)
+            sport = rng.randint(1024, 65535)
+            # Realistic identifier distributions: client process ids are
+            # moderate values, server-assigned uid/tid are sequential.
+            pid = rng.randint(0x0400, 0x4000)
+            uid_counter += rng.randint(1, 3)
+            tid_counter += rng.randint(1, 2)
+            uid = uid_counter & 0xFFFF
+            tid = tid_counter & 0xFFFF
+            mid = rng.randint(1, 16)
+
+            def emit(data: bytes, from_server: bool, delta: float) -> None:
+                messages.append(
+                    TraceMessage(
+                        data=data,
+                        timestamp=when + delta,
+                        src_ip=server_ip if from_server else client,
+                        dst_ip=client if from_server else server_ip,
+                        src_port=SMB_PORT if from_server else sport,
+                        dst_port=sport if from_server else SMB_PORT,
+                        direction="response" if from_server else "request",
+                    )
+                )
+
+            exchange = [
+                (self._negotiate_request(pid, mid, rng), False),
+                (self._negotiate_response(pid, mid, when, rng), True),
+                (self._session_setup_request(pid, mid + 1, rng), False),
+                (self._session_setup_response(pid, uid, mid + 1, rng), True),
+                (self._tree_connect_request(pid, uid, mid + 2, server_ip, rng), False),
+                (self._tree_connect_response(pid, uid, tid, mid + 2, rng), True),
+            ]
+            fid = rng.getrandbits(16)
+            for w in range(rng.randint(1, max(1, self.max_writes_per_session))):
+                next_mid = mid + 3 + w
+                exchange.append(
+                    (self._write_request(pid, uid, tid, next_mid, fid, rng), False)
+                )
+                exchange.append(
+                    (self._write_response(pid, uid, tid, next_mid, rng), True)
+                )
+            delta = 0.0
+            for data, from_server in exchange:
+                if len(messages) >= count:
+                    break
+                emit(data, from_server, delta)
+                delta += rng.uniform(0.001, 0.05)
+        return Trace(messages=messages[:count], protocol=self.name)
+
+    # -- message builders ---------------------------------------------------
+
+    def _header(
+        self,
+        command: int,
+        flags: int,
+        pid: int,
+        mid: int,
+        rng: random.Random,
+        tid: int = 0,
+        uid: int = 0,
+        status: int = 0,
+    ) -> bytes:
+        signature = bytes(rng.getrandbits(8) for _ in range(8))
+        return (
+            SMB_MAGIC
+            + struct.pack("<BIBH", command, status, flags, 0xC807)
+            + struct.pack("<H", 0)  # pid_high
+            + signature
+            + bytes(2)  # reserved
+            + struct.pack("<HHHH", tid, pid, uid, mid)
+        )
+
+    def _frame(self, smb: bytes) -> bytes:
+        return bytes([0]) + len(smb).to_bytes(3, "big") + smb
+
+    def _negotiate_request(self, pid: int, mid: int, rng: random.Random) -> bytes:
+        dialects = b"".join(b"\x02" + d + b"\x00" for d in _DIALECTS)
+        body = bytes([0]) + struct.pack("<H", len(dialects)) + dialects
+        return self._frame(self._header(CMD_NEGOTIATE, 0x18, pid, mid, rng) + body)
+
+    def _negotiate_response(
+        self, pid: int, mid: int, when: float, rng: random.Random
+    ) -> bytes:
+        challenge = bytes(rng.getrandbits(8) for _ in range(8))
+        domain = _cstr(rng.choice(_DOMAINS))
+        words = struct.pack(
+            "<HBHHIIIIQhB",
+            len(_DIALECTS) - 1,  # chosen dialect: NT LM 0.12
+            0x03,  # security mode: user + encrypt
+            50,  # max mpx
+            1,  # max vcs
+            rng.choice([4356, 16644, 61440]),  # max buffer
+            65536,  # max raw
+            rng.getrandbits(32),  # session key
+            0x0000E3FD,  # capabilities
+            int((when + FILETIME_UNIX_DELTA) * 10_000_000),  # system time
+            -rng.choice([0, 60, 120, 480]),  # server time zone
+            len(challenge),
+        )
+        body = bytes([17]) + words + struct.pack("<H", len(challenge) + len(domain))
+        body += challenge + domain
+        return self._frame(
+            self._header(CMD_NEGOTIATE, 0x18 | FLAGS_REPLY, pid, mid, rng) + body
+        )
+
+    def _session_setup_request(self, pid: int, mid: int, rng: random.Random) -> bytes:
+        password = bytes(rng.getrandbits(8) for _ in range(24))
+        account = _cstr(rng.choice(_ACCOUNTS))
+        domain = _cstr(rng.choice(_DOMAINS))
+        native_os = _cstr(rng.choice(_OS_STRINGS))
+        lanman = _cstr(rng.choice(_LANMAN_STRINGS))
+        data = password + account + domain + native_os + lanman
+        words = struct.pack(
+            "<BBHHHHIHHII",
+            0xFF,  # no further AndX
+            0,
+            0,
+            rng.choice([4356, 16644, 61440]),  # max buffer
+            50,  # max mpx
+            0,  # vc number
+            rng.getrandbits(32),  # session key
+            len(password),  # ansi password length
+            0,  # unicode password length
+            0,  # reserved
+            0x000000D4,  # capabilities
+        )
+        body = bytes([13]) + words + struct.pack("<H", len(data)) + data
+        return self._frame(self._header(CMD_SESSION_SETUP, 0x18, pid, mid, rng) + body)
+
+    def _session_setup_response(
+        self, pid: int, uid: int, mid: int, rng: random.Random
+    ) -> bytes:
+        native_os = _cstr(rng.choice(_OS_STRINGS))
+        lanman = _cstr(rng.choice(_LANMAN_STRINGS))
+        domain = _cstr(rng.choice(_DOMAINS))
+        data = native_os + lanman + domain
+        words = struct.pack("<BBHH", 0xFF, 0, 0, rng.choice([0, 1]))
+        body = bytes([3]) + words + struct.pack("<H", len(data)) + data
+        return self._frame(
+            self._header(CMD_SESSION_SETUP, 0x18 | FLAGS_REPLY, pid, mid, rng, uid=uid) + body
+        )
+
+    def _tree_connect_request(
+        self, pid: int, uid: int, mid: int, server_ip: bytes, rng: random.Random
+    ) -> bytes:
+        password = b"\x00"
+        share = rng.choice(_SHARES)
+        path = _cstr(f"\\\\SRV{server_ip[-1]:02d}\\{share}")
+        service = _cstr("?????")
+        data = password + path + service
+        words = struct.pack("<BBHHH", 0xFF, 0, 0, 0x0008, len(password))
+        body = bytes([4]) + words + struct.pack("<H", len(data)) + data
+        return self._frame(
+            self._header(CMD_TREE_CONNECT, 0x18, pid, mid, rng, uid=uid) + body
+        )
+
+    def _tree_connect_response(
+        self, pid: int, uid: int, tid: int, mid: int, rng: random.Random
+    ) -> bytes:
+        service = _cstr(rng.choice(["IPC", "A:"]))
+        native_fs = _cstr(rng.choice(["NTFS", "FAT", ""]) or "NTFS")
+        data = service + native_fs
+        words = struct.pack("<BBHH", 0xFF, 0, 0, 0x0001)
+        body = bytes([3]) + words + struct.pack("<H", len(data)) + data
+        return self._frame(
+            self._header(CMD_TREE_CONNECT, 0x18 | FLAGS_REPLY, pid, mid, rng, uid=uid, tid=tid)
+            + body
+        )
+
+    def _write_request(
+        self, pid: int, uid: int, tid: int, mid: int, fid: int, rng: random.Random
+    ) -> bytes:
+        word_count = rng.randint(12, 50)
+        data = (" ".join(rng.choice(_FILE_WORDS) for _ in range(word_count))).encode("ascii")
+        words = struct.pack(
+            "<BBHHIIHHHHH",
+            0xFF,  # no further AndX
+            0,
+            0,
+            fid,
+            rng.randrange(0, 1 << 20, 512),  # file offset
+            0xFFFFFFFF,  # timeout
+            0x0000,  # write mode
+            0,  # remaining
+            0,  # reserved
+            len(data),  # data length
+            64,  # data offset
+        )
+        body = bytes([12]) + words + struct.pack("<H", len(data) + 1) + b"\x00" + data
+        return self._frame(
+            self._header(CMD_WRITE_ANDX, 0x18, pid, mid, rng, uid=uid, tid=tid) + body
+        )
+
+    def _write_response(
+        self, pid: int, uid: int, tid: int, mid: int, rng: random.Random
+    ) -> bytes:
+        words = struct.pack("<BBHHHI", 0xFF, 0, 0, rng.randint(60, 3000), 0, 0)
+        body = bytes([6]) + words + struct.pack("<H", 0)
+        return self._frame(
+            self._header(CMD_WRITE_ANDX, 0x18 | FLAGS_REPLY, pid, mid, rng, uid=uid, tid=tid)
+            + body
+        )
+
+    # -- dissection ----------------------------------------------------------
+
+    def dissect(self, data: bytes) -> list[Field]:
+        builder = FieldBuilder(data)
+        builder.add(1, ft.ENUM, "nbss_type")
+        nbss_len = int.from_bytes(builder.add(3, ft.LENGTH, "nbss_length"), "big")
+        if nbss_len != len(data) - 4:
+            raise DissectionError(f"NBSS length {nbss_len} != payload {len(data) - 4}")
+        if builder.peek(4) != SMB_MAGIC:
+            raise DissectionError("missing SMB magic")
+        builder.add(4, ft.ENUM, "server_component")
+        command = builder.add(1, ft.ENUM, "command")[0]
+        builder.add(4, ft.ENUM, "nt_status")
+        flags = builder.add(1, ft.FLAGS, "flags")[0]
+        builder.add(2, ft.FLAGS, "flags2")
+        builder.add(2, ft.PAD, "pid_high")
+        builder.add(8, ft.CHECKSUM, "signature")
+        builder.add(2, ft.PAD, "reserved")
+        builder.add(2, ft.ID, "tid")
+        builder.add(2, ft.ID, "pid")
+        builder.add(2, ft.ID, "uid")
+        builder.add(2, ft.ID, "mid")
+        wordcount = builder.add(1, ft.LENGTH, "wordcount")[0]
+        is_reply = bool(flags & FLAGS_REPLY)
+        self._dissect_words(builder, command, is_reply, wordcount)
+        bytecount = struct.unpack("<H", builder.add(2, ft.LENGTH, "bytecount"))[0]
+        if bytecount != builder.remaining:
+            raise DissectionError(f"bytecount {bytecount} != remaining {builder.remaining}")
+        self._dissect_bytes(builder, command, is_reply)
+        return builder.finish()
+
+    def _dissect_words(
+        self, builder: FieldBuilder, command: int, is_reply: bool, wordcount: int
+    ) -> None:
+        if command == CMD_NEGOTIATE and not is_reply:
+            if wordcount:
+                builder.add(2 * wordcount, ft.BYTES, "words")
+        elif command == CMD_NEGOTIATE and is_reply:
+            builder.add(2, ft.UINT16, "dialect_index")
+            builder.add(1, ft.FLAGS, "security_mode")
+            builder.add(2, ft.UINT16, "max_mpx")
+            builder.add(2, ft.UINT16, "max_vcs")
+            builder.add(4, ft.UINT32, "max_buffer_size")
+            builder.add(4, ft.UINT32, "max_raw")
+            builder.add(4, ft.ID, "session_key")
+            builder.add(4, ft.FLAGS, "capabilities")
+            builder.add(8, ft.TIMESTAMP, "system_time")
+            builder.add(2, ft.UINT16, "server_time_zone")
+            builder.add(1, ft.LENGTH, "challenge_length")
+        elif command == CMD_SESSION_SETUP and not is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.UINT16, "max_buffer_size")
+            builder.add(2, ft.UINT16, "max_mpx")
+            builder.add(2, ft.UINT16, "vc_number")
+            builder.add(4, ft.ID, "session_key")
+            builder.add(2, ft.LENGTH, "ansi_password_length")
+            builder.add(2, ft.LENGTH, "unicode_password_length")
+            builder.add(4, ft.PAD, "reserved2")
+            builder.add(4, ft.FLAGS, "capabilities")
+        elif command == CMD_SESSION_SETUP and is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.FLAGS, "action")
+        elif command == CMD_TREE_CONNECT and not is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.FLAGS, "tree_flags")
+            builder.add(2, ft.LENGTH, "password_length")
+        elif command == CMD_TREE_CONNECT and is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.FLAGS, "optional_support")
+        elif command == CMD_WRITE_ANDX and not is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.ID, "fid")
+            builder.add(4, ft.UINT32, "file_offset")
+            builder.add(4, ft.UINT32, "timeout")
+            builder.add(2, ft.FLAGS, "write_mode")
+            builder.add(2, ft.UINT16, "remaining")
+            builder.add(2, ft.PAD, "write_reserved")
+            builder.add(2, ft.LENGTH, "data_length")
+            builder.add(2, ft.UINT16, "data_offset")
+        elif command == CMD_WRITE_ANDX and is_reply:
+            self._dissect_andx(builder)
+            builder.add(2, ft.UINT16, "count")
+            builder.add(2, ft.UINT16, "write_remaining")
+            builder.add(4, ft.PAD, "write_reserved")
+        elif wordcount:
+            builder.add(2 * wordcount, ft.BYTES, "words")
+
+    def _dissect_andx(self, builder: FieldBuilder) -> None:
+        builder.add(1, ft.ENUM, "andx_command")
+        builder.add(1, ft.PAD, "andx_reserved")
+        builder.add(2, ft.UINT16, "andx_offset")
+
+    def _dissect_bytes(self, builder: FieldBuilder, command: int, is_reply: bool) -> None:
+        if not builder.remaining:
+            return
+        if command == CMD_NEGOTIATE and not is_reply:
+            index = 0
+            while builder.remaining:
+                builder.add(1, ft.ENUM, f"buffer_format[{index}]")
+                builder.add(self._cstr_len(builder), ft.CHARS, f"dialect[{index}]")
+                index += 1
+        elif command == CMD_NEGOTIATE and is_reply:
+            builder.add(8, ft.BYTES, "challenge")
+            builder.add(self._cstr_len(builder), ft.CHARS, "domain")
+        elif command == CMD_SESSION_SETUP and not is_reply:
+            builder.add(24, ft.CHECKSUM, "ansi_password")
+            for name in ("account", "primary_domain", "native_os", "native_lanman"):
+                builder.add(self._cstr_len(builder), ft.CHARS, name)
+        elif command == CMD_SESSION_SETUP and is_reply:
+            for name in ("native_os", "native_lanman", "primary_domain"):
+                builder.add(self._cstr_len(builder), ft.CHARS, name)
+        elif command == CMD_TREE_CONNECT and not is_reply:
+            builder.add(1, ft.PAD, "password")
+            builder.add(self._cstr_len(builder), ft.CHARS, "path")
+            builder.add(self._cstr_len(builder), ft.CHARS, "service")
+        elif command == CMD_TREE_CONNECT and is_reply:
+            builder.add(self._cstr_len(builder), ft.CHARS, "service")
+            builder.add(self._cstr_len(builder), ft.CHARS, "native_fs")
+        elif command == CMD_WRITE_ANDX and not is_reply:
+            builder.add(1, ft.PAD, "write_pad")
+            builder.add(builder.remaining, ft.CHARS, "file_data")
+        else:
+            builder.add(builder.remaining, ft.BYTES, "byte_buffer")
+
+    def _cstr_len(self, builder: FieldBuilder) -> int:
+        """Length of the null-terminated string at the cursor, incl. NUL."""
+        view = builder.data[builder.offset :]
+        end = view.find(b"\x00")
+        if end < 0:
+            raise DissectionError("unterminated string")
+        return end + 1
+
+    def message_kind(self, data: bytes) -> str:
+        if len(data) < 14 or data[4:8] != SMB_MAGIC:
+            raise DissectionError("not an SMB message")
+        command = data[8]
+        is_reply = bool(data[13] & FLAGS_REPLY)
+        names = {
+            CMD_NEGOTIATE: "negotiate",
+            CMD_SESSION_SETUP: "session-setup",
+            CMD_TREE_CONNECT: "tree-connect",
+            CMD_WRITE_ANDX: "write",
+        }
+        base = names.get(command, f"cmd{command:#04x}")
+        return f"{base}-{'response' if is_reply else 'request'}"

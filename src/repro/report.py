@@ -1,0 +1,139 @@
+"""Analysis reports: the artefact an analyst takes away from a run.
+
+Bundles the clustering result (and optional semantics) into a
+serializable report with per-cluster value statistics, renderable as
+text or JSON.  Used by the ``python -m repro analyze`` CLI and by
+downstream tooling that wants machine-readable pseudo-type inventories.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+
+from repro.core.pipeline import ClusteringResult
+from repro.net.bytesutil import printable_ratio, shannon_entropy
+from repro.net.trace import Trace
+from repro.semantics.engine import ClusterSemantics
+
+
+@dataclass
+class ClusterReportEntry:
+    """Serializable summary of one pseudo data type."""
+
+    cluster_id: int
+    distinct_values: int
+    occurrences: int
+    lengths: list[int]
+    entropy_bits: float
+    printable_ratio: float
+    covered_bytes: int
+    example_values: list[str]
+    semantic_label: str = "unknown"
+    semantic_confidence: float = 0.0
+    semantic_explanation: str = ""
+
+
+@dataclass
+class AnalysisReport:
+    """Full report for one analyzed trace."""
+
+    protocol: str
+    message_count: int
+    total_bytes: int
+    unique_segments: int
+    epsilon: float
+    min_samples: int
+    cluster_count: int
+    noise_segments: int
+    covered_bytes: int
+    clusters: list[ClusterReportEntry] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        return self.covered_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @classmethod
+    def build(
+        cls,
+        result: ClusteringResult,
+        trace: Trace,
+        semantics: list[ClusterSemantics] | None = None,
+        examples_per_cluster: int = 3,
+    ) -> "AnalysisReport":
+        semantic_by_id = {s.cluster_id: s for s in (semantics or [])}
+        entries = []
+        for cluster_id in range(result.cluster_count):
+            members = result.cluster_members(cluster_id)
+            blob = b"".join(m.data for m in members)
+            # Most frequent values first make the examples informative.
+            ranked = sorted(members, key=lambda m: -m.count)
+            entry = ClusterReportEntry(
+                cluster_id=cluster_id,
+                distinct_values=len(members),
+                occurrences=sum(m.count for m in members),
+                lengths=sorted({m.length for m in members}),
+                entropy_bits=round(shannon_entropy(blob), 3),
+                printable_ratio=round(printable_ratio(blob), 3),
+                covered_bytes=sum(m.covered_bytes for m in members),
+                example_values=[m.data.hex() for m in ranked[:examples_per_cluster]],
+            )
+            semantic = semantic_by_id.get(cluster_id)
+            if semantic is not None and semantic.best is not None:
+                entry.semantic_label = semantic.best.label
+                entry.semantic_confidence = round(semantic.best.confidence, 3)
+                entry.semantic_explanation = semantic.best.explanation
+            entries.append(entry)
+        return cls(
+            protocol=trace.protocol,
+            message_count=len(trace),
+            total_bytes=trace.total_bytes,
+            unique_segments=len(result.segments),
+            epsilon=round(result.epsilon, 6),
+            min_samples=result.autoconfig.min_samples,
+            cluster_count=result.cluster_count,
+            noise_segments=len(result.noise),
+            covered_bytes=result.covered_bytes(),
+            clusters=entries,
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(asdict(self), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisReport":
+        raw = json.loads(text)
+        clusters = [ClusterReportEntry(**c) for c in raw.pop("clusters")]
+        return cls(clusters=clusters, **raw)
+
+    def render(self) -> str:
+        lines = [
+            f"protocol: {self.protocol}",
+            f"messages: {self.message_count} ({self.total_bytes} bytes)",
+            f"unique segments: {self.unique_segments} "
+            f"(noise: {self.noise_segments})",
+            f"DBSCAN: epsilon={self.epsilon:.3f} min_samples={self.min_samples}",
+            f"pseudo data types: {self.cluster_count}, "
+            f"coverage {self.coverage:.0%}",
+            "",
+        ]
+        for entry in self.clusters:
+            semantic = (
+                f" -> {entry.semantic_label} ({entry.semantic_confidence:.0%})"
+                if entry.semantic_label != "unknown"
+                else ""
+            )
+            lines.append(
+                f"type {entry.cluster_id:3d}: {entry.distinct_values:5d} values / "
+                f"{entry.occurrences:6d} occ, lengths {entry.lengths}, "
+                f"H={entry.entropy_bits:.1f}{semantic}"
+            )
+            if entry.semantic_explanation:
+                lines.append(f"          {entry.semantic_explanation}")
+            lines.append(f"          e.g. {', '.join(entry.example_values)}")
+        return "\n".join(lines)
+
+    def type_histogram(self) -> dict[str, int]:
+        """Count of clusters per semantic label."""
+        return dict(Counter(entry.semantic_label for entry in self.clusters))

@@ -1,0 +1,35 @@
+"""Segmenters: ground truth plus the three heuristics the paper compares.
+
+- :class:`~repro.segmenters.groundtruth.GroundTruthSegmenter` — dissector
+  fields (Table I),
+- :class:`~repro.segmenters.nemesys.NemesysSegmenter` — bit congruence
+  (Kleber et al., WOOT 2018),
+- :class:`~repro.segmenters.netzob.NetzobSegmenter` — sequence alignment
+  (Bossert et al., AsiaCCS 2014),
+- :class:`~repro.segmenters.csp.CspSegmenter` — contiguous sequential
+  patterns (Goo et al., 2019).
+"""
+
+from repro.segmenters.base import (
+    Segmenter,
+    SegmenterResourceError,
+    boundaries_to_segments,
+    segments_to_boundaries,
+)
+from repro.segmenters.csp import CspSegmenter, mine_patterns
+from repro.segmenters.groundtruth import GroundTruthSegmenter
+from repro.segmenters.nemesys import NemesysSegmenter, bit_congruence
+from repro.segmenters.netzob import NetzobSegmenter
+
+__all__ = [
+    "CspSegmenter",
+    "GroundTruthSegmenter",
+    "NemesysSegmenter",
+    "NetzobSegmenter",
+    "Segmenter",
+    "SegmenterResourceError",
+    "bit_congruence",
+    "boundaries_to_segments",
+    "mine_patterns",
+    "segments_to_boundaries",
+]

@@ -1,0 +1,143 @@
+"""Sequence alignment substrate for the Netzob-style segmenter.
+
+Provides Needleman–Wunsch global alignment of byte sequences and a
+star-shaped multiple alignment (every message aligned to one center
+message), which is the classic cheap approximation of progressive MSA
+and sufficient to recover Netzob's column model: per-position value
+populations over a common coordinate system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+MATCH_SCORE = 10
+MISMATCH_SCORE = -2
+GAP_SCORE = -4
+
+_DIAG, _UP, _LEFT = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Pairwise alignment as a list of (i, j) steps.
+
+    Each pair aligns position i of sequence *a* with position j of *b*;
+    i or j is None for gaps (insertion in the other sequence).
+    """
+
+    score: int
+    pairs: tuple[tuple[int | None, int | None], ...]
+
+
+def needleman_wunsch(
+    a: bytes,
+    b: bytes,
+    match: int = MATCH_SCORE,
+    mismatch: int = MISMATCH_SCORE,
+    gap: int = GAP_SCORE,
+) -> Alignment:
+    """Global alignment of byte strings *a* and *b*.
+
+    The DP fills row by row with vectorized numpy operations; traceback
+    uses a direction matrix.  O(len(a)*len(b)) time and memory.
+    """
+    m, n = len(a), len(b)
+    if m == 0 or n == 0:
+        pairs = [(i, None) for i in range(m)] + [(None, j) for j in range(n)]
+        return Alignment(score=gap * (m + n), pairs=tuple(pairs))
+    a_arr = np.frombuffer(a, dtype=np.uint8).astype(np.int32)
+    b_arr = np.frombuffer(b, dtype=np.uint8).astype(np.int32)
+    score = np.zeros((m + 1, n + 1), dtype=np.int32)
+    direction = np.zeros((m + 1, n + 1), dtype=np.int8)
+    score[0, :] = gap * np.arange(n + 1)
+    score[:, 0] = gap * np.arange(m + 1)
+    direction[0, 1:] = _LEFT
+    direction[1:, 0] = _UP
+    for i in range(1, m + 1):
+        substitution = np.where(b_arr == a_arr[i - 1], match, mismatch)
+        diag = score[i - 1, :-1] + substitution
+        up = score[i - 1, 1:] + gap
+        # The left-dependency is sequential within a row.
+        row = score[i]
+        dirs = direction[i]
+        prev = row[0]
+        for j in range(1, n + 1):
+            best = diag[j - 1]
+            kind = _DIAG
+            if up[j - 1] > best:
+                best = up[j - 1]
+                kind = _UP
+            left = prev + gap
+            if left > best:
+                best = left
+                kind = _LEFT
+            row[j] = best
+            dirs[j] = kind
+            prev = best
+    pairs: list[tuple[int | None, int | None]] = []
+    i, j = m, n
+    while i > 0 or j > 0:
+        kind = direction[i, j]
+        if i > 0 and j > 0 and kind == _DIAG:
+            i -= 1
+            j -= 1
+            pairs.append((i, j))
+        elif i > 0 and (kind == _UP or j == 0):
+            i -= 1
+            pairs.append((i, None))
+        else:
+            j -= 1
+            pairs.append((None, j))
+    pairs.reverse()
+    return Alignment(score=int(score[m, n]), pairs=tuple(pairs))
+
+
+@dataclass
+class StarAlignment:
+    """All messages aligned against one center message."""
+
+    center_index: int
+    center: bytes
+    #: per message: center position -> message position (aligned bytes only)
+    mappings: list[dict[int, int]]
+    #: per center position: observed byte values across messages
+    columns: list[set[int]]
+    #: per center position: number of messages with an aligned byte there
+    occupancy: np.ndarray
+
+
+def pick_center(messages: list[bytes]) -> int:
+    """Median-length message (stable tie-break by index)."""
+    order = sorted(range(len(messages)), key=lambda i: (len(messages[i]), i))
+    return order[len(order) // 2]
+
+
+def star_align(messages: list[bytes], center_index: int | None = None) -> StarAlignment:
+    """Align every message to the center message."""
+    if not messages:
+        raise ValueError("no messages to align")
+    if center_index is None:
+        center_index = pick_center(messages)
+    center = messages[center_index]
+    columns: list[set[int]] = [set() for _ in range(len(center))]
+    occupancy = np.zeros(len(center), dtype=np.int64)
+    mappings: list[dict[int, int]] = []
+    for message in messages:
+        mapping: dict[int, int] = {}
+        alignment = needleman_wunsch(center, message)
+        for i, j in alignment.pairs:
+            if i is not None and j is not None:
+                mapping[i] = j
+                columns[i].add(message[j])
+                occupancy[i] += 1
+        mappings.append(mapping)
+    return StarAlignment(
+        center_index=center_index,
+        center=center,
+        mappings=mappings,
+        columns=columns,
+        occupancy=occupancy,
+    )

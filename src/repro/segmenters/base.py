@@ -1,0 +1,61 @@
+"""Segmenter framework (paper Section III-B).
+
+A segmenter turns a trace into field-candidate :class:`Segment` lists.
+Heuristic segmenters work on raw bytes only; the ground-truth segmenter
+wraps a protocol dissector.  Segmenters whose resource guards trip raise
+:class:`SegmenterResourceError` — the evaluation reports such runs as
+"fails", mirroring the four failed analysis runs in the paper's
+Table II.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.segments import Segment
+from repro.net.trace import Trace
+
+
+class SegmenterResourceError(RuntimeError):
+    """Raised when a segmenter exceeds its runtime/memory work budget."""
+
+
+class Segmenter(abc.ABC):
+    """Splits every message of a trace into field candidates."""
+
+    #: short identifier used in tables ("nemesys", "netzob", "csp", ...)
+    name: str = "segmenter"
+
+    @abc.abstractmethod
+    def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
+        """Segment a single message."""
+
+    def segment(self, trace: Trace) -> list[Segment]:
+        """Segment every message; default is per-message independent."""
+        segments: list[Segment] = []
+        for index, message in enumerate(trace):
+            segments.extend(self.segment_message(message.data, index))
+        return segments
+
+
+def boundaries_to_segments(
+    data: bytes, boundaries: list[int], message_index: int
+) -> list[Segment]:
+    """Convert sorted inner boundary offsets into contiguous segments.
+
+    *boundaries* are cut positions strictly inside (0, len(data)); start
+    and end are implicit.  Duplicates and out-of-range positions are
+    ignored defensively.
+    """
+    cuts = sorted({b for b in boundaries if 0 < b < len(data)})
+    edges = [0] + cuts + [len(data)]
+    return [
+        Segment(message_index=message_index, offset=start, data=data[start:end])
+        for start, end in zip(edges, edges[1:])
+        if end > start
+    ]
+
+
+def segments_to_boundaries(segments: list[Segment]) -> list[int]:
+    """Inner boundary offsets of a message's segment list."""
+    return [s.offset for s in sorted(segments, key=lambda s: s.offset)[1:]]

@@ -1,0 +1,152 @@
+"""CSP segmenter — Contiguous Sequential Pattern extraction (Goo et al.,
+IEEE Access 2019).
+
+CSP mines byte-strings that recur across many messages (frequency
+analysis) and treats them as protocol structure: static keywords,
+delimiters, type codes.  Segmentation then walks each message, matching
+the longest frequent pattern at each position; matched stretches become
+their own segments, and the unmatched bytes between two matches form
+value segments.
+
+Mining is Apriori-style over *contiguous* patterns: frequent patterns of
+length k are extended by one byte and re-checked against the support
+threshold.  A work guard bounds the candidate table; overflowing it
+raises :class:`SegmenterResourceError` — CSP's documented failure mode
+on TLV-heavy traces with huge vocabularies (the paper's AWDL-768 run).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.segments import Segment
+from repro.net.trace import Trace
+from repro.segmenters.base import (
+    Segmenter,
+    SegmenterResourceError,
+    boundaries_to_segments,
+)
+
+
+def mine_patterns(
+    messages: list[bytes],
+    min_support: float = 0.1,
+    min_length: int = 2,
+    max_length: int = 16,
+    max_candidates: int = 200_000,
+) -> dict[bytes, int]:
+    """Frequent contiguous byte patterns and their message support counts.
+
+    Support counts *messages containing the pattern*, not occurrences.
+    """
+    if not messages:
+        return {}
+    threshold = max(2, int(min_support * len(messages)))
+    # Seed with frequent single bytes, then grow.
+    current: dict[bytes, int] = {}
+    counts: Counter = Counter()
+    for message in messages:
+        counts.update(bytes([b]) for b in set(message))
+    current = {p: c for p, c in counts.items() if c >= threshold}
+    frequent: dict[bytes, int] = {}
+    candidates_seen = len(counts)
+    length = 1
+    while current and length < max_length:
+        length += 1
+        extension_counts: Counter = Counter()
+        prefixes = set(current)
+        for message in messages:
+            seen_here = set()
+            for offset in range(len(message) - length + 1):
+                candidate = message[offset : offset + length]
+                if candidate[:-1] in prefixes and candidate not in seen_here:
+                    extension_counts[candidate] += 1
+                    seen_here.add(candidate)
+        candidates_seen += len(extension_counts)
+        if candidates_seen > max_candidates:
+            raise SegmenterResourceError(
+                f"CSP candidate table exceeded {max_candidates} entries "
+                f"at pattern length {length}"
+            )
+        current = {p: c for p, c in extension_counts.items() if c >= threshold}
+        for pattern, support in current.items():
+            if len(pattern) >= min_length:
+                frequent[pattern] = support
+    # Closed patterns only: drop patterns subsumed by an equally frequent
+    # longer pattern to keep the matcher focused on maximal structure.
+    closed: dict[bytes, int] = {}
+    for pattern, support in frequent.items():
+        subsumed = any(
+            pattern != other and pattern in other and frequent[other] >= support
+            for other in frequent
+            if len(other) == len(pattern) + 1
+        )
+        if not subsumed:
+            closed[pattern] = support
+    return closed
+
+
+class CspSegmenter(Segmenter):
+    """Frequency-analysis segmentation via contiguous sequential patterns."""
+
+    name = "csp"
+
+    def __init__(
+        self,
+        min_support: float = 0.1,
+        min_length: int = 2,
+        max_length: int = 16,
+        max_candidates: int = 200_000,
+    ):
+        self.min_support = min_support
+        self.min_length = min_length
+        self.max_length = max_length
+        self.max_candidates = max_candidates
+        self._patterns: dict[bytes, int] | None = None
+
+    def fit(self, messages: list[bytes]) -> "CspSegmenter":
+        """Mine the pattern vocabulary from a message corpus."""
+        self._patterns = mine_patterns(
+            messages,
+            min_support=self.min_support,
+            min_length=self.min_length,
+            max_length=self.max_length,
+            max_candidates=self.max_candidates,
+        )
+        return self
+
+    @property
+    def patterns(self) -> dict[bytes, int]:
+        if self._patterns is None:
+            raise RuntimeError("CspSegmenter.fit must run before segmentation")
+        return self._patterns
+
+    def segment(self, trace: Trace) -> list[Segment]:
+        self.fit([m.data for m in trace])
+        segments: list[Segment] = []
+        for index, message in enumerate(trace):
+            segments.extend(self.segment_message(message.data, index))
+        return segments
+
+    def boundaries(self, data: bytes) -> list[int]:
+        """Boundary offsets: edges of greedy longest-pattern matches."""
+        patterns = self.patterns
+        by_length = sorted({len(p) for p in patterns}, reverse=True)
+        boundaries: list[int] = []
+        offset = 0
+        while offset < len(data):
+            matched = 0
+            for length in by_length:
+                if data[offset : offset + length] in patterns:
+                    matched = length
+                    break
+            if matched:
+                boundaries.append(offset)
+                boundaries.append(offset + matched)
+                offset += matched
+            else:
+                offset += 1
+        return sorted({b for b in boundaries if 0 < b < len(data)})
+
+    def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
+        return boundaries_to_segments(data, self.boundaries(data), message_index)

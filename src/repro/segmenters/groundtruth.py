@@ -1,0 +1,32 @@
+"""Ground-truth segmentation from protocol dissectors.
+
+Stands in for Wireshark's dissectors (paper Section IV-A): produces the
+true field boundaries *and* data-type labels, used both to validate the
+clustering idea (Table I) and to score heuristic segmenters (Table II).
+"""
+
+from __future__ import annotations
+
+from repro.core.segments import Segment, segments_from_fields
+from repro.net.trace import Trace
+from repro.protocols.base import ProtocolModel
+from repro.segmenters.base import Segmenter
+
+
+class GroundTruthSegmenter(Segmenter):
+    """Dissector-backed segmenter emitting typed true fields."""
+
+    name = "groundtruth"
+
+    def __init__(self, model: ProtocolModel):
+        self.model = model
+
+    def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
+        fields = self.model.dissect(data)
+        return segments_from_fields(message_index, data, fields)
+
+    def segment(self, trace: Trace) -> list[Segment]:
+        segments: list[Segment] = []
+        for index, message in enumerate(trace):
+            segments.extend(self.segment_message(message.data, index))
+        return segments

@@ -1,0 +1,140 @@
+"""Netzob-style alignment segmenter (Bossert et al., AsiaCCS 2014).
+
+Netzob infers message formats by sequence alignment: similar messages
+are aligned, and alignment columns are classified as *static* (one
+observed value) or *dynamic* (varying values); field boundaries fall
+where the classification changes.  We reproduce the core with a star
+multiple alignment over the whole trace and project the column-derived
+boundaries back into each message through its alignment mapping.
+
+Netzob's well-known weakness is cost: alignment work grows with the
+square of both trace size and message length.  The work guard mirrors
+the paper's observation that Netzob "fails due to the exponential
+increase in runtime" on the large DHCP and SMB traces — exceeding the
+budget raises :class:`SegmenterResourceError`, which the evaluation
+reports as "fails".
+"""
+
+from __future__ import annotations
+
+from repro.core.segments import Segment
+from repro.net.trace import Trace
+from repro.segmenters.alignment import StarAlignment, star_align
+from repro.segmenters.base import (
+    Segmenter,
+    SegmenterResourceError,
+    boundaries_to_segments,
+)
+
+#: Default work budget in DP cells: messages^2 x mean-length^2.
+DEFAULT_WORK_BUDGET = 1.0e10
+
+
+class NetzobSegmenter(Segmenter):
+    """Alignment-based segmentation with static/dynamic column fields."""
+
+    name = "netzob"
+
+    def __init__(
+        self,
+        work_budget: float = DEFAULT_WORK_BUDGET,
+        min_static_occupancy: float = 0.5,
+        group_by_size: bool = False,
+        size_bucket: int = 32,
+    ):
+        """*group_by_size* approximates Netzob's pre-clustering of
+        messages: star-align each length bucket (width *size_bucket*)
+        separately, so structurally different message kinds do not share
+        one alignment.  Off by default — the recorded Table II numbers
+        use a single global alignment."""
+        self.work_budget = work_budget
+        self.min_static_occupancy = min_static_occupancy
+        self.group_by_size = group_by_size
+        self.size_bucket = size_bucket
+
+    def estimate_work(self, trace: Trace) -> float:
+        if not len(trace):
+            return 0.0
+        mean_len = sum(len(m.data) for m in trace) / len(trace)
+        return (len(trace) * mean_len) ** 2
+
+    def segment(self, trace: Trace) -> list[Segment]:
+        if not len(trace):
+            return []
+        work = self.estimate_work(trace)
+        if work > self.work_budget:
+            raise SegmenterResourceError(
+                f"Netzob alignment work {work:.2e} exceeds budget "
+                f"{self.work_budget:.2e} (trace too large)"
+            )
+        messages = [m.data for m in trace]
+        if not self.group_by_size:
+            return self._segment_group(messages, list(range(len(messages))))
+        groups: dict[int, list[int]] = {}
+        for index, message in enumerate(messages):
+            groups.setdefault(len(message) // self.size_bucket, []).append(index)
+        segments: list[Segment] = []
+        for indices in groups.values():
+            segments.extend(
+                self._segment_group([messages[i] for i in indices], indices)
+            )
+        return segments
+
+    def _segment_group(
+        self, messages: list[bytes], original_indices: list[int]
+    ) -> list[Segment]:
+        """Star-align one message group and project column boundaries."""
+        star = star_align(messages)
+        column_classes = self._classify_columns(star)
+        center_boundaries = self._column_boundaries(column_classes)
+        segments: list[Segment] = []
+        for position, message in enumerate(messages):
+            boundaries = self._project_boundaries(
+                center_boundaries, star.mappings[position], len(message)
+            )
+            segments.extend(
+                boundaries_to_segments(
+                    message, boundaries, original_indices[position]
+                )
+            )
+        return segments
+
+    def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
+        raise NotImplementedError(
+            "Netzob segments whole traces (alignment needs the corpus); "
+            "use segment()"
+        )
+
+    def _classify_columns(self, star: StarAlignment) -> list[str]:
+        """static / dynamic / sparse class per center position."""
+        total = len(star.mappings)
+        classes = []
+        for position, values in enumerate(star.columns):
+            occupancy = star.occupancy[position] / total if total else 0.0
+            if occupancy < self.min_static_occupancy:
+                classes.append("sparse")
+            elif len(values) == 1:
+                classes.append("static")
+            else:
+                classes.append("dynamic")
+        return classes
+
+    def _column_boundaries(self, classes: list[str]) -> list[int]:
+        """Center positions where the column class changes."""
+        return [
+            position
+            for position in range(1, len(classes))
+            if classes[position] != classes[position - 1]
+        ]
+
+    def _project_boundaries(
+        self, center_boundaries: list[int], mapping: dict[int, int], length: int
+    ) -> list[int]:
+        """Map center boundary positions into one message's offsets."""
+        boundaries = []
+        for center_pos in center_boundaries:
+            # The first message byte aligned at or after the boundary.
+            candidates = [j for i, j in mapping.items() if i >= center_pos]
+            if candidates:
+                boundaries.append(min(candidates))
+        return [b for b in boundaries if 0 < b < length]

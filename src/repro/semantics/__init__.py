@@ -1,0 +1,36 @@
+"""Semantic deduction on top of pseudo data types (paper future work).
+
+The paper's conclusion proposes combining field type clustering "with
+the deduction of intra- and inter-message semantics similar to
+FieldHunter ... enabling the interpretation of, e.g., length fields and
+message counter fields".  This package implements that combination:
+each pseudo-data-type cluster is tested against a battery of semantic
+detectors, yielding ranked hypotheses about what the clustered field
+*means* — without ever having fixed byte offsets, which is what makes
+the cluster-first approach strictly more general than FieldHunter's
+offset-based rules.
+
+Entry point: :func:`repro.semantics.engine.deduce_semantics`.
+"""
+
+from repro.semantics.detectors import (
+    AddressDetector,
+    ConstantDetector,
+    CounterDetector,
+    LengthFieldDetector,
+    TextDetector,
+    TimestampDetector,
+)
+from repro.semantics.engine import ClusterSemantics, SemanticHypothesis, deduce_semantics
+
+__all__ = [
+    "AddressDetector",
+    "ClusterSemantics",
+    "ConstantDetector",
+    "CounterDetector",
+    "LengthFieldDetector",
+    "SemanticHypothesis",
+    "TextDetector",
+    "TimestampDetector",
+    "deduce_semantics",
+]

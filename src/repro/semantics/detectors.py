@@ -1,0 +1,309 @@
+"""Semantic detectors: one hypothesis test per field meaning.
+
+Each detector inspects a :class:`~repro.semantics.features.ClusterView`
+and returns a confidence in [0, 1] that the cluster carries its
+semantic.  Detectors are intentionally independent — a cluster can be
+plausibly both "counter" and "timestamp" — and the engine ranks the
+surviving hypotheses.
+
+The detectors adapt FieldHunter's ideas (length correlation, monotone
+accumulators, host binding) from fixed byte offsets to clusters, which
+is exactly the combination the paper's future-work section sketches.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.semantics.features import ClusterView, safe_pearson
+
+
+class Detector(abc.ABC):
+    """A semantic hypothesis test over one cluster."""
+
+    #: semantic label this detector assigns, e.g. "length-field"
+    label: str = "unknown"
+
+    @abc.abstractmethod
+    def confidence(self, view: ClusterView) -> float:
+        """Confidence in [0, 1] that the cluster carries this semantic."""
+
+    def explain(self, view: ClusterView) -> str:
+        """Human-readable one-liner justifying the confidence."""
+        return ""
+
+
+class LengthFieldDetector(Detector):
+    """Values linearly correlated with message (or trailing) length.
+
+    Tests both byte orders and both scopes — whole message and
+    bytes-after-the-field — since binary protocols count either.
+    """
+
+    label = "length-field"
+
+    def __init__(self, min_correlation: float = 0.9):
+        self.min_correlation = min_correlation
+        self._last: tuple[str, str, float] = ("", "", 0.0)
+
+    def confidence(self, view: ClusterView) -> float:
+        best = 0.0
+        if view.distinct_values < 3:
+            return 0.0
+        for order in ("big", "little"):
+            values = view.numeric_values(order)
+            if values.size == 0 or np.std(values) == 0:
+                continue
+            for scope_name, scope in (
+                ("message", view.message_lengths),
+                ("trailing", view.trailing_lengths),
+            ):
+                corr = safe_pearson(values, scope)
+                if corr > best:
+                    best = corr
+                    self._last = (order, scope_name, corr)
+        return best if best >= self.min_correlation else 0.0
+
+    def explain(self, view: ClusterView) -> str:
+        order, scope, corr = self._last
+        return f"{order}-endian values correlate {corr:.2f} with {scope} length"
+
+
+class CounterDetector(Detector):
+    """Values that advance monotonically in capture order.
+
+    Sequence numbers and per-sender counters mostly increase with small
+    strides; we tolerate a minority of resets (wraps, interleaved
+    senders).
+    """
+
+    label = "counter"
+
+    def __init__(self, min_monotone_fraction: float = 0.8):
+        self.min_monotone_fraction = min_monotone_fraction
+        self._fraction = 0.0
+
+    def confidence(self, view: ClusterView) -> float:
+        values = view.numeric_values("big")
+        values_le = view.numeric_values("little")
+        best = 0.0
+        for candidate in (values, values_le):
+            if candidate.size < 5:
+                continue
+            deltas = np.diff(candidate)
+            if not deltas.size:
+                continue
+            monotone = float(np.mean(deltas >= 0))
+            # Counters move in small strides relative to their range.
+            strides = deltas[deltas > 0]
+            small_strides = (
+                float(np.median(strides) <= max(16.0, float(np.ptp(candidate)) * 0.05))
+                if strides.size
+                else 0.0
+            )
+            score = monotone * small_strides
+            best = max(best, score)
+        self._fraction = best
+        return best if best >= self.min_monotone_fraction else 0.0
+
+    def explain(self, view: ClusterView) -> str:
+        return f"{self._fraction:.0%} of consecutive occurrences are non-decreasing"
+
+
+class TimestampDetector(Detector):
+    """Values advancing in lock-step with the capture clock.
+
+    A timestamp field's numeric value is affinely related to the
+    capture timestamp, which distinguishes it from generic counters.
+    """
+
+    label = "timestamp"
+
+    def __init__(self, min_correlation: float = 0.9, min_width: int = 4):
+        self.min_correlation = min_correlation
+        self.min_width = min_width
+        self._corr = 0.0
+
+    def confidence(self, view: ClusterView) -> float:
+        if not view.lengths or view.lengths[0] < self.min_width:
+            return 0.0
+        if np.std(view.capture_timestamps) == 0:
+            return 0.0
+        best = 0.0
+        for order in ("big", "little"):
+            values = view.numeric_values(order)
+            if values.size < 5:
+                continue
+            best = max(best, safe_pearson(values, view.capture_timestamps))
+        self._corr = best
+        return best if best >= self.min_correlation else 0.0
+
+    def explain(self, view: ClusterView) -> str:
+        return f"values track the capture clock (r={self._corr:.3f})"
+
+
+class AddressDetector(Detector):
+    """Values that literally contain the sender or receiver address."""
+
+    label = "address"
+
+    def __init__(self, min_fraction: float = 0.8):
+        self.min_fraction = min_fraction
+        self._fraction = 0.0
+
+    def confidence(self, view: ClusterView) -> float:
+        if not view.has_address_context:
+            return 0.0
+        checked = 0
+        matches = 0
+        for occurrence in view.occurrences:
+            candidates = [a for a in (occurrence.src_ip, occurrence.dst_ip) if a]
+            if not candidates:
+                continue
+            checked += 1
+            data = occurrence.segment.data
+            if any(address in data or data in address for address in candidates):
+                matches += 1
+        if checked < 3:
+            return 0.0
+        self._fraction = matches / checked
+        return self._fraction if self._fraction >= self.min_fraction else 0.0
+
+    def explain(self, view: ClusterView) -> str:
+        return f"{self._fraction:.0%} of occurrences embed a capture address"
+
+
+class SessionBindingDetector(Detector):
+    """Values constant within a (src, dst) conversation, varying across.
+
+    FieldHunter's session-id rule lifted to clusters: if every
+    conversation sticks to one value and several distinct values exist,
+    the field binds to the session.
+    """
+
+    label = "session-bound"
+
+    def __init__(self, min_sessions: int = 3):
+        self.min_sessions = min_sessions
+        self._sessions = 0
+
+    def confidence(self, view: ClusterView) -> float:
+        if not view.has_address_context:
+            return 0.0
+        per_session: dict = {}
+        for occurrence in view.occurrences:
+            if occurrence.src_ip is None:
+                continue
+            key = (occurrence.src_ip, occurrence.dst_ip)
+            per_session.setdefault(key, set()).add(occurrence.segment.data)
+        if len(per_session) < self.min_sessions:
+            return 0.0
+        consistent = sum(1 for values in per_session.values() if len(values) == 1)
+        distinct = {next(iter(v)) for v in per_session.values() if len(v) == 1}
+        self._sessions = len(per_session)
+        if consistent < len(per_session) or len(distinct) < self.min_sessions:
+            return 0.0
+        return 1.0
+
+    def explain(self, view: ClusterView) -> str:
+        return f"one stable value per conversation across {self._sessions} sessions"
+
+
+class ConstantDetector(Detector):
+    """A single value repeated across many messages: magic / protocol id."""
+
+    label = "constant"
+
+    def confidence(self, view: ClusterView) -> float:
+        if view.distinct_values != 1:
+            return 0.0
+        repeats = view.total_occurrences
+        if repeats < 3:
+            return 0.0
+        return min(1.0, repeats / 10.0)
+
+    def explain(self, view: ClusterView) -> str:
+        return (
+            f"single value 0x{view.members[0].data.hex()} in "
+            f"{view.total_occurrences} messages"
+        )
+
+
+class TextDetector(Detector):
+    """Printable character data: names, paths, dialect strings."""
+
+    label = "text"
+
+    def __init__(self, min_printable: float = 0.75):
+        self.min_printable = min_printable
+
+    def confidence(self, view: ClusterView) -> float:
+        if view.printable < self.min_printable:
+            return 0.0
+        return view.printable
+
+    def explain(self, view: ClusterView) -> str:
+        return f"{view.printable:.0%} printable bytes across all values"
+
+
+class RandomTokenDetector(Detector):
+    """High-entropy, high-cardinality values: ids, nonces, checksums."""
+
+    label = "random-token"
+
+    def __init__(self, min_entropy: float = 6.0, min_unique_fraction: float = 0.45):
+        self.min_entropy = min_entropy
+        self.min_unique_fraction = min_unique_fraction
+
+    def confidence(self, view: ClusterView) -> float:
+        if view.entropy < self.min_entropy or view.total_occurrences < 5:
+            return 0.0
+        unique_fraction = view.distinct_values / view.total_occurrences
+        if unique_fraction < self.min_unique_fraction:
+            return 0.0
+        return min(1.0, (view.entropy / 8.0) * unique_fraction)
+
+    def explain(self, view: ClusterView) -> str:
+        return (
+            f"entropy {view.entropy:.1f} bits/byte, "
+            f"{view.distinct_values}/{view.total_occurrences} values unique"
+        )
+
+
+class EnumDetector(Detector):
+    """Few distinct values, each heavily reused: opcodes, type codes."""
+
+    label = "enum"
+
+    def __init__(self, max_cardinality: int = 16, min_reuse: float = 3.0):
+        self.max_cardinality = max_cardinality
+        self.min_reuse = min_reuse
+
+    def confidence(self, view: ClusterView) -> float:
+        if not 2 <= view.distinct_values <= self.max_cardinality:
+            return 0.0
+        reuse = view.total_occurrences / view.distinct_values
+        if reuse < self.min_reuse:
+            return 0.0
+        return min(1.0, reuse / 20.0 + 0.5)
+
+    def explain(self, view: ClusterView) -> str:
+        return (
+            f"{view.distinct_values} distinct values reused "
+            f"{view.total_occurrences / view.distinct_values:.1f}x on average"
+        )
+
+
+DEFAULT_DETECTORS: tuple[Detector, ...] = (
+    ConstantDetector(),
+    LengthFieldDetector(),
+    TimestampDetector(),
+    CounterDetector(),
+    AddressDetector(),
+    SessionBindingDetector(),
+    TextDetector(),
+    RandomTokenDetector(),
+    EnumDetector(),
+)

@@ -1,0 +1,131 @@
+"""Per-cluster feature extraction shared by the semantic detectors.
+
+Each detector consumes a :class:`ClusterView`: the cluster's unique
+segment values, their concrete occurrences, and the trace context
+(message lengths, timestamps, addressing when available).  Features are
+computed once per cluster and cached on the view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.segments import Segment, UniqueSegment
+from repro.net.bytesutil import printable_ratio, shannon_entropy
+from repro.net.trace import Trace
+
+
+@dataclass
+class Occurrence:
+    """One concrete segment occurrence enriched with message context."""
+
+    segment: Segment
+    message_length: int
+    message_timestamp: float
+    src_ip: bytes | None
+    dst_ip: bytes | None
+    capture_order: int
+
+
+@dataclass
+class ClusterView:
+    """Everything the detectors need to know about one cluster."""
+
+    cluster_id: int
+    members: list[UniqueSegment]
+    trace: Trace
+    occurrences: list[Occurrence] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, cluster_id: int, members: list[UniqueSegment], trace: Trace) -> "ClusterView":
+        occurrences = []
+        for member in members:
+            for segment in member.occurrences:
+                message = trace[segment.message_index]
+                occurrences.append(
+                    Occurrence(
+                        segment=segment,
+                        message_length=len(message.data),
+                        message_timestamp=message.timestamp,
+                        src_ip=message.src_ip,
+                        dst_ip=message.dst_ip,
+                        capture_order=segment.message_index,
+                    )
+                )
+        occurrences.sort(key=lambda o: (o.capture_order, o.segment.offset))
+        return cls(
+            cluster_id=cluster_id, members=members, trace=trace, occurrences=occurrences
+        )
+
+    @cached_property
+    def value_blob(self) -> bytes:
+        return b"".join(m.data for m in self.members)
+
+    @cached_property
+    def entropy(self) -> float:
+        """Shannon entropy of all value bytes (bits/byte)."""
+        return shannon_entropy(self.value_blob)
+
+    @cached_property
+    def printable(self) -> float:
+        return printable_ratio(self.value_blob)
+
+    @cached_property
+    def lengths(self) -> list[int]:
+        return sorted({m.length for m in self.members})
+
+    @cached_property
+    def total_occurrences(self) -> int:
+        return len(self.occurrences)
+
+    @cached_property
+    def distinct_values(self) -> int:
+        return len(self.members)
+
+    def numeric_values(self, byteorder: str = "big") -> np.ndarray:
+        """Occurrence values as unsigned integers (same-length clusters only).
+
+        Returns an empty array when the cluster mixes lengths — numeric
+        interpretation across different widths is not meaningful.
+        """
+        if len(self.lengths) != 1:
+            return np.array([], dtype=np.float64)
+        return np.array(
+            [
+                int.from_bytes(o.segment.data, byteorder)  # type: ignore[arg-type]
+                for o in self.occurrences
+            ],
+            dtype=np.float64,
+        )
+
+    @cached_property
+    def message_lengths(self) -> np.ndarray:
+        return np.array([o.message_length for o in self.occurrences], dtype=np.float64)
+
+    @cached_property
+    def trailing_lengths(self) -> np.ndarray:
+        """Bytes remaining after each occurrence (candidate length scopes)."""
+        return np.array(
+            [o.message_length - o.segment.end for o in self.occurrences],
+            dtype=np.float64,
+        )
+
+    @cached_property
+    def capture_timestamps(self) -> np.ndarray:
+        return np.array([o.message_timestamp for o in self.occurrences], dtype=np.float64)
+
+    @cached_property
+    def has_address_context(self) -> bool:
+        return any(o.src_ip is not None for o in self.occurrences)
+
+
+def safe_pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation, 0.0 for degenerate inputs."""
+    if x.size < 3 or y.size != x.size:
+        return 0.0
+    if np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,157 @@
+"""Visual analytics for pseudo data types (paper Section V outlook).
+
+The paper closes with the vision that "identified data types and visual
+analytics will improve the analysis efficiency of unknown network
+messages".  This module supplies the two workhorse views without any
+plotting dependency:
+
+- a classical-MDS 2-D embedding of the segment dissimilarity matrix,
+  rendered as a self-contained SVG (clusters colored, noise gray), and
+- an ASCII scatter of the same embedding for terminal sessions.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import ClusteringResult
+
+#: Qualitative palette (Okabe-Ito, color-blind safe), cycled per cluster.
+PALETTE = [
+    "#0072B2",
+    "#E69F00",
+    "#009E73",
+    "#CC79A7",
+    "#56B4E9",
+    "#D55E00",
+    "#F0E442",
+    "#000000",
+]
+
+NOISE_COLOR = "#BBBBBB"
+
+
+def classical_mds(distances: np.ndarray, dimensions: int = 2) -> np.ndarray:
+    """Classical (Torgerson) multidimensional scaling.
+
+    Embeds points so Euclidean distances approximate *distances*.
+    Returns an (n, dimensions) coordinate array; degenerate inputs
+    (fewer points than dimensions, zero variance) fall back to zeros in
+    the missing axes.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    n = distances.shape[0]
+    if n == 0:
+        return np.zeros((0, dimensions))
+    squared = distances**2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    values = np.clip(eigenvalues[order], 0.0, None)
+    coords = eigenvectors[:, order] * np.sqrt(values)[np.newaxis, :]
+    if coords.shape[1] < dimensions:
+        coords = np.hstack(
+            [coords, np.zeros((n, dimensions - coords.shape[1]))]
+        )
+    return coords
+
+
+@dataclass
+class EmbeddedClustering:
+    """2-D embedding of a clustering result, ready to render."""
+
+    coordinates: np.ndarray  # (n, 2)
+    labels: np.ndarray  # cluster id per point, -1 noise
+    hover: list[str]  # per-point tooltip text
+
+    @classmethod
+    def from_result(cls, result: ClusteringResult) -> "EmbeddedClustering":
+        coords = classical_mds(result.matrix.values)
+        labels = result.labels()
+        hover = [
+            f"cluster {labels[i]}: {segment.data.hex()} (x{segment.count})"
+            for i, segment in enumerate(result.segments)
+        ]
+        return cls(coordinates=coords, labels=labels, hover=hover)
+
+
+def render_svg(
+    embedding: EmbeddedClustering,
+    width: int = 720,
+    height: int = 540,
+    point_radius: float = 3.5,
+    title: str = "pseudo data types",
+) -> str:
+    """Self-contained SVG scatter of the embedding."""
+    coords = embedding.coordinates
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="12" y="20" font-family="sans-serif" font-size="14">'
+        f"{html.escape(title)}</text>",
+    ]
+    if len(coords):
+        margin = 30
+        spans = coords.max(axis=0) - coords.min(axis=0)
+        spans[spans == 0] = 1.0
+        scaled = (coords - coords.min(axis=0)) / spans
+        xs = margin + scaled[:, 0] * (width - 2 * margin)
+        ys = margin + (1 - scaled[:, 1]) * (height - 2 * margin)
+        # Noise first so cluster points draw on top.
+        order = np.argsort(embedding.labels != -1)
+        for index in order:
+            label = int(embedding.labels[index])
+            color = NOISE_COLOR if label == -1 else PALETTE[label % len(PALETTE)]
+            tooltip = html.escape(embedding.hover[index])
+            parts.append(
+                f'<circle cx="{xs[index]:.1f}" cy="{ys[index]:.1f}" '
+                f'r="{point_radius}" fill="{color}" fill-opacity="0.8">'
+                f"<title>{tooltip}</title></circle>"
+            )
+        # Legend.
+        seen = sorted({int(l) for l in embedding.labels if l >= 0})
+        for slot, label in enumerate(seen[: len(PALETTE)]):
+            y = 40 + slot * 18
+            color = PALETTE[label % len(PALETTE)]
+            parts.append(
+                f'<circle cx="{width - 110}" cy="{y}" r="5" fill="{color}"/>'
+                f'<text x="{width - 98}" y="{y + 4}" font-family="sans-serif" '
+                f'font-size="12">cluster {label}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_ascii(
+    embedding: EmbeddedClustering, width: int = 78, height: int = 24
+) -> str:
+    """Terminal scatter: digits = cluster ids (mod 10), '.' = noise."""
+    coords = embedding.coordinates
+    if not len(coords):
+        return "(no segments)"
+    spans = coords.max(axis=0) - coords.min(axis=0)
+    spans[spans == 0] = 1.0
+    scaled = (coords - coords.min(axis=0)) / spans
+    grid = [[" "] * width for _ in range(height)]
+    for index in range(len(coords)):
+        col = int(scaled[index, 0] * (width - 1))
+        row = int((1 - scaled[index, 1]) * (height - 1))
+        label = int(embedding.labels[index])
+        marker = "." if label == -1 else str(label % 10)
+        # Cluster markers win over noise on collisions.
+        if grid[row][col] in (" ", "."):
+            grid[row][col] = marker
+    return "\n".join("".join(row) for row in grid)
+
+
+def save_svg(result: ClusteringResult, path: str, title: str = "pseudo data types") -> str:
+    """Convenience: embed + render + write; returns the path."""
+    svg = render_svg(EmbeddedClustering.from_result(result), title=title)
+    with open(path, "w") as handle:
+        handle.write(svg)
+    return path

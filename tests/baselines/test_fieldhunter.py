@@ -1,0 +1,165 @@
+import struct
+
+import pytest
+
+from repro.baselines.fieldhunter import (
+    FieldHunter,
+    _normalized_mutual_information,
+    _pair_requests_responses,
+)
+from repro.net.trace import Trace, TraceMessage
+
+
+def make_exchange_trace(builder, exchanges=40, seed=3):
+    """Build a trace of request/response pairs via *builder(rng, i)*."""
+    import random
+
+    rng = random.Random(seed)
+    messages = []
+    for i in range(exchanges):
+        req_data, resp_data, client = builder(rng, i)
+        server = bytes([10, 0, 0, 1])
+        messages.append(
+            TraceMessage(
+                data=req_data,
+                timestamp=float(i),
+                src_ip=client,
+                dst_ip=server,
+                src_port=1000 + i,
+                dst_port=99,
+                direction="request",
+            )
+        )
+        messages.append(
+            TraceMessage(
+                data=resp_data,
+                timestamp=float(i) + 0.1,
+                src_ip=server,
+                dst_ip=client,
+                src_port=99,
+                dst_port=1000 + i,
+                direction="response",
+            )
+        )
+    return Trace(messages=messages)
+
+
+class TestPairing:
+    def test_pairs_matched_by_conversation(self):
+        trace = make_exchange_trace(
+            lambda rng, i: (b"req", b"resp", bytes([10, 0, 1, i % 5 + 2]))
+        )
+        pairs = _pair_requests_responses(trace)
+        assert len(pairs) == 40
+        assert all(a.direction == "request" and b.direction == "response" for a, b in pairs)
+
+    def test_no_context_no_pairs(self):
+        trace = Trace(messages=[TraceMessage(data=b"x", direction="request")])
+        assert _pair_requests_responses(trace) == []
+
+
+class TestMutualInformation:
+    def test_perfectly_coupled(self):
+        pairs = [(b"\x01", b"\x81"), (b"\x02", b"\x82")] * 10
+        assert _normalized_mutual_information(pairs) == pytest.approx(1.0)
+
+    def test_independent(self):
+        # Right value constant: zero information.
+        pairs = [(bytes([i % 4]), b"\x00") for i in range(40)]
+        assert _normalized_mutual_information(pairs) == 0.0
+
+
+class TestRules:
+    def test_msg_type_detected(self):
+        def builder(rng, i):
+            kind = rng.choice([1, 2, 3])
+            payload = bytes(rng.getrandbits(8) for _ in range(8))
+            return (
+                bytes([kind]) + payload,
+                bytes([kind | 0x80]) + payload,
+                bytes([10, 0, 1, i % 6 + 2]),
+            )
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert any(f.ftype == "msg-type" and f.offset == 0 for f in result.fields)
+
+    def test_trans_id_detected(self):
+        def builder(rng, i):
+            txid = struct.pack("!H", rng.getrandbits(16))
+            return (
+                b"\x05" + txid + b"\x00\x00",
+                b"\x85" + txid + b"\x00\x00",
+                bytes([10, 0, 1, i % 6 + 2]),
+            )
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert any(f.ftype == "trans-id" and f.offset == 1 for f in result.fields)
+
+    def test_msg_len_detected(self):
+        def builder(rng, i):
+            length = rng.randint(10, 60)
+            body = bytes(length)
+            data = struct.pack("!H", len(body) + 2) + body
+            return data, data, bytes([10, 0, 1, i % 6 + 2])
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert any(f.ftype == "msg-len" and f.offset == 0 for f in result.fields)
+
+    def test_host_id_detected(self):
+        def builder(rng, i):
+            client = bytes([10, 0, 1, i % 8 + 2])
+            host_tag = bytes([0xA0, client[-1]])
+            filler = bytes(rng.getrandbits(8) for _ in range(4))
+            return host_tag + filler, b"\x00\x00" + filler, client
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert any(f.ftype == "host-id" for f in result.fields)
+
+    def test_accumulator_detected(self):
+        counters = {}
+
+        def builder(rng, i):
+            client = bytes([10, 0, 1, i % 4 + 2])
+            counters[client] = counters.get(client, 1000) + rng.randint(1, 9)
+            value = struct.pack("!I", counters[client])
+            # Response is constant so no higher-precedence rule (trans-id)
+            # claims the counter bytes first.
+            return value + b"\x00\x00", bytes(6), client
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert any(f.ftype == "accumulator" and f.offset == 0 for f in result.fields)
+
+
+class TestApplicability:
+    def test_no_ip_context_inapplicable(self):
+        trace = Trace(messages=[TraceMessage(data=bytes(20)) for _ in range(30)])
+        result = FieldHunter().analyze(trace)
+        assert not result.applicable
+        assert result.coverage.ratio == 0.0
+
+    def test_empty_trace(self):
+        result = FieldHunter().analyze(Trace(messages=[]))
+        assert not result.applicable
+
+    def test_bytes_claimed_once(self):
+        def builder(rng, i):
+            txid = struct.pack("!H", rng.getrandbits(16))
+            kind = rng.choice([1, 2])
+            return (
+                bytes([kind]) + txid,
+                bytes([kind]) + txid,
+                bytes([10, 0, 1, i % 6 + 2]),
+            )
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        claimed = []
+        for f in result.fields:
+            claimed.extend(range(f.offset, f.end))
+        assert len(claimed) == len(set(claimed))
+
+    def test_coverage_bounded(self):
+        def builder(rng, i):
+            return bytes(8), bytes(8), bytes([10, 0, 1, i % 6 + 2])
+
+        result = FieldHunter().analyze(make_exchange_trace(builder))
+        assert 0.0 <= result.coverage.ratio <= 1.0

@@ -1,0 +1,89 @@
+"""Cross-validation of our algorithm implementations against independent
+references: scipy's Canberra distance and a brute-force DBSCAN."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.spatial.distance import canberra as scipy_canberra
+
+from repro.core.canberra import canberra_distance
+from repro.core.dbscan import NOISE, dbscan
+
+
+class TestCanberraVsScipy:
+    @given(st.binary(min_size=1, max_size=16), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=150)
+    def test_equal_length_matches_scipy(self, x, y):
+        length = min(len(x), len(y))
+        x, y = x[:length], y[:length]
+        ours = canberra_distance(x, y)
+        reference = scipy_canberra(
+            np.frombuffer(x, dtype=np.uint8).astype(float),
+            np.frombuffer(y, dtype=np.uint8).astype(float),
+        )
+        # scipy returns the unnormalized sum; ours is the mean.
+        assert ours == pytest.approx(reference / length, abs=1e-12)
+
+
+def brute_force_dbscan(distances: np.ndarray, epsilon: float, min_samples: int):
+    """Reference DBSCAN: core graph connected components + border points."""
+    count = distances.shape[0]
+    within = distances <= epsilon
+    core = within.sum(axis=1) >= min_samples
+    labels = np.full(count, NOISE, dtype=int)
+    cluster = 0
+    for start in range(count):
+        if not core[start] or labels[start] != NOISE:
+            continue
+        # BFS over core points.
+        stack = [start]
+        component = set()
+        while stack:
+            point = stack.pop()
+            if point in component:
+                continue
+            component.add(point)
+            for neighbor in np.nonzero(within[point])[0]:
+                if core[neighbor] and neighbor not in component:
+                    stack.append(int(neighbor))
+        for point in component:
+            labels[point] = cluster
+        # Border points: non-core within epsilon of any core in component.
+        for point in range(count):
+            if labels[point] == NOISE and not core[point]:
+                if any(within[point, c] for c in component):
+                    labels[point] = cluster
+        cluster += 1
+    return labels
+
+
+class TestDbscanVsBruteForce:
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)),
+            min_size=2,
+            max_size=20,
+        ),
+        st.floats(0.1, 4.0),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_same_partition_of_core_points(self, points, epsilon, min_samples):
+        points = np.asarray(points)
+        diff = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((diff**2).sum(axis=2))
+        ours = dbscan(distances, epsilon, min_samples).labels
+        reference = brute_force_dbscan(distances, epsilon, min_samples)
+        # Core-point partitions must agree exactly (border points may
+        # attach to either adjacent cluster in both implementations —
+        # the classic DBSCAN order-dependence — so compare cores only).
+        within = distances <= epsilon
+        core = within.sum(axis=1) >= min_samples
+        # Noise sets must agree everywhere.
+        assert np.array_equal(ours == NOISE, reference == NOISE)
+        # Same-cluster relation over core points must agree.
+        core_indices = np.nonzero(core)[0]
+        for i in core_indices:
+            for j in core_indices:
+                assert (ours[i] == ours[j]) == (reference[i] == reference[j])

@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbscan import NOISE, dbscan
+
+
+def distance_matrix(points):
+    points = np.asarray(points, dtype=float)
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+class TestDbscan:
+    def test_two_blobs(self):
+        points = [[0, 0], [0.1, 0], [0, 0.1], [5, 5], [5.1, 5], [5, 5.1]]
+        result = dbscan(distance_matrix(points), epsilon=0.5, min_samples=2)
+        assert result.cluster_count == 2
+        labels = result.labels
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_noise_point(self):
+        points = [[0, 0], [0.1, 0], [10, 10]]
+        result = dbscan(distance_matrix(points), epsilon=0.5, min_samples=2)
+        assert result.labels[2] == NOISE
+        assert len(result.noise) == 1
+
+    def test_border_point_joins_cluster(self):
+        # Chain: p0-p1 dense core, p2 within eps of p1 but not core.
+        matrix = np.array(
+            [
+                [0.0, 0.1, 1.0],
+                [0.1, 0.0, 0.4],
+                [1.0, 0.4, 0.0],
+            ]
+        )
+        result = dbscan(matrix, epsilon=0.5, min_samples=3)
+        # p1 has 3 neighbors within 0.5 (itself, p0, p2) -> core.
+        assert result.labels[2] == result.labels[1]
+
+    def test_all_noise_with_large_min_samples(self):
+        points = [[0, 0], [1, 1], [2, 2]]
+        result = dbscan(distance_matrix(points), epsilon=0.1, min_samples=5)
+        assert result.cluster_count == 0
+        assert list(result.labels) == [NOISE] * 3
+
+    def test_single_cluster_everything(self):
+        points = [[i * 0.01, 0] for i in range(10)]
+        result = dbscan(distance_matrix(points), epsilon=1.0, min_samples=2)
+        assert result.cluster_count == 1
+        assert len(result.members(0)) == 10
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((2, 3)), 0.5, 2)
+
+    def test_empty_matrix(self):
+        result = dbscan(np.zeros((0, 0)), 0.5, 2)
+        assert result.cluster_count == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-10, 10, allow_nan=False), st.floats(-10, 10, allow_nan=False)
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(0.05, 3.0),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=60)
+    def test_invariants(self, points, epsilon, min_samples):
+        matrix = distance_matrix(points)
+        result = dbscan(matrix, epsilon=epsilon, min_samples=min_samples)
+        labels = result.labels
+        # Every point labeled; labels contiguous from 0; noise is -1.
+        assert set(labels) <= set(range(result.cluster_count)) | {NOISE}
+        for c in range(result.cluster_count):
+            members = result.members(c)
+            assert len(members) >= 1
+            # Each cluster contains at least one core point.
+            core_found = any(
+                (matrix[m] <= epsilon).sum() >= min_samples for m in members
+            )
+            assert core_found
+        # Noise points are not core.
+        for point in result.noise:
+            assert (matrix[point] <= epsilon).sum() < min_samples

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ecdf import Ecdf
+from repro.core.kneedle import detect_knees, normalize, rightmost_knee, smooth_ecdf
+
+
+class TestEcdf:
+    def test_evaluate_basics(self):
+        e = Ecdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert e.evaluate(0.5) == 0.0
+        assert e.evaluate(2.0) == 0.5
+        assert e.evaluate(10.0) == 1.0
+
+    def test_right_continuity(self):
+        e = Ecdf.from_samples([1.0, 1.0, 2.0])
+        assert e.evaluate(1.0) == pytest.approx(2 / 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([])
+
+    def test_step_points(self):
+        x, y = Ecdf.from_samples([3.0, 1.0, 2.0]).step_points
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(y) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_trim_below(self):
+        e = Ecdf.from_samples([0.1, 0.2, 0.9])
+        trimmed = e.trim_below(0.5)
+        assert len(trimmed) == 2
+        assert trimmed.evaluate(0.2) == 1.0
+
+    def test_trim_below_everything_raises(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_samples([1.0]).trim_below(0.5)
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=50))
+    def test_monotone_and_bounded(self, samples):
+        e = Ecdf.from_samples(samples)
+        grid = np.linspace(-0.5, 1.5, 40)
+        values = e.evaluate(grid)
+        assert np.all(np.diff(values) >= 0)
+        assert values.min() >= 0.0 and values.max() <= 1.0
+
+    def test_grid_covers_sample_range(self):
+        e = Ecdf.from_samples([0.2, 0.8])
+        x, y = e.grid(10)
+        assert x[0] == pytest.approx(0.2)
+        assert x[-1] == pytest.approx(0.8)
+        assert y[-1] == 1.0
+
+
+class TestNormalize:
+    def test_unit_range(self):
+        out = normalize(np.array([5.0, 10.0, 15.0]))
+        assert out.min() == 0.0 and out.max() == 1.0
+
+    def test_constant_input(self):
+        out = normalize(np.array([3.0, 3.0]))
+        assert np.all(out == 0.0)
+
+
+class TestKneedle:
+    def test_sharp_knee_detected(self):
+        # Piecewise linear: steep rise to (0.2, 0.9), then nearly flat.
+        x = np.linspace(0, 1, 101)
+        y = np.where(x <= 0.2, x * 4.5, 0.9 + (x - 0.2) * 0.125)
+        knees = detect_knees(x, y)
+        assert knees, "expected a knee"
+        assert knees[-1].x == pytest.approx(0.2, abs=0.03)
+
+    def test_straight_line_has_no_knee(self):
+        x = np.linspace(0, 1, 50)
+        assert detect_knees(x, x) == []
+
+    def test_rightmost_of_two_knees(self):
+        # Two-step staircase: knees near 0.2 and 0.6.
+        x = np.linspace(0, 1, 201)
+        y = np.piecewise(
+            x,
+            [x <= 0.2, (x > 0.2) & (x <= 0.4), (x > 0.4) & (x <= 0.6), x > 0.6],
+            [
+                lambda t: t * 2.5,
+                lambda t: 0.5 + (t - 0.2) * 0.25,
+                lambda t: 0.55 + (t - 0.4) * 2.0,
+                lambda t: 0.95 + (t - 0.6) * 0.125,
+            ],
+        )
+        knee = rightmost_knee(x, y)
+        assert knee is not None
+        assert knee.x == pytest.approx(0.6, abs=0.05)
+
+    def test_too_few_points(self):
+        assert detect_knees([0, 1], [0, 1]) == []
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            detect_knees([0, 1, 2], [0, 1])
+
+    def test_sensitivity_zero_finds_more_knees(self):
+        x = np.linspace(0, 1, 101)
+        y = np.where(x <= 0.2, x * 4.5, 0.9 + (x - 0.2) * 0.125)
+        eager = detect_knees(x, y, sensitivity=0.0)
+        conservative = detect_knees(x, y, sensitivity=5.0)
+        assert len(eager) >= len(conservative)
+
+
+class TestSmoothEcdf:
+    def test_output_is_valid_cdf_shape(self):
+        rng = np.random.default_rng(1)
+        e = Ecdf.from_samples(rng.beta(2, 5, size=300))
+        x, y = smooth_ecdf(e)
+        assert np.all(np.diff(y) >= 0)
+        assert y.min() >= 0.0 and y.max() <= 1.0
+
+    def test_knee_found_on_clustered_distances(self):
+        # Two density regimes: many small distances, few large ones —
+        # the ECDF has a knee where the small-distance mass ends.
+        rng = np.random.default_rng(2)
+        small = rng.uniform(0.0, 0.1, size=300)
+        large = rng.uniform(0.4, 1.0, size=40)
+        e = Ecdf.from_samples(np.concatenate([small, large]))
+        x, y = smooth_ecdf(e)
+        knee = rightmost_knee(x, y)
+        assert knee is not None
+        assert 0.05 <= knee.x <= 0.45

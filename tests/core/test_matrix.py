@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.core.canberra import canberra_dissimilarity
+from repro.core.matrix import DissimilarityMatrix
+from repro.core.segments import Segment, unique_segments
+
+
+def build(datas):
+    segments = [
+        Segment(message_index=i, offset=0, data=d) for i, d in enumerate(datas)
+    ]
+    return DissimilarityMatrix.build(unique_segments(segments))
+
+
+class TestBuild:
+    def test_matches_scalar_function(self):
+        datas = [b"\x01\x02", b"\x03\x04", b"\x01\x02\x03", b"\xff\xfe\xfd\xfc"]
+        matrix = build(datas)
+        for i, a in enumerate(matrix.segments):
+            for j, b in enumerate(matrix.segments):
+                expected = canberra_dissimilarity(a.data, b.data)
+                assert matrix.distance(i, j) == pytest.approx(expected), (a.data, b.data)
+
+    def test_symmetric_zero_diagonal(self):
+        matrix = build([bytes([i, i + 1, i + 2]) for i in range(12)])
+        assert np.allclose(matrix.values, matrix.values.T)
+        assert np.allclose(np.diag(matrix.values), 0.0)
+
+    def test_deduplicates(self):
+        matrix = build([b"\x01\x02", b"\x01\x02", b"\x09\x08"])
+        assert len(matrix) == 2
+
+
+class TestKnn:
+    def test_knn_first_neighbor(self):
+        matrix = build([b"\x01\x02", b"\x01\x03", b"\xf0\xf1"])
+        knn1 = matrix.knn_distances(1)
+        # Closest other segment for index 0 is index 1.
+        assert knn1[0] == pytest.approx(matrix.distance(0, 1))
+
+    def test_knn_bounds(self):
+        matrix = build([b"\x01\x02", b"\x01\x03", b"\xf0\xf1"])
+        with pytest.raises(ValueError):
+            matrix.knn_distances(0)
+        with pytest.raises(ValueError):
+            matrix.knn_distances(3)
+
+    def test_knn_monotone_in_k(self):
+        matrix = build([bytes([i, 2 * i]) for i in range(1, 14)])
+        knn1 = matrix.knn_distances(1)
+        knn2 = matrix.knn_distances(2)
+        assert np.all(knn2 >= knn1)
+
+
+class TestNeighborhoods:
+    def test_excludes_self(self):
+        matrix = build([b"\x01\x02", b"\x01\x02\x03"])
+        hoods = matrix.neighborhoods(epsilon=1.0)
+        assert 0 not in hoods[0]
+        assert 1 in hoods[0]
+
+    def test_epsilon_zero(self):
+        matrix = build([b"\x01\x02", b"\xff\x00"])
+        hoods = matrix.neighborhoods(epsilon=0.0)
+        assert all(len(h) == 0 for h in hoods)
+
+
+class TestCondensed:
+    def test_length(self):
+        matrix = build([bytes([i, i]) for i in range(1, 6)])
+        n = len(matrix)
+        assert matrix.condensed().shape == (n * (n - 1) // 2,)

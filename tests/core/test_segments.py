@@ -1,0 +1,80 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segments import Segment, UniqueSegment, segments_from_fields, unique_segments
+from repro.protocols.base import Field
+
+
+def seg(data, msg=0, offset=0, ftype=None):
+    return Segment(message_index=msg, offset=offset, data=data, ftype=ftype)
+
+
+class TestSegment:
+    def test_length_and_end(self):
+        s = seg(b"abcd", offset=10)
+        assert s.length == 4
+        assert s.end == 14
+
+
+class TestUniqueSegments:
+    def test_groups_by_value(self):
+        segments = [seg(b"ab", msg=0), seg(b"ab", msg=1), seg(b"cd", msg=0)]
+        unique = unique_segments(segments)
+        assert len(unique) == 2
+        counts = {u.data: u.count for u in unique}
+        assert counts == {b"ab": 2, b"cd": 1}
+
+    def test_drops_short_segments(self):
+        unique = unique_segments([seg(b"a"), seg(b"bc")])
+        assert [u.data for u in unique] == [b"bc"]
+
+    def test_min_length_configurable(self):
+        unique = unique_segments([seg(b"a")], min_length=1)
+        assert [u.data for u in unique] == [b"a"]
+
+    def test_order_of_first_occurrence(self):
+        unique = unique_segments([seg(b"zz"), seg(b"aa"), seg(b"zz")])
+        assert [u.data for u in unique] == [b"zz", b"aa"]
+
+    def test_covered_bytes(self):
+        unique = unique_segments([seg(b"abcd", msg=0), seg(b"abcd", msg=3)])
+        assert unique[0].covered_bytes == 8
+
+    @given(st.lists(st.binary(min_size=2, max_size=4), max_size=40))
+    def test_occurrences_partition_input(self, datas):
+        segments = [seg(d, msg=i) for i, d in enumerate(datas)]
+        unique = unique_segments(segments)
+        total = sum(u.count for u in unique)
+        assert total == len(datas)
+        assert len({u.data for u in unique}) == len(unique)
+
+
+class TestTrueType:
+    def test_majority_label(self):
+        u = UniqueSegment(
+            data=b"\x00\x00",
+            occurrences=(
+                seg(b"\x00\x00", ftype="pad"),
+                seg(b"\x00\x00", ftype="pad"),
+                seg(b"\x00\x00", ftype="timestamp"),
+            ),
+        )
+        assert u.true_type == "pad"
+
+    def test_none_when_unlabeled(self):
+        u = UniqueSegment(data=b"ab", occurrences=(seg(b"ab"),))
+        assert u.true_type is None
+
+
+class TestSegmentsFromFields:
+    def test_conversion(self):
+        data = b"\x01\x02\x03\x04"
+        fields = [
+            Field(offset=0, length=1, ftype="uint8", name="a"),
+            Field(offset=1, length=3, ftype="bytes", name="b"),
+        ]
+        segments = segments_from_fields(5, data, fields)
+        assert segments[0].data == b"\x01"
+        assert segments[1].data == b"\x02\x03\x04"
+        assert segments[1].message_index == 5
+        assert segments[1].ftype == "bytes"

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.core.segments import Segment
+from repro.eval.confusion import analyze_confusion
+
+
+def cluster_segments(segments):
+    return FieldTypeClusterer().cluster(segments)
+
+
+class TestAnalyzeConfusion:
+    def test_pure_clusters_report_no_conflation(self):
+        rng = np.random.default_rng(1)
+        segments = []
+        for i in range(60):
+            segments.append(
+                Segment(
+                    message_index=i,
+                    offset=0,
+                    data=bytes(rng.integers(30, 40, 4).tolist()),
+                    ftype="low",
+                )
+            )
+            segments.append(
+                Segment(
+                    message_index=i,
+                    offset=4,
+                    data=bytes(rng.integers(210, 250, 4).tolist()),
+                    ftype="high",
+                )
+            )
+        report = analyze_confusion(cluster_segments(segments))
+        assert report.pure_cluster_count == len(report.cluster_compositions)
+        assert report.conflations == []
+        assert "pure" in report.render()
+
+    def test_mixed_cluster_ranked_by_pair_cost(self):
+        rng = np.random.default_rng(2)
+        segments = []
+        # Two overlapping value domains forced together.
+        for i in range(50):
+            value = bytes(rng.integers(100, 130, 4).tolist())
+            ftype = "timestamp" if i % 2 else "checksum"
+            segments.append(Segment(message_index=i, offset=0, data=value, ftype=ftype))
+        report = analyze_confusion(cluster_segments(segments))
+        if report.conflations:
+            top = report.conflations[0]
+            assert {top.type_a, top.type_b} == {"checksum", "timestamp"}
+            assert top.false_pairs > 0
+            assert "conflations" in report.render()
+
+    def test_unlabeled_segments_raise(self):
+        segments = [
+            Segment(message_index=i, offset=0, data=bytes([40 + i % 4, 50]))
+            for i in range(30)
+        ]
+        result = cluster_segments(segments)
+        if result.cluster_count:
+            with pytest.raises(ValueError, match="ground-truth"):
+                analyze_confusion(result)
+
+    def test_smb_reproduces_paper_inspection(self):
+        # The paper's Section IV-B inspection: SMB's weak precision comes
+        # from identifiable type conflations in the mega-cluster.
+        from repro.eval.runner import prepare_trace
+        from repro.segmenters import GroundTruthSegmenter
+
+        model, trace = prepare_trace("smb", 200)
+        segments = GroundTruthSegmenter(model).segment(trace)
+        report = analyze_confusion(cluster_segments(segments))
+        assert report.conflations, "expected SMB conflations"
+        involved = {t for c in report.conflations[:5] for t in (c.type_a, c.type_b)}
+        # High-entropy same-width fields are the expected confusion axis.
+        assert involved & {"checksum", "id", "timestamp", "bytes"}

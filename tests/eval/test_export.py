@@ -1,0 +1,74 @@
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval.export import (
+    coverage_records,
+    table1_records,
+    table2_records,
+    to_csv,
+    to_json,
+)
+from repro.eval.coverage_experiment import run_coverage_comparison
+from repro.eval.tables import run_table1, run_table2
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    return run_table1(seed=4, rows=[("ntp", 60), ("dns", 60)])
+
+
+@pytest.fixture(scope="module")
+def small_table2():
+    return run_table2(seed=4, rows=[("ntp", 60)], segmenters=("nemesys", "csp"))
+
+
+class TestRecords:
+    def test_table1_records(self, small_table1):
+        records = table1_records(small_table1)
+        assert len(records) == 2
+        assert {r["protocol"] for r in records} == {"ntp", "dns"}
+        for record in records:
+            assert 0 <= record["precision"] <= 1
+            assert record["unique_fields"] > 0
+
+    def test_table1_carries_paper_reference_for_known_rows(self):
+        table = run_table1(seed=4, rows=[("ntp", 100)])
+        record = table1_records(table)[0]
+        assert record["paper_fscore"] == 1.00
+
+    def test_table2_records(self, small_table2):
+        records = table2_records(small_table2)
+        assert len(records) == 2
+        for record in records:
+            assert record["segmenter"] in ("nemesys", "csp")
+            if not record["failed"]:
+                assert "fscore" in record
+
+    def test_coverage_records(self):
+        comparison = run_coverage_comparison(seed=4, rows=[("ntp", 60)])
+        records = coverage_records(comparison)
+        assert records[0]["protocol"] == "ntp"
+        assert "clustering_coverage" in records[0]
+
+
+class TestSerialization:
+    def test_json_parses(self, small_table1):
+        text = to_json(table1_records(small_table1))
+        assert isinstance(json.loads(text), list)
+
+    def test_csv_roundtrip(self, small_table1):
+        text = to_csv(table1_records(small_table1))
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["protocol"] in ("ntp", "dns")
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_csv_handles_heterogeneous_records(self):
+        text = to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[1]["b"] == "3"

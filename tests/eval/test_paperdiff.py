@@ -1,0 +1,35 @@
+import pytest
+
+from repro.eval.paperdiff import SUCCESS_THRESHOLD, build_scorecard
+from repro.eval.tables import run_table1, run_table2
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    # One real small row keeps the test fast while exercising the full path.
+    rows = [("ntp", 100)]
+    return build_scorecard(
+        run_table1(seed=42, rows=rows), run_table2(seed=42, rows=rows)
+    )
+
+
+class TestScorecard:
+    def test_counts(self, scorecard):
+        assert scorecard.rows_compared == 1
+        assert scorecard.cells_compared == 3  # three non-failing segmenters
+
+    def test_deltas_bounded(self, scorecard):
+        assert 0.0 <= scorecard.table1_mean_abs_f_delta <= 1.0
+        assert 0.0 <= scorecard.table2_mean_abs_f_delta <= 1.0
+
+    def test_ntp_row_agrees_on_success(self, scorecard):
+        # NTP-100 scores F >= 0.8 in both the paper and our run.
+        assert scorecard.table1_success_agreement == 1.0
+
+    def test_render(self, scorecard):
+        text = scorecard.render()
+        assert "Table I" in text and "Table II" in text
+        assert "best-segmenter" in text
+
+    def test_threshold_matches_paper_convention(self):
+        assert SUCCESS_THRESHOLD == 0.8

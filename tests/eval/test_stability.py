@@ -1,0 +1,40 @@
+import pytest
+
+from repro.eval.stability import MetricSummary, run_stability
+
+
+class TestMetricSummary:
+    def test_of_values(self):
+        summary = MetricSummary.of([0.8, 1.0, 0.9])
+        assert summary.mean == pytest.approx(0.9)
+        assert summary.minimum == 0.8
+        assert summary.maximum == 1.0
+        assert summary.samples == 3
+
+    def test_single_value_zero_stdev(self):
+        assert MetricSummary.of([0.5]).stdev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+    def test_str_format(self):
+        assert "+-" in str(MetricSummary.of([0.5, 0.6]))
+
+
+class TestRunStability:
+    def test_ntp_ground_truth_stable(self):
+        result = run_stability("ntp", 80, seeds=[1, 2, 3])
+        assert result.failures == 0
+        # Precision of NTP ground-truth clustering is structurally high.
+        assert result.precision.minimum >= 0.9
+        assert result.fscore.stdev < 0.25
+
+    def test_render(self):
+        result = run_stability("dns", 60, seeds=[1, 2])
+        text = result.render()
+        assert "precision" in text and "epsilon" in text
+
+    def test_heuristic_segmenter_supported(self):
+        result = run_stability("ntp", 60, segmenter="nemesys", seeds=[4, 5])
+        assert result.fscore.samples == 2

@@ -1,0 +1,50 @@
+import pytest
+
+from repro.core.segments import Segment
+from repro.eval.truth import dominant_type, label_with_truth
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import get_model
+from repro.protocols.base import Field
+
+
+def field(offset, length, ftype):
+    return Field(offset=offset, length=length, ftype=ftype, name=f"f{offset}")
+
+
+class TestDominantType:
+    def test_exact_match(self):
+        fields = [field(0, 4, "id"), field(4, 4, "timestamp")]
+        seg = Segment(message_index=0, offset=4, data=b"\x00" * 4)
+        assert dominant_type(seg, fields) == "timestamp"
+
+    def test_majority_overlap(self):
+        fields = [field(0, 2, "id"), field(2, 6, "chars")]
+        seg = Segment(message_index=0, offset=1, data=b"\x00" * 4)  # 1 vs 3 bytes
+        assert dominant_type(seg, fields) == "chars"
+
+    def test_tie_prefers_earlier_field(self):
+        fields = [field(0, 2, "id"), field(2, 2, "flags")]
+        seg = Segment(message_index=0, offset=1, data=b"\x00\x00")
+        assert dominant_type(seg, fields) == "id"
+
+    def test_no_overlap(self):
+        fields = [field(0, 2, "id")]
+        seg = Segment(message_index=0, offset=10, data=b"\x00")
+        assert dominant_type(seg, fields) is None
+
+
+class TestLabelWithTruth:
+    def test_labels_real_protocol_segments(self):
+        model = get_model("ntp")
+        trace = model.generate(10, seed=0).preprocess()
+        # One artificial segment spanning the four timestamps region.
+        segments = [Segment(message_index=0, offset=16, data=trace[0].data[16:48])]
+        labeled = label_with_truth(segments, trace, model)
+        assert labeled[0].ftype == "timestamp"
+
+    def test_unknown_message_index_raises(self):
+        model = get_model("ntp")
+        trace = model.generate(2, seed=0)
+        segments = [Segment(message_index=99, offset=0, data=b"\x00\x00")]
+        with pytest.raises(KeyError):
+            label_with_truth(segments, trace, model)

@@ -1,0 +1,111 @@
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzing.valuemodel import ByteColumnModel, ClusterValueModel, MarkovValueModel
+
+
+class TestByteColumnModel:
+    def test_fit_rejects_mixed_widths(self):
+        with pytest.raises(ValueError, match="mixed widths"):
+            ByteColumnModel.fit([b"ab", b"abc"])
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ByteColumnModel.fit([])
+
+    def test_sample_respects_column_support(self):
+        values = [bytes([10, i]) for i in range(50)]
+        model = ByteColumnModel.fit(values)
+        rng = random.Random(0)
+        for _ in range(20):
+            sample = model.sample(rng)
+            assert sample[0] == 10  # column 0 only ever saw 10
+            assert 0 <= sample[1] < 50
+
+    def test_likelihood_ranks_observed_above_alien(self):
+        values = [bytes([10, i % 5, 200]) for i in range(30)]
+        model = ByteColumnModel.fit(values)
+        assert model.log_likelihood(b"\x0a\x02\xc8") > model.log_likelihood(b"\xff\xff\xff")
+
+    def test_wrong_width_is_impossible(self):
+        model = ByteColumnModel.fit([b"ab"])
+        assert model.log_likelihood(b"abc") == -math.inf
+
+    @given(st.lists(st.binary(min_size=3, max_size=3), min_size=1, max_size=30))
+    def test_samples_have_training_width(self, values):
+        model = ByteColumnModel.fit(values)
+        assert len(model.sample(random.Random(1))) == 3
+
+
+class TestMarkovValueModel:
+    def test_sample_length_from_training_distribution(self):
+        values = [b"abc", b"abcd", b"abcde"] * 5
+        model = MarkovValueModel.fit(values)
+        rng = random.Random(2)
+        lengths = {len(model.sample(rng)) for _ in range(50)}
+        assert lengths <= {3, 4, 5}
+
+    def test_transitions_learned(self):
+        values = [b"ababab", b"bababa"] * 3
+        model = MarkovValueModel.fit(values)
+        rng = random.Random(3)
+        sample = model.sample(rng)
+        # Only a<->b transitions were ever observed.
+        assert set(sample) <= {ord("a"), ord("b")}
+
+    def test_likelihood_prefers_plausible_strings(self):
+        values = [f"host-{i:02d}.lan".encode() for i in range(40)]
+        model = MarkovValueModel.fit(values)
+        plausible = model.log_likelihood(b"host-99.lan")
+        alien = model.log_likelihood(bytes([0, 255] * 5) + b"x")
+        assert plausible > alien
+
+    def test_empty_value_support(self):
+        model = MarkovValueModel.fit([b"", b"a"])
+        assert isinstance(model.log_likelihood(b""), float)
+
+
+class TestClusterValueModel:
+    def test_dispatch_fixed_width(self):
+        model = ClusterValueModel.fit([b"ab", b"cd"])
+        assert isinstance(model.model, ByteColumnModel)
+
+    def test_dispatch_variable_width(self):
+        model = ClusterValueModel.fit([b"ab", b"abc"])
+        assert isinstance(model.model, MarkovValueModel)
+
+    def test_sample_novel_avoids_observed(self):
+        values = [bytes([i, i + 1]) for i in range(0, 100, 2)]
+        model = ClusterValueModel.fit(values)
+        rng = random.Random(4)
+        novel = model.sample_novel(rng)
+        assert len(novel) == 2
+
+    def test_anomaly_score_flags_aliens(self):
+        rng = random.Random(5)
+        # Structured values: small first byte, arbitrary second.
+        values = [bytes([rng.randint(0, 3), rng.randint(0, 255), 77]) for _ in range(60)]
+        model = ClusterValueModel.fit(values)
+        observed_scores = [model.anomaly_score(v) for v in values]
+        alien_score = model.anomaly_score(b"\xfe\x00\x00")
+        assert alien_score > max(observed_scores)
+
+    def test_observed_values_score_low(self):
+        values = [bytes([10, i]) for i in range(50)]
+        model = ClusterValueModel.fit(values)
+        assert all(model.anomaly_score(v) <= 1.0 for v in values)
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=6), min_size=2, max_size=25),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40)
+    def test_sampling_never_crashes(self, values, seed):
+        model = ClusterValueModel.fit(values)
+        sample = model.sample(random.Random(seed))
+        assert isinstance(sample, bytes)
+        assert math.isfinite(model.anomaly_score(sample))

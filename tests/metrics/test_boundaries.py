@@ -1,0 +1,97 @@
+import pytest
+
+from repro.core.segments import Segment
+from repro.metrics.boundaries import boundary_score, format_match_score
+from repro.segmenters.base import boundaries_to_segments
+
+
+def segs(data, cuts, msg=0):
+    return boundaries_to_segments(data, cuts, msg)
+
+
+DATA = bytes(range(20))
+
+
+class TestBoundaryScore:
+    def test_perfect_match(self):
+        true = segs(DATA, [4, 10])
+        score = boundary_score(true, segs(DATA, [4, 10]))
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_extra_boundaries_cost_precision(self):
+        true = segs(DATA, [4, 10])
+        inferred = segs(DATA, [4, 7, 10, 15])
+        score = boundary_score(true, inferred)
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == 1.0
+
+    def test_missed_boundaries_cost_recall(self):
+        true = segs(DATA, [4, 10, 15])
+        inferred = segs(DATA, [4])
+        score = boundary_score(true, inferred)
+        assert score.precision == 1.0
+        assert score.recall == pytest.approx(1 / 3)
+
+    def test_tolerance_accepts_near_misses(self):
+        true = segs(DATA, [4, 10])
+        inferred = segs(DATA, [5, 9])
+        exact = boundary_score(true, inferred, tolerance=0)
+        near = boundary_score(true, inferred, tolerance=1)
+        assert exact.matched == 0
+        assert near.matched == 2
+
+    def test_tolerance_matches_one_to_one(self):
+        true = segs(DATA, [10])
+        inferred = segs(DATA, [9, 11])
+        score = boundary_score(true, inferred, tolerance=1)
+        assert score.matched == 1  # one true boundary matches only once
+
+    def test_multi_message(self):
+        true = segs(DATA, [5], msg=0) + segs(DATA, [8], msg=1)
+        inferred = segs(DATA, [5], msg=0) + segs(DATA, [9], msg=1)
+        score = boundary_score(true, inferred)
+        assert score.matched == 1
+        assert score.true_boundaries == 2
+
+    def test_empty_inference(self):
+        score = boundary_score(segs(DATA, [5]), segs(DATA, []))
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+
+class TestFormatMatchScore:
+    def test_perfect(self):
+        true = segs(DATA, [4, 10])
+        assert format_match_score(true, segs(DATA, [4, 10])) == 1.0
+
+    def test_unsplit_message_agreement(self):
+        true = segs(DATA, [])
+        assert format_match_score(true, segs(DATA, [])) == 1.0
+        assert format_match_score(true, segs(DATA, [7])) == 0.0
+
+    def test_partial(self):
+        true = segs(DATA, [4, 10])
+        inferred = segs(DATA, [4])
+        # precision 1, recall 0.5 -> sqrt(0.5)
+        assert format_match_score(true, inferred) == pytest.approx(0.7071, abs=1e-3)
+
+    def test_average_over_messages(self):
+        true = segs(DATA, [5], msg=0) + segs(DATA, [5], msg=1)
+        inferred = segs(DATA, [5], msg=0) + segs(DATA, [9], msg=1)
+        assert format_match_score(true, inferred) == pytest.approx(0.5)
+
+    def test_real_segmenter_sanity(self):
+        from repro.protocols import get_model
+        from repro.segmenters import GroundTruthSegmenter, NemesysSegmenter
+
+        model = get_model("ntp")
+        trace = model.generate(50, seed=2).preprocess()
+        true = GroundTruthSegmenter(model).segment(trace)
+        inferred = NemesysSegmenter().segment(trace)
+        fms_exact = format_match_score(true, inferred)
+        fms_tolerant = format_match_score(true, inferred, tolerance=1)
+        assert 0.0 < fms_exact < 1.0
+        assert fms_tolerant >= fms_exact

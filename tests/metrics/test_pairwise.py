@@ -1,0 +1,105 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.pairwise import f_beta, score_clustering
+
+
+class TestFBeta:
+    def test_balanced_is_harmonic_mean(self):
+        assert f_beta(0.5, 0.5, beta=1.0) == pytest.approx(0.5)
+
+    def test_quarter_beta_weights_precision(self):
+        high_p = f_beta(1.0, 0.5)
+        high_r = f_beta(0.5, 1.0)
+        assert high_p > high_r
+
+    def test_zero_cases(self):
+        assert f_beta(0.0, 0.0) == 0.0
+        assert f_beta(0.0, 1.0) == 0.0
+
+    def test_paper_identity_perfect(self):
+        assert f_beta(1.0, 1.0) == pytest.approx(1.0)
+
+    @given(st.floats(0.01, 1), st.floats(0.01, 1))
+    def test_bounded_by_max(self, p, r):
+        f = f_beta(p, r)
+        assert 0 <= f <= max(p, r) + 1e-12
+
+
+class TestScoreClustering:
+    def test_perfect_clustering(self):
+        assignments = [(0, "a")] * 5 + [(1, "b")] * 5
+        score = score_clustering(assignments)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.fscore == pytest.approx(1.0)
+
+    def test_everything_in_one_cluster(self):
+        assignments = [(0, "a")] * 3 + [(0, "b")] * 3
+        score = score_clustering(assignments)
+        # TP = 2*C(3,2) = 6; TP+FP = C(6,2) = 15.
+        assert score.true_positives == 6
+        assert score.precision == pytest.approx(6 / 15)
+        assert score.recall == 1.0
+
+    def test_each_type_split_in_two_clusters(self):
+        assignments = [(0, "a")] * 3 + [(1, "a")] * 3
+        score = score_clustering(assignments)
+        assert score.precision == 1.0
+        # TP = 2*C(3,2) = 6; FN = 3*3 split pairs counted once = 9.
+        assert score.false_negatives == pytest.approx(9)
+        assert score.recall == pytest.approx(6 / 15)
+
+    def test_noise_counts_as_false_negatives(self):
+        assignments = [(0, "a")] * 3 + [(-1, "a")] * 2
+        score = score_clustering(assignments)
+        # cluster pairs: 3 TP.  FN: noise-noise C(2,2)=1 + cluster-noise
+        # 3*2 = 6 counted once -> total 7.
+        assert score.true_positives == 3
+        assert score.false_negatives == pytest.approx(7)
+        assert score.precision == 1.0
+
+    def test_all_noise(self):
+        score = score_clustering([(-1, "a"), (-1, "a")])
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.noise_count == 2
+
+    def test_single_segments_per_cluster(self):
+        score = score_clustering([(0, "a"), (1, "b")])
+        assert score.true_positives == 0
+        assert score.false_negatives == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(-1, 3), st.sampled_from(["a", "b", "c"])),
+            min_size=2,
+            max_size=60,
+        )
+    )
+    def test_metric_bounds_property(self, assignments):
+        score = score_clustering(assignments)
+        assert 0.0 <= score.precision <= 1.0
+        assert 0.0 <= score.recall <= 1.0
+        assert 0.0 <= score.fscore <= 1.0
+        assert score.true_positives >= 0
+        assert score.false_positives >= 0
+        assert score.false_negatives >= 0
+
+    def test_brute_force_cross_check(self):
+        # Independent O(n^2) pair enumeration over clustered segments.
+        assignments = [(0, "a"), (0, "a"), (0, "b"), (1, "b"), (1, "b"), (-1, "a")]
+        score = score_clustering(assignments)
+        clustered = [(c, t) for c, t in assignments if c != -1]
+        tp = fp = 0
+        for i in range(len(clustered)):
+            for j in range(i + 1, len(clustered)):
+                same_cluster = clustered[i][0] == clustered[j][0]
+                same_type = clustered[i][1] == clustered[j][1]
+                if same_cluster and same_type:
+                    tp += 1
+                elif same_cluster:
+                    fp += 1
+        assert score.true_positives == tp
+        assert score.false_positives == fp

@@ -1,0 +1,58 @@
+import pytest
+
+from repro.metrics import score_clustering
+from repro.msgtypes import MessageTypeClusterer
+from repro.protocols import get_model
+from repro.segmenters import GroundTruthSegmenter
+
+
+def run(proto, count=80, seed=3):
+    model = get_model(proto)
+    trace = model.generate(count, seed=seed).preprocess()
+    result = MessageTypeClusterer(GroundTruthSegmenter(model)).cluster(trace)
+    truth = [model.message_kind(m.data) for m in trace]
+    score = score_clustering(
+        [(int(label), truth[i]) for i, label in enumerate(result.labels)], beta=1.0
+    )
+    return result, score, truth
+
+
+class TestMessageTypeClustering:
+    def test_ntp_modes_separated_perfectly(self):
+        result, score, truth = run("ntp")
+        assert result.type_count == len(set(truth)) == 2
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_smb_commands_high_precision(self):
+        result, score, _ = run("smb", count=90)
+        assert score.precision >= 0.9
+        assert result.type_count >= 4
+
+    def test_dns_direction_split(self):
+        result, score, _ = run("dns")
+        assert score.precision >= 0.9
+
+    def test_labels_cover_every_message(self):
+        result, _, _ = run("ntp", count=40)
+        assert len(result.labels) == len(result.trace)
+
+    def test_assignments_api(self):
+        result, _, _ = run("ntp", count=40)
+        assignments = result.assignments()
+        assert len(assignments) == len(result.trace)
+        assert all(isinstance(i, int) and isinstance(l, int) for i, l in assignments)
+
+    def test_members_partition(self):
+        result, _, _ = run("ntp", count=40)
+        seen = set()
+        for t in range(result.type_count):
+            members = result.members(t)
+            assert not (set(members) & seen)
+            seen.update(members)
+
+    def test_tiny_trace(self):
+        model = get_model("ntp")
+        trace = model.generate(3, seed=1).preprocess()
+        result = MessageTypeClusterer(GroundTruthSegmenter(model)).cluster(trace)
+        assert len(result.labels) == len(trace)

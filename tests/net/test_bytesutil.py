@@ -1,0 +1,120 @@
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.bytesutil import (
+    format_ipv4,
+    format_mac,
+    hexdump,
+    internet_checksum,
+    is_printable,
+    parse_ipv4,
+    printable_ratio,
+    shannon_entropy,
+)
+
+
+class TestHexdump:
+    def test_empty(self):
+        assert hexdump(b"") == ""
+
+    def test_single_line(self):
+        out = hexdump(b"AB\x00")
+        assert "41 42 00" in out
+        assert "AB." in out
+
+    def test_multiple_lines(self):
+        out = hexdump(bytes(range(40)), width=16)
+        assert len(out.splitlines()) == 3
+        assert out.splitlines()[1].startswith("00000010")
+
+
+class TestPrintable:
+    def test_ascii_text_is_printable(self):
+        assert is_printable(b"hello world")
+
+    def test_binary_is_not_printable(self):
+        assert not is_printable(b"\x00\x01\x02\x03")
+
+    def test_empty_is_not_printable(self):
+        assert not is_printable(b"")
+
+    def test_threshold(self):
+        data = b"abc\x00"
+        assert not is_printable(data)
+        assert is_printable(data, threshold=0.75)
+
+    def test_ratio(self):
+        assert printable_ratio(b"ab\x00\x01") == pytest.approx(0.5)
+        assert printable_ratio(b"") == 0.0
+
+
+class TestIPv4Format:
+    def test_roundtrip(self):
+        assert format_ipv4(parse_ipv4("192.168.1.77")) == "192.168.1.77"
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3.999")
+
+    def test_parse_rejects_short(self):
+        with pytest.raises(ValueError):
+            parse_ipv4("1.2.3")
+
+    def test_format_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            format_ipv4(b"\x01\x02")
+
+    @given(st.binary(min_size=4, max_size=4))
+    def test_format_parse_roundtrip(self, addr):
+        assert parse_ipv4(format_ipv4(addr)) == addr
+
+
+class TestMacFormat:
+    def test_format(self):
+        assert format_mac(b"\x02\x00\xff\x10\x20\x30") == "02:00:ff:10:20:30"
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            format_mac(b"\x00")
+
+
+class TestChecksum:
+    def test_known_value(self):
+        # RFC 1071 example words 0001 f203 f4f5 f6f7 -> checksum 0x220d
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\x01") == internet_checksum(b"\x01\x00")
+
+    @given(st.binary(max_size=64))
+    def test_verification_property(self, data):
+        # Appending the checksum makes the total sum verify to zero.
+        checksum = internet_checksum(data)
+        if len(data) % 2:
+            data += b"\x00"
+        verified = internet_checksum(data + checksum.to_bytes(2, "big"))
+        assert verified == 0
+
+
+class TestEntropy:
+    def test_empty(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant(self):
+        assert shannon_entropy(b"\xaa" * 100) == 0.0
+
+    def test_uniform(self):
+        assert shannon_entropy(bytes(range(256))) == pytest.approx(8.0)
+
+    def test_two_symbols(self):
+        assert shannon_entropy(b"\x00\x01" * 50) == pytest.approx(1.0)
+
+    @given(st.binary(min_size=1, max_size=128))
+    def test_bounds(self, data):
+        entropy = shannon_entropy(data)
+        assert 0.0 <= entropy <= 8.0 + 1e-9
+        assert entropy <= math.log2(len(data)) + 1e-9

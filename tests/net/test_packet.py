@@ -1,0 +1,164 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    IPPROTO_UDP,
+    EthernetFrame,
+    IPv4Packet,
+    IPv6Packet,
+    PacketError,
+    TcpSegment,
+    UdpDatagram,
+    build_tcp_ipv4_frame,
+    build_udp_ipv4_frame,
+    parse_ethernet_frame,
+)
+
+SRC_IP = b"\x0a\x00\x00\x01"
+DST_IP = b"\x0a\x00\x00\x02"
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(
+            dst=b"\x02" * 6, src=b"\x04" * 6, ethertype=ETHERTYPE_IPV4, payload=b"xyz"
+        )
+        assert EthernetFrame.parse(frame.build()) == frame
+
+    def test_too_short(self):
+        with pytest.raises(PacketError):
+            EthernetFrame.parse(b"\x00" * 10)
+
+    def test_bad_mac_length(self):
+        with pytest.raises(PacketError):
+            EthernetFrame(dst=b"\x02", src=b"\x04" * 6, ethertype=0, payload=b"").build()
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=IPPROTO_UDP, payload=b"hi")
+        parsed = IPv4Packet.parse(packet.build())
+        assert parsed.src == SRC_IP
+        assert parsed.dst == DST_IP
+        assert parsed.payload == b"hi"
+
+    def test_checksum_is_emitted(self):
+        raw = IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=17, payload=b"").build()
+        assert raw[10:12] != b"\x00\x00"
+
+    def test_rejects_ipv6_version(self):
+        raw = bytearray(IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=17, payload=b"").build())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(PacketError):
+            IPv4Packet.parse(bytes(raw))
+
+    def test_rejects_short(self):
+        with pytest.raises(PacketError):
+            IPv4Packet.parse(b"\x45\x00")
+
+    def test_total_length_trims_trailing_bytes(self):
+        raw = IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=17, payload=b"abc").build()
+        parsed = IPv4Packet.parse(raw + b"\xff\xff")  # ethernet padding
+        assert parsed.payload == b"abc"
+
+    @given(st.binary(max_size=100))
+    def test_payload_roundtrip(self, payload):
+        packet = IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=17, payload=payload)
+        assert IPv4Packet.parse(packet.build()).payload == payload
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        packet = IPv6Packet(src=b"\x20" * 16, dst=b"\x30" * 16, next_header=17, payload=b"abc")
+        parsed = IPv6Packet.parse(packet.build())
+        assert parsed.payload == b"abc"
+        assert parsed.src == b"\x20" * 16
+
+    def test_rejects_ipv4(self):
+        raw = IPv4Packet(src=SRC_IP, dst=DST_IP, protocol=17, payload=b"").build()
+        with pytest.raises(PacketError):
+            IPv6Packet.parse(raw + b"\x00" * 24)
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(src_port=1234, dst_port=53, payload=b"query")
+        assert UdpDatagram.parse(datagram.build()) == datagram
+
+    def test_length_field_trims(self):
+        raw = UdpDatagram(src_port=1, dst_port=2, payload=b"ab").build()
+        parsed = UdpDatagram.parse(raw + b"pad")
+        assert parsed.payload == b"ab"
+
+    def test_rejects_bad_length(self):
+        raw = bytearray(UdpDatagram(src_port=1, dst_port=2, payload=b"").build())
+        raw[4:6] = (3).to_bytes(2, "big")  # less than the 8-byte header
+        with pytest.raises(PacketError):
+            UdpDatagram.parse(bytes(raw))
+
+
+class TestTcp:
+    def test_roundtrip(self):
+        segment = TcpSegment(
+            src_port=5000, dst_port=445, seq=7, ack=9, flags=TcpSegment.PSH, payload=b"smb"
+        )
+        parsed = TcpSegment.parse(segment.build())
+        assert parsed.payload == b"smb"
+        assert parsed.seq == 7
+        assert parsed.flags == TcpSegment.PSH
+
+    def test_rejects_short(self):
+        with pytest.raises(PacketError):
+            TcpSegment.parse(b"\x00" * 8)
+
+
+class TestFullStack:
+    def test_udp_frame_roundtrip(self):
+        raw = build_udp_ipv4_frame(b"payload", SRC_IP, DST_IP, 68, 67)
+        parsed = parse_ethernet_frame(raw)
+        assert parsed.payload == b"payload"
+        assert parsed.src_ip == SRC_IP
+        assert parsed.dst_ip == DST_IP
+        assert parsed.src_port == 68
+        assert parsed.dst_port == 67
+        assert parsed.transport == "udp"
+
+    def test_tcp_frame_roundtrip(self):
+        raw = build_tcp_ipv4_frame(b"smbdata", SRC_IP, DST_IP, 49152, 445)
+        parsed = parse_ethernet_frame(raw)
+        assert parsed.payload == b"smbdata"
+        assert parsed.transport == "tcp"
+        assert parsed.dst_port == 445
+
+    def test_unknown_ethertype_degrades(self):
+        frame = EthernetFrame(dst=b"\x02" * 6, src=b"\x04" * 6, ethertype=0x1234, payload=b"raw")
+        parsed = parse_ethernet_frame(frame.build())
+        assert parsed.payload == b"raw"
+        assert parsed.src_ip is None
+
+    @given(st.binary(max_size=200))
+    def test_arbitrary_payload_survives_stack(self, payload):
+        raw = build_udp_ipv4_frame(payload, SRC_IP, DST_IP, 123, 123)
+        assert parse_ethernet_frame(raw).payload == payload
+
+    def test_udp_ipv6_frame_roundtrip(self):
+        from repro.net.packet import build_udp_ipv6_frame
+
+        src6 = bytes([0x20, 0x01] + [0] * 13 + [1])
+        dst6 = bytes([0x20, 0x01] + [0] * 13 + [2])
+        raw = build_udp_ipv6_frame(b"v6data", src6, dst6, 546, 547)
+        parsed = parse_ethernet_frame(raw)
+        assert parsed.payload == b"v6data"
+        assert parsed.src_ip == src6
+        assert parsed.transport == "udp"
+        assert parsed.dst_port == 547
+
+    @given(st.binary(max_size=120))
+    def test_ipv6_payload_survives_stack(self, payload):
+        from repro.net.packet import build_udp_ipv6_frame
+
+        src6, dst6 = bytes(16), bytes([0xFE] * 16)
+        raw = build_udp_ipv6_frame(payload, src6, dst6, 1000, 2000)
+        assert parse_ethernet_frame(raw).payload == payload

@@ -1,0 +1,116 @@
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_USER0,
+    MAGIC_MICRO_LE,
+    PcapError,
+    PcapPacket,
+    iter_pcap,
+    read_pcap,
+    read_pcap_stream,
+    write_pcap,
+    write_pcap_stream,
+)
+
+
+def roundtrip(packets, linktype=LINKTYPE_ETHERNET):
+    buf = io.BytesIO()
+    write_pcap_stream(buf, packets, linktype=linktype)
+    buf.seek(0)
+    return read_pcap_stream(buf)
+
+
+class TestRoundtrip:
+    def test_empty_capture(self):
+        linktype, packets = roundtrip([])
+        assert linktype == LINKTYPE_ETHERNET
+        assert packets == []
+
+    def test_single_packet(self):
+        linktype, packets = roundtrip([PcapPacket(timestamp=1600000000.5, data=b"abc")])
+        assert len(packets) == 1
+        assert packets[0].data == b"abc"
+        assert packets[0].timestamp == pytest.approx(1600000000.5, abs=1e-6)
+
+    def test_linktype_preserved(self):
+        linktype, _ = roundtrip([], linktype=LINKTYPE_USER0)
+        assert linktype == LINKTYPE_USER0
+
+    def test_orig_len_preserved(self):
+        _, packets = roundtrip([PcapPacket(timestamp=0.0, data=b"ab", orig_len=100)])
+        assert packets[0].orig_len == 100
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "test.pcap"
+        original = [PcapPacket(timestamp=float(i), data=bytes([i] * i)) for i in range(1, 5)]
+        write_pcap(path, original)
+        _, packets = read_pcap(path)
+        assert [p.data for p in packets] == [p.data for p in original]
+
+    def test_iter_pcap_streams(self, tmp_path):
+        path = tmp_path / "test.pcap"
+        write_pcap(path, [PcapPacket(timestamp=0.0, data=b"x" * n) for n in range(3)])
+        sizes = [len(p.data) for p in iter_pcap(path)]
+        assert sizes == [0, 1, 2]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=2**31, allow_nan=False),
+                st.binary(max_size=64),
+            ),
+            max_size=10,
+        )
+    )
+    def test_data_roundtrip_property(self, items):
+        packets = [PcapPacket(timestamp=ts, data=data) for ts, data in items]
+        _, result = roundtrip(packets)
+        assert [p.data for p in result] == [p.data for p in packets]
+        for got, sent in zip(result, packets):
+            assert got.timestamp == pytest.approx(sent.timestamp, abs=1e-5)
+
+
+class TestMalformed:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError, match="magic"):
+            read_pcap_stream(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_header(self):
+        with pytest.raises(PcapError, match="truncated"):
+            read_pcap_stream(io.BytesIO(struct.pack("<I", MAGIC_MICRO_LE)))
+
+    def test_truncated_record(self):
+        buf = io.BytesIO()
+        write_pcap_stream(buf, [PcapPacket(timestamp=0.0, data=b"abcdef")])
+        raw = buf.getvalue()
+        with pytest.raises(PcapError, match="truncated"):
+            read_pcap_stream(io.BytesIO(raw[:-3]))
+
+    def test_partial_record_header(self):
+        buf = io.BytesIO()
+        write_pcap_stream(buf, [])
+        raw = buf.getvalue() + b"\x00" * 7
+        with pytest.raises(PcapError, match="partial record header"):
+            read_pcap_stream(io.BytesIO(raw))
+
+    def test_big_endian_read(self):
+        # Hand-build a big-endian capture with one packet.
+        header = struct.pack(">IHHiIII", MAGIC_MICRO_LE, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack(">IIII", 10, 500000, 3, 3) + b"abc"
+        _, packets = read_pcap_stream(io.BytesIO(header + record))
+        assert packets[0].data == b"abc"
+        assert packets[0].timestamp == pytest.approx(10.5)
+
+    def test_microsecond_rounding_spillover(self):
+        # 0.9999995 rounds to 1000000 usec and must carry into seconds.
+        buf = io.BytesIO()
+        write_pcap_stream(buf, [PcapPacket(timestamp=1.9999995, data=b"")])
+        buf.seek(0)
+        _, packets = read_pcap_stream(buf)
+        assert packets[0].timestamp == pytest.approx(2.0)

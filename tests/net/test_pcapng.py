@@ -1,0 +1,89 @@
+import io
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.pcap import PcapError, PcapPacket
+from repro.net.pcapng import (
+    read_pcapng,
+    read_pcapng_stream,
+    write_pcapng,
+    write_pcapng_stream,
+)
+
+
+def roundtrip(packets, linktype=1):
+    buf = io.BytesIO()
+    write_pcapng_stream(buf, packets, linktype=linktype)
+    buf.seek(0)
+    return read_pcapng_stream(buf)
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        interfaces, packets = roundtrip([])
+        assert len(interfaces) == 1
+        assert interfaces[0].linktype == 1
+        assert packets == []
+
+    def test_single_packet(self):
+        _, packets = roundtrip([PcapPacket(timestamp=1234.25, data=b"hello")])
+        assert packets[0].data == b"hello"
+        assert packets[0].timestamp == pytest.approx(1234.25, abs=1e-6)
+
+    def test_linktype(self):
+        interfaces, _ = roundtrip([], linktype=147)
+        assert interfaces[0].linktype == 147
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "capture.pcapng"
+        write_pcapng(path, [PcapPacket(timestamp=5.0, data=b"\x01\x02")])
+        interfaces, packets = read_pcapng(path)
+        assert packets[0].data == b"\x01\x02"
+
+    @given(st.lists(st.binary(max_size=50), max_size=8))
+    def test_payload_roundtrip_property(self, payloads):
+        packets = [PcapPacket(timestamp=float(i), data=d) for i, d in enumerate(payloads)]
+        _, result = roundtrip(packets)
+        assert [p.data for p in result] == payloads
+
+
+class TestMalformed:
+    def test_truncated(self):
+        buf = io.BytesIO()
+        write_pcapng_stream(buf, [PcapPacket(timestamp=0.0, data=b"abcdef")])
+        raw = buf.getvalue()
+        with pytest.raises(PcapError):
+            read_pcapng_stream(io.BytesIO(raw[:-5]))
+
+    def test_epb_with_unknown_interface(self):
+        buf = io.BytesIO()
+        write_pcapng_stream(buf, [])
+        # Append an EPB referencing interface 5.
+        body = struct.pack("<IIIII", 5, 0, 0, 0, 0)
+        total = 12 + len(body)
+        buf.write(struct.pack("<II", 0x00000006, total) + body + struct.pack("<I", total))
+        buf.seek(0)
+        with pytest.raises(PcapError, match="unknown interface"):
+            read_pcapng_stream(buf)
+
+    def test_block_length_mismatch(self):
+        buf = io.BytesIO()
+        write_pcapng_stream(buf, [PcapPacket(timestamp=0.0, data=b"abcd")])
+        raw = bytearray(buf.getvalue())
+        raw[-4:] = struct.pack("<I", 9999)  # corrupt trailing length of last block
+        with pytest.raises(PcapError, match="mismatch"):
+            read_pcapng_stream(io.BytesIO(bytes(raw)))
+
+    def test_unknown_block_skipped(self):
+        buf = io.BytesIO()
+        write_pcapng_stream(buf, [PcapPacket(timestamp=0.0, data=b"keep")])
+        # Insert a Name Resolution Block (type 4) at the end: must be ignored.
+        body = b"\x00" * 8
+        total = 12 + len(body)
+        buf.write(struct.pack("<II", 0x00000004, total) + body + struct.pack("<I", total))
+        buf.seek(0)
+        _, packets = read_pcapng_stream(buf)
+        assert [p.data for p in packets] == [b"keep"]

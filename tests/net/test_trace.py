@@ -1,0 +1,114 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import build_udp_ipv4_frame
+from repro.net.pcap import PcapPacket, write_pcap
+from repro.net.trace import Trace, TraceMessage, concat, deduplicate, load_trace, port_filter
+
+
+def make_trace(payloads, protocol="test", **kwargs):
+    return Trace(
+        messages=[TraceMessage(data=p, **kwargs) for p in payloads], protocol=protocol
+    )
+
+
+class TestTraceBasics:
+    def test_len_and_iter(self):
+        trace = make_trace([b"a", b"b"])
+        assert len(trace) == 2
+        assert [m.data for m in trace] == [b"a", b"b"]
+
+    def test_indexing_and_slicing(self):
+        trace = make_trace([b"a", b"b", b"c"])
+        assert trace[1].data == b"b"
+        sliced = trace[:2]
+        assert isinstance(sliced, Trace)
+        assert len(sliced) == 2
+        assert sliced.protocol == "test"
+
+    def test_total_bytes(self):
+        assert make_trace([b"ab", b"cde"]).total_bytes == 5
+
+    def test_truncate(self):
+        trace = make_trace([bytes([i]) for i in range(10)])
+        assert len(trace.truncate(3)) == 3
+        assert len(trace.truncate(100)) == 10
+
+
+class TestPreprocess:
+    def test_deduplicate_keeps_first(self):
+        trace = make_trace([b"x", b"y", b"x", b"z", b"y"])
+        assert [m.data for m in trace.deduplicate()] == [b"x", b"y", b"z"]
+
+    def test_preprocess_drops_empty(self):
+        trace = make_trace([b"", b"a", b""])
+        assert [m.data for m in trace.preprocess()] == [b"a"]
+
+    def test_preprocess_filters(self):
+        trace = Trace(
+            messages=[
+                TraceMessage(data=b"dns", dst_port=53),
+                TraceMessage(data=b"ntp", dst_port=123),
+            ]
+        )
+        result = trace.preprocess(predicate=port_filter(53))
+        assert [m.data for m in result] == [b"dns"]
+
+    def test_deduplicate_function_stable(self):
+        messages = [TraceMessage(data=b"a", timestamp=1.0), TraceMessage(data=b"a", timestamp=2.0)]
+        unique = deduplicate(messages)
+        assert len(unique) == 1
+        assert unique[0].timestamp == 1.0
+
+    @given(st.lists(st.binary(max_size=4), max_size=30))
+    def test_deduplicate_property(self, payloads):
+        unique = deduplicate(TraceMessage(data=p) for p in payloads)
+        datas = [m.data for m in unique]
+        assert len(set(datas)) == len(datas)
+        assert set(datas) == set(payloads)
+
+
+class TestPortFilter:
+    def test_matches_either_side(self):
+        predicate = port_filter(67, 68)
+        assert predicate(TraceMessage(data=b"", src_port=68, dst_port=67))
+        assert predicate(TraceMessage(data=b"", src_port=67))
+        assert not predicate(TraceMessage(data=b"", src_port=53, dst_port=53))
+
+
+class TestLoadTrace:
+    def test_load_from_pcap(self, tmp_path):
+        frames = [
+            build_udp_ipv4_frame(b"ntp1", b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 123, 123),
+            build_udp_ipv4_frame(b"dns1", b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x03", 5353, 53),
+        ]
+        path = tmp_path / "mix.pcap"
+        write_pcap(path, [PcapPacket(timestamp=float(i), data=f) for i, f in enumerate(frames)])
+        trace = load_trace(path, protocol="ntp", port=123)
+        assert len(trace) == 1
+        assert trace[0].data == b"ntp1"
+        assert trace[0].src_port == 123
+
+    def test_load_raw_linktype(self, tmp_path):
+        path = tmp_path / "raw.pcap"
+        write_pcap(path, [PcapPacket(timestamp=0.0, data=b"awdlframe")], linktype=148)
+        trace = load_trace(path, protocol="awdl")
+        assert trace[0].data == b"awdlframe"
+        assert trace[0].src_ip is None
+
+    def test_unparseable_frame_kept_raw(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        write_pcap(path, [PcapPacket(timestamp=0.0, data=b"short")])
+        trace = load_trace(path)
+        assert trace[0].data == b"short"
+
+
+class TestConcat:
+    def test_concat_order(self):
+        merged = concat([make_trace([b"a"]), make_trace([b"b"])])
+        assert [m.data for m in merged] == [b"a", b"b"]
+        assert merged.protocol == "test"
+
+    def test_concat_empty(self):
+        assert len(concat([])) == 0

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.protocols.base import (
+    DissectionError,
+    Field,
+    FieldBuilder,
+    validate_tiling,
+)
+
+
+class TestField:
+    def test_value_extraction(self):
+        field = Field(offset=2, length=3, ftype="bytes", name="x")
+        assert field.value(b"abcdefg") == b"cde"
+        assert field.end == 5
+
+
+class TestFieldBuilder:
+    def test_sequential_consumption(self):
+        builder = FieldBuilder(b"\x01\x02\x03\x04")
+        assert builder.add(1, "uint8", "a") == b"\x01"
+        assert builder.add(3, "bytes", "b") == b"\x02\x03\x04"
+        fields = builder.finish()
+        assert [f.offset for f in fields] == [0, 1]
+
+    def test_peek_does_not_consume(self):
+        builder = FieldBuilder(b"abcd")
+        assert builder.peek(2) == b"ab"
+        assert builder.peek(2, at=1) == b"bc"
+        assert builder.offset == 0
+
+    def test_remaining(self):
+        builder = FieldBuilder(b"abcd")
+        builder.add(1, "uint8", "a")
+        assert builder.remaining == 3
+
+    def test_overrun_raises(self):
+        builder = FieldBuilder(b"ab")
+        with pytest.raises(DissectionError, match="exceeds"):
+            builder.add(3, "bytes", "too-long")
+
+    def test_zero_length_field_raises(self):
+        builder = FieldBuilder(b"ab")
+        with pytest.raises(DissectionError, match="non-positive"):
+            builder.add(0, "bytes", "empty")
+
+    def test_finish_requires_exhaustion(self):
+        builder = FieldBuilder(b"abcd")
+        builder.add(2, "bytes", "half")
+        with pytest.raises(DissectionError, match="stopped at 2"):
+            builder.finish()
+
+    def test_finish_relaxed(self):
+        builder = FieldBuilder(b"abcd")
+        builder.add(2, "bytes", "half")
+        assert len(builder.finish(expect_exhausted=False)) == 1
+
+
+class TestValidateTiling:
+    def test_accepts_exact_tiling(self):
+        fields = [
+            Field(offset=0, length=2, ftype="a", name="x"),
+            Field(offset=2, length=2, ftype="b", name="y"),
+        ]
+        validate_tiling(fields, b"abcd")  # no exception
+
+    def test_rejects_gap(self):
+        fields = [
+            Field(offset=0, length=1, ftype="a", name="x"),
+            Field(offset=2, length=2, ftype="b", name="y"),
+        ]
+        with pytest.raises(DissectionError, match="starts at 2"):
+            validate_tiling(fields, b"abcd")
+
+    def test_rejects_overlap(self):
+        fields = [
+            Field(offset=0, length=3, ftype="a", name="x"),
+            Field(offset=2, length=2, ftype="b", name="y"),
+        ]
+        with pytest.raises(DissectionError):
+            validate_tiling(fields, b"abcd")
+
+    def test_rejects_short_coverage(self):
+        fields = [Field(offset=0, length=2, ftype="a", name="x")]
+        with pytest.raises(DissectionError, match="cover 2 of 4"):
+            validate_tiling(fields, b"abcd")
+
+
+class TestMessageKindDefault:
+    def test_base_raises_not_implemented(self):
+        from repro.protocols.base import ProtocolModel
+
+        class Stub(ProtocolModel):
+            name = "stub"
+
+            def generate(self, count, seed=0):
+                raise NotImplementedError
+
+            def dissect(self, data):
+                return []
+
+        with pytest.raises(NotImplementedError):
+            Stub().message_kind(b"")

@@ -1,0 +1,106 @@
+import struct
+
+import pytest
+
+from repro.protocols.base import DissectionError
+from repro.protocols.dhcp import (
+    ACK,
+    DISCOVER,
+    MAGIC_COOKIE,
+    OFFER,
+    OPT_MSG_TYPE,
+    REQUEST,
+    DhcpModel,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return DhcpModel().generate(400, seed=4)
+
+
+def msg_type(model, data):
+    fields = model.dissect(data)
+    for index, field in enumerate(fields):
+        if field.name.startswith("opt_code") and field.value(data)[0] == OPT_MSG_TYPE:
+            return fields[index + 2].value(data)[0]
+    return None
+
+
+class TestGenerator:
+    def test_dora_sequence(self, trace):
+        model = DhcpModel()
+        kinds = [msg_type(model, m.data) for m in trace[:4]]
+        assert kinds == [DISCOVER, OFFER, REQUEST, ACK]
+
+    def test_xid_shared_within_exchange(self, trace):
+        xids = [m.data[4:8] for m in trace[:4]]
+        assert len(set(xids)) == 1
+
+    def test_bootp_ports(self, trace):
+        for m in trace:
+            assert {m.src_port, m.dst_port} == {67, 68}
+
+    def test_magic_cookie_at_fixed_offset(self, trace):
+        assert all(m.data[236:240] == MAGIC_COOKIE for m in trace)
+
+    def test_offer_assigns_yiaddr(self, trace):
+        model = DhcpModel()
+        offer = next(m for m in trace if msg_type(model, m.data) == OFFER)
+        assert offer.data[16:20] != bytes(4)
+
+    def test_sname_sometimes_populated(self, trace):
+        populated = [m for m in trace if m.data[44] != 0]
+        assert populated, "expected some OFFER/ACK with server host name"
+
+
+class TestDissector:
+    def test_fixed_header_layout(self, trace):
+        fields = DhcpModel().dissect(trace[0].data)
+        by_name = {f.name: f for f in fields}
+        assert by_name["op"].offset == 0
+        assert by_name["xid"].offset == 4
+        assert by_name["xid"].ftype == "id"
+        assert by_name["chaddr"].offset == 28
+        assert by_name["chaddr"].ftype == "macaddr"
+        assert by_name["sname"].offset == 44
+        assert by_name["file"].offset == 108
+        assert by_name["magic_cookie"].offset == 236
+
+    def test_sname_type_depends_on_content(self, trace):
+        model = DhcpModel()
+        types = set()
+        for m in trace:
+            by_name = {f.name: f for f in model.dissect(m.data)}
+            types.add(by_name["sname"].ftype)
+        assert types == {"pad", "chars"}
+
+    def test_client_id_option_dissected(self, trace):
+        fields = DhcpModel().dissect(trace[0].data)  # DISCOVER has option 61
+        mac_fields = [f for f in fields if f.name.endswith(".mac")]
+        assert mac_fields and mac_fields[0].ftype == "macaddr"
+        assert mac_fields[0].length == 6
+
+    def test_dns_option_split_per_address(self, trace):
+        model = DhcpModel()
+        offer = next(m for m in trace if msg_type(model, m.data) == OFFER)
+        fields = model.dissect(offer.data)
+        addr_fields = [f for f in fields if ".addr[" in f.name]
+        assert len(addr_fields) == 2  # two DNS servers configured
+
+    def test_rejects_missing_magic(self, trace):
+        data = bytearray(trace[0].data)
+        data[236] ^= 0xFF
+        with pytest.raises(DissectionError, match="magic"):
+            DhcpModel().dissect(bytes(data))
+
+    def test_rejects_short_message(self):
+        with pytest.raises(DissectionError):
+            DhcpModel().dissect(b"\x01" * 100)
+
+    def test_unterminated_options_raise(self, trace):
+        # Strip the END option: dissection must complain.
+        data = trace[0].data
+        assert data[-1] == 255
+        with pytest.raises(DissectionError):
+            DhcpModel().dissect(data[:-1])

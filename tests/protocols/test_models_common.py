@@ -1,0 +1,99 @@
+"""Cross-cutting tests every protocol model must satisfy."""
+
+import pytest
+
+from repro.protocols import available_protocols, get_model, validate_tiling
+from repro.protocols.fieldtypes import ALL_TYPES
+
+PROTOCOLS = available_protocols()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    """One small trace per protocol, generated once."""
+    return {name: get_model(name).generate(40, seed=7) for name in PROTOCOLS}
+
+
+@pytest.mark.parametrize("name", PROTOCOLS)
+class TestModelContract:
+    def test_generates_requested_count(self, name, traces):
+        assert len(traces[name]) == 40
+
+    def test_protocol_label(self, name, traces):
+        assert traces[name].protocol == name
+
+    def test_deterministic(self, name):
+        model = get_model(name)
+        first = [m.data for m in model.generate(15, seed=3)]
+        second = [m.data for m in model.generate(15, seed=3)]
+        assert first == second
+
+    def test_seed_changes_content(self, name):
+        model = get_model(name)
+        first = [m.data for m in model.generate(15, seed=1)]
+        second = [m.data for m in model.generate(15, seed=2)]
+        assert first != second
+
+    def test_dissection_tiles_every_message(self, name, traces):
+        model = get_model(name)
+        for message in traces[name]:
+            fields = model.dissect(message.data)
+            validate_tiling(fields, message.data)
+
+    def test_field_types_are_canonical(self, name, traces):
+        model = get_model(name)
+        for message in traces[name]:
+            for field in model.dissect(message.data):
+                assert field.ftype in ALL_TYPES, field
+
+    def test_messages_nonempty(self, name, traces):
+        assert all(len(m.data) > 0 for m in traces[name])
+
+    def test_timestamps_nondecreasing(self, name, traces):
+        stamps = [m.timestamp for m in traces[name]]
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+    def test_trace_has_value_variance(self, name, traces):
+        # De-duplication must leave most of the trace: generators must not
+        # emit byte-identical messages over and over.
+        unique = traces[name].deduplicate()
+        assert len(unique) >= 0.5 * len(traces[name])
+
+    def test_ip_context_flag_matches_messages(self, name, traces):
+        model = get_model(name)
+        has_addresses = any(m.src_ip is not None for m in traces[name])
+        assert has_addresses == model.has_ip_context
+
+
+class TestDissectorFuzz:
+    """Hypothesis-driven generate->dissect round trips across seeds."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(seed=st.integers(0, 10_000), proto=st.sampled_from(PROTOCOLS))
+    @settings(max_examples=40, deadline=None)
+    def test_any_seed_dissects_cleanly(self, seed, proto):
+        model = get_model(proto)
+        trace = model.generate(6, seed=seed)
+        for message in trace:
+            validate_tiling(model.dissect(message.data), message.data)
+
+    @given(seed=st.integers(0, 10_000), proto=st.sampled_from(PROTOCOLS))
+    @settings(max_examples=25, deadline=None)
+    def test_any_seed_has_message_kinds(self, seed, proto):
+        model = get_model(proto)
+        for message in model.generate(6, seed=seed):
+            assert isinstance(model.message_kind(message.data), str)
+
+
+class TestRegistry:
+    def test_all_seven_protocols(self):
+        assert PROTOCOLS == ["au", "awdl", "dhcp", "dns", "nbns", "ntp", "smb"]
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(KeyError, match="unknown protocol"):
+            get_model("quic")
+
+    def test_case_insensitive(self):
+        assert get_model("NTP").name == "ntp"

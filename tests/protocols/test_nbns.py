@@ -1,0 +1,104 @@
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.base import DissectionError
+from repro.protocols.nbns import (
+    NbnsModel,
+    decode_netbios_name,
+    encode_netbios_name,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return NbnsModel().generate(300, seed=4)
+
+
+class TestNameEncoding:
+    def test_wire_length_always_34(self):
+        assert len(encode_netbios_name("HOST", 0x20)) == 34
+
+    def test_roundtrip(self):
+        wire = encode_netbios_name("FILESERVER", 0x20)
+        name, suffix = decode_netbios_name(wire)
+        assert name == "FILESERVER"
+        assert suffix == 0x20
+
+    def test_encoding_alphabet(self):
+        wire = encode_netbios_name("A", 0)
+        assert all(ord("A") <= b <= ord("P") for b in wire[1:33])
+
+    def test_decode_rejects_bad_frame(self):
+        with pytest.raises(DissectionError):
+            decode_netbios_name(b"\x20" + b"Z" * 32 + b"\x00")
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(DissectionError):
+            decode_netbios_name(b"\x20" + b"A" * 10)
+
+    @given(
+        st.text(
+            alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-"),
+            min_size=1,
+            max_size=15,
+        ),
+        st.integers(0, 255),
+    )
+    def test_roundtrip_property(self, name, suffix):
+        decoded_name, decoded_suffix = decode_netbios_name(
+            encode_netbios_name(name, suffix)
+        )
+        assert decoded_name == name.rstrip()
+        assert decoded_suffix == suffix
+
+
+class TestGenerator:
+    def test_port_137_both_sides(self, trace):
+        assert all(m.src_port == 137 and m.dst_port == 137 for m in trace)
+
+    def test_contains_queries_and_registrations(self, trace):
+        opcodes = {(struct.unpack("!H", m.data[2:4])[0] >> 11) & 0xF for m in trace}
+        assert 0 in opcodes  # query
+        assert 5 in opcodes  # registration
+
+    def test_responses_carry_address_rdata(self, trace):
+        response = next(m for m in trace if m.direction == "response")
+        ancount = struct.unpack("!H", m.data[6:8])[0] if False else None
+        fields = NbnsModel().dissect(response.data)
+        assert any(f.name.startswith("nb_address") for f in fields)
+
+
+class TestDissector:
+    def test_query_structure(self, trace):
+        model = NbnsModel()
+        query = next(
+            m
+            for m in trace
+            if m.direction == "request"
+            and struct.unpack("!H", m.data[4:6])[0] == 1
+            and struct.unpack("!H", m.data[10:12])[0] == 0
+        )
+        fields = model.dissect(query.data)
+        names = [f.name for f in fields]
+        assert "qname[0]" in names
+        qname = next(f for f in fields if f.name == "qname[0]")
+        assert qname.length == 34
+        assert qname.ftype == "nbname"
+
+    def test_registration_has_additional_record(self, trace):
+        model = NbnsModel()
+        registration = next(
+            m
+            for m in trace
+            if (struct.unpack("!H", m.data[2:4])[0] >> 11) & 0xF == 5
+        )
+        fields = model.dissect(registration.data)
+        assert any(f.name.startswith("rrname") for f in fields)
+        assert any(f.name.startswith("nb_address") for f in fields)
+
+    def test_rejects_truncated(self, trace):
+        with pytest.raises(DissectionError):
+            NbnsModel().dissect(trace[0].data[:20])

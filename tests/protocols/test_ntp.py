@@ -1,0 +1,108 @@
+import struct
+
+import pytest
+
+from repro.protocols.base import DissectionError
+from repro.protocols.ntp import (
+    CAPTURE_EPOCH_UNIX,
+    MODE_CLIENT,
+    MODE_SERVER,
+    NTP_UNIX_DELTA,
+    NtpModel,
+    pack_timestamp,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return NtpModel().generate(200, seed=3)
+
+
+class TestPackTimestamp:
+    def test_era_offset(self):
+        raw = pack_timestamp(0.0)
+        seconds = struct.unpack("!I", raw[:4])[0]
+        assert seconds == NTP_UNIX_DELTA
+
+    def test_fraction_encodes_subsecond(self):
+        raw = pack_timestamp(1.5)
+        fraction = struct.unpack("!I", raw[4:])[0]
+        assert fraction == pytest.approx(1 << 31, rel=0.01)
+
+    def test_rng_randomizes_low_fraction_bits_only(self):
+        import random
+
+        a = pack_timestamp(100.25, random.Random(1))
+        b = pack_timestamp(100.25, random.Random(2))
+        assert a[:6] == b[:6]
+        assert a[6:] != b[6:]
+
+
+class TestGenerator:
+    def test_all_messages_48_bytes(self, trace):
+        assert all(len(m.data) == 48 for m in trace)
+
+    def test_requests_and_responses_alternate_modes(self, trace):
+        modes = [m.data[0] & 0x07 for m in trace]
+        assert set(modes) <= {MODE_CLIENT, MODE_SERVER}
+        assert MODE_CLIENT in modes and MODE_SERVER in modes
+
+    def test_request_has_zero_origin_and_receive(self, trace):
+        request = next(m for m in trace if m.data[0] & 0x07 == MODE_CLIENT)
+        assert request.data[24:32] == bytes(8)  # origin
+        assert request.data[32:40] == bytes(8)  # receive
+
+    def test_response_origin_echoes_request_transmit(self, trace):
+        # First request/response pair in capture order.
+        request = trace[0]
+        response = trace[1]
+        assert request.data[0] & 0x07 == MODE_CLIENT
+        assert response.data[0] & 0x07 == MODE_SERVER
+        # High 6 bytes match (low fraction bits are independent noise).
+        assert response.data[24:30] == request.data[40:46]
+
+    def test_timestamps_in_capture_era(self, trace):
+        response = next(m for m in trace if m.data[0] & 0x07 == MODE_SERVER)
+        seconds = struct.unpack("!I", response.data[40:44])[0]
+        unix = seconds - NTP_UNIX_DELTA
+        assert abs(unix - CAPTURE_EPOCH_UNIX) < 10 * 24 * 3600
+
+    def test_server_port_context(self, trace):
+        response = next(m for m in trace if m.data[0] & 0x07 == MODE_SERVER)
+        assert response.src_port == 123
+
+    def test_stratum_ranges(self, trace):
+        for m in trace:
+            mode = m.data[0] & 0x07
+            stratum = m.data[1]
+            if mode == MODE_CLIENT:
+                assert stratum == 0
+            else:
+                assert 1 <= stratum <= 3
+
+
+class TestDissector:
+    def test_eleven_fields(self, trace):
+        fields = NtpModel().dissect(trace[0].data)
+        assert len(fields) == 11
+        assert [f.length for f in fields] == [1, 1, 1, 1, 4, 4, 4, 8, 8, 8, 8]
+
+    def test_refid_type_follows_stratum(self, trace):
+        model = NtpModel()
+        for m in trace[:50]:
+            refid = model.dissect(m.data)[6]
+            stratum = m.data[1]
+            if stratum == 0:
+                assert refid.ftype == "pad"
+            elif stratum == 1:
+                assert refid.ftype == "chars"
+            else:
+                assert refid.ftype == "ipv4"
+
+    def test_four_timestamps(self, trace):
+        fields = NtpModel().dissect(trace[0].data)
+        assert sum(1 for f in fields if f.ftype == "timestamp") == 4
+
+    def test_rejects_short_message(self):
+        with pytest.raises(DissectionError):
+            NtpModel().dissect(b"\x00" * 20)

@@ -1,0 +1,116 @@
+"""The traffic models' population knobs must have their documented effect."""
+
+import pytest
+
+from repro.protocols.au import AuModel
+from repro.protocols.awdl import SUBTYPE_PSF, AwdlModel
+from repro.protocols.dhcp import DhcpModel
+from repro.protocols.dns import DnsModel
+from repro.protocols.nbns import NbnsModel
+from repro.protocols.ntp import MODE_SERVER, NtpModel
+from repro.protocols.smb import SmbModel
+
+
+class TestNtpParameters:
+    def test_more_servers_more_server_addresses(self):
+        few = NtpModel(server_count=1).generate(200, seed=1)
+        many = NtpModel(server_count=8).generate(200, seed=1)
+
+        def server_ips(trace):
+            return {m.src_ip for m in trace if m.data[0] & 7 == MODE_SERVER}
+
+        assert len(server_ips(many)) > len(server_ips(few))
+
+
+class TestDnsParameters:
+    def test_unanswered_rate_extremes(self):
+        answered = DnsModel(unanswered_rate=0.0).generate(100, seed=1)
+        unanswered = DnsModel(unanswered_rate=1.0).generate(100, seed=1)
+        assert any(m.direction == "response" for m in answered)
+        assert all(m.direction == "request" for m in unanswered)
+
+    def test_fully_random_txids_have_more_unique_values(self):
+        sequential = DnsModel(randomizing_fraction=0.0).generate(300, seed=1)
+        randomized = DnsModel(randomizing_fraction=1.0).generate(300, seed=1)
+
+        def txids(trace):
+            return {m.data[:2] for m in trace if m.direction == "request"}
+
+        assert len(txids(randomized)) >= len(txids(sequential))
+
+
+class TestDhcpParameters:
+    def test_sname_rate_zero_means_all_zero_sname(self):
+        trace = DhcpModel(sname_rate=0.0, bootfile_rate=0.0).generate(200, seed=1)
+        assert all(m.data[44] == 0 for m in trace)
+
+    def test_sname_rate_one_fills_server_messages(self):
+        model = DhcpModel(sname_rate=1.0)
+        trace = model.generate(200, seed=1)
+        offers = [m for m in trace if m.data[0] == 2]
+        assert offers
+        assert all(m.data[44] != 0 for m in offers)
+
+    def test_client_count_controls_mac_diversity(self):
+        few = DhcpModel(client_count=2).generate(300, seed=1)
+        many = DhcpModel(client_count=50).generate(300, seed=1)
+        assert len({m.data[28:34] for m in many}) > len({m.data[28:34] for m in few})
+
+
+class TestSmbParameters:
+    def test_client_count_controls_address_diversity(self):
+        few = SmbModel(client_count=2).generate(200, seed=1)
+        many = SmbModel(client_count=30).generate(200, seed=1)
+
+        def client_ips(trace):
+            return {m.src_ip for m in trace if m.direction == "request"}
+
+        assert len(client_ips(many)) > len(client_ips(few))
+
+
+class TestAwdlParameters:
+    def test_psf_fraction_extremes(self):
+        all_psf = AwdlModel(psf_fraction=1.0).generate(100, seed=1)
+        no_psf = AwdlModel(psf_fraction=0.0).generate(100, seed=1)
+        assert all(m.data[6] == SUBTYPE_PSF for m in all_psf)
+        assert all(m.data[6] != SUBTYPE_PSF for m in no_psf)
+
+    def test_peer_count_controls_sender_diversity(self):
+        few = AwdlModel(peer_count=2).generate(200, seed=1)
+        many = AwdlModel(peer_count=12).generate(200, seed=1)
+        assert len({m.extra["sender"] for m in many}) > len(
+            {m.extra["sender"] for m in few}
+        )
+
+
+class TestAuParameters:
+    def test_close_range_extremes(self):
+        model = AuModel(close_range_fraction=0.0)
+        far = model.generate(100, seed=1)
+        values = []
+        for m in far:
+            for f in model.dissect(m.data):
+                if f.name.startswith("measurement["):
+                    values.append(int.from_bytes(f.value(m.data), "big"))
+        # Without close-range exchanges no tiny time-of-flight words occur.
+        assert values
+        assert min(values) >= 0x20000
+
+    def test_new_session_rate_one_changes_session_often(self):
+        model = AuModel(new_session_rate=1.0)
+        trace = model.generate(60, seed=1)
+        sessions = {m.data[4:8] for m in trace}
+        assert len(sessions) > 30
+
+
+class TestNbnsParameters:
+    def test_registration_only_mode(self):
+        trace = NbnsModel(query_fraction=0.0).generate(100, seed=1)
+        import struct
+
+        opcodes = {(struct.unpack("!H", m.data[2:4])[0] >> 11) & 0xF for m in trace}
+        assert opcodes == {5}
+
+    def test_no_responses_when_rate_zero(self):
+        trace = NbnsModel(response_rate=0.0, query_fraction=1.0).generate(100, seed=1)
+        assert all(m.direction == "request" for m in trace)

@@ -1,0 +1,59 @@
+import pytest
+
+from repro.protocols import get_model
+from repro.protocols.render import render_dissection, render_field, render_side_by_side
+from repro.segmenters import NemesysSegmenter
+
+
+@pytest.fixture(scope="module")
+def ntp():
+    model = get_model("ntp")
+    trace = model.generate(5, seed=1)
+    return model, trace
+
+
+class TestRenderDissection:
+    def test_all_fields_listed(self, ntp):
+        model, trace = ntp
+        out = render_dissection(model, trace[0].data)
+        assert "transmit_timestamp" in out
+        assert "li_vn_mode" in out
+        assert out.count("\n") == 2 + 11 - 1  # header + separator + 11 fields
+
+    def test_kind_in_header(self, ntp):
+        model, trace = ntp
+        out = render_dissection(model, trace[0].data)
+        assert "(client)" in out or "(server)" in out
+
+    def test_every_protocol_renders(self):
+        for name in ("dns", "dhcp", "smb", "awdl", "au", "nbns"):
+            model = get_model(name)
+            trace = model.generate(3, seed=2)
+            out = render_dissection(model, trace[0].data)
+            assert model.name.upper() in out
+
+    def test_field_line_format(self, ntp):
+        model, trace = ntp
+        fields = model.dissect(trace[0].data)
+        line = render_field(fields[0], trace[0].data)
+        assert line.startswith("   0:1")
+        assert "flags" in line
+
+
+class TestSideBySide:
+    def test_verdicts_present(self, ntp):
+        model, trace = ntp
+        data = trace[1].data  # server response: non-zero timestamps
+        boundaries = NemesysSegmenter().boundaries(data)
+        out = render_side_by_side(model, data, boundaries)
+        assert "true field" in out
+        # NEMESYS on NTP always splits some timestamp (paper Figure 3).
+        assert "! split at" in out
+
+    def test_exact_match_with_true_boundaries(self, ntp):
+        model, trace = ntp
+        data = trace[0].data
+        true_cuts = [f.offset for f in model.dissect(data)][1:]
+        out = render_side_by_side(model, data, true_cuts)
+        assert "!" not in out
+        assert out.count("= exact") == 11

@@ -1,0 +1,130 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.trace import Trace, TraceMessage
+from repro.segmenters.alignment import needleman_wunsch, pick_center, star_align
+from repro.segmenters.base import SegmenterResourceError
+from repro.segmenters.netzob import NetzobSegmenter
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        alignment = needleman_wunsch(b"abc", b"abc")
+        assert alignment.pairs == ((0, 0), (1, 1), (2, 2))
+
+    def test_insertion(self):
+        alignment = needleman_wunsch(b"ac", b"abc")
+        matched = [(i, j) for i, j in alignment.pairs if i is not None and j is not None]
+        assert (0, 0) in matched
+        assert (1, 2) in matched
+
+    def test_empty_sequences(self):
+        alignment = needleman_wunsch(b"", b"ab")
+        assert alignment.pairs == ((None, 0), (None, 1))
+
+    def test_score_identity_higher_than_mismatch(self):
+        same = needleman_wunsch(b"abcd", b"abcd").score
+        different = needleman_wunsch(b"abcd", b"wxyz").score
+        assert same > different
+
+    @given(st.binary(max_size=12), st.binary(max_size=12))
+    @settings(max_examples=60)
+    def test_alignment_is_consistent(self, a, b):
+        alignment = needleman_wunsch(a, b)
+        # Every position of both sequences appears exactly once, in order.
+        a_positions = [i for i, _ in alignment.pairs if i is not None]
+        b_positions = [j for _, j in alignment.pairs if j is not None]
+        assert a_positions == list(range(len(a)))
+        assert b_positions == list(range(len(b)))
+
+
+class TestStarAlign:
+    def test_center_is_median_length(self):
+        messages = [b"a", b"bbbbbb", b"ccc"]
+        assert pick_center(messages) == 2
+
+    def test_columns_collect_values(self):
+        messages = [b"aXc", b"aYc", b"aZc"]
+        star = star_align(messages)
+        assert star.columns[0] == {ord("a")}
+        assert star.columns[1] == {ord("X"), ord("Y"), ord("Z")}
+        assert star.columns[2] == {ord("c")}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            star_align([])
+
+
+class TestNetzobSegmenter:
+    def test_static_dynamic_boundary(self):
+        # 4 static bytes + 4 dynamic bytes: one boundary at offset 4.
+        messages = [b"HDR!" + bytes([i, i * 2 % 256, 255 - i, i ^ 0x5A]) for i in range(40)]
+        trace = Trace(messages=[TraceMessage(data=m) for m in messages])
+        segments = NetzobSegmenter().segment(trace)
+        first = sorted(
+            (s for s in segments if s.message_index == 0), key=lambda s: s.offset
+        )
+        assert [s.offset for s in first][1] == 4
+
+    def test_work_guard(self):
+        trace = Trace(messages=[TraceMessage(data=bytes(300)) for _ in range(1000)])
+        with pytest.raises(SegmenterResourceError, match="budget"):
+            NetzobSegmenter(work_budget=1e6).segment(trace)
+
+    def test_tiles_messages(self):
+        messages = [b"AB" + bytes([i]) * (3 + i % 3) + b"YZ" for i in range(25)]
+        trace = Trace(messages=[TraceMessage(data=m) for m in messages])
+        segments = NetzobSegmenter().segment(trace)
+        for index, message in enumerate(messages):
+            own = sorted(
+                (s for s in segments if s.message_index == index),
+                key=lambda s: s.offset,
+            )
+            assert b"".join(s.data for s in own) == message
+
+    def test_empty_trace(self):
+        assert NetzobSegmenter().segment(Trace(messages=[])) == []
+
+    def test_per_message_api_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            NetzobSegmenter().segment_message(b"abc", 0)
+
+
+class TestGroupBySize:
+    def _mixed_trace(self):
+        # Two structurally different message kinds of different sizes.
+        short = [b"AB" + bytes([i, i ^ 0x3C]) for i in range(20)]
+        long = [
+            b"LONGHDR!" + bytes([i] * 4) + b"trailer-bytes" + bytes([i, 0, i])
+            for i in range(20)
+        ]
+        messages = [m for pair in zip(short, long) for m in pair]
+        return Trace(messages=[TraceMessage(data=m) for m in messages])
+
+    def test_grouped_segmentation_tiles(self):
+        trace = self._mixed_trace()
+        segments = NetzobSegmenter(group_by_size=True, size_bucket=8).segment(trace)
+        for index, message in enumerate(trace):
+            own = sorted(
+                (s for s in segments if s.message_index == index),
+                key=lambda s: s.offset,
+            )
+            assert b"".join(s.data for s in own) == message.data
+
+    def test_message_indices_preserved(self):
+        trace = self._mixed_trace()
+        segments = NetzobSegmenter(group_by_size=True, size_bucket=8).segment(trace)
+        assert {s.message_index for s in segments} == set(range(len(trace)))
+
+    def test_grouping_keeps_short_messages_unpolluted(self):
+        # Without grouping, aligning 4-byte messages against 28-byte ones
+        # degrades their boundaries; with grouping each kind gets its own
+        # column model.
+        trace = self._mixed_trace()
+        grouped = NetzobSegmenter(group_by_size=True, size_bucket=8).segment(trace)
+        short_segments = [
+            s for s in grouped if len(trace[s.message_index].data) == 4
+        ]
+        # The static "AB" prefix must be separated from the varying tail.
+        assert any(s.data == b"AB" for s in short_segments)

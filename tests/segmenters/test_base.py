@@ -1,0 +1,58 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segments import Segment
+from repro.segmenters.base import boundaries_to_segments, segments_to_boundaries
+
+
+class TestBoundariesToSegments:
+    def test_no_boundaries_single_segment(self):
+        segments = boundaries_to_segments(b"abcd", [], 0)
+        assert len(segments) == 1
+        assert segments[0].data == b"abcd"
+
+    def test_simple_split(self):
+        segments = boundaries_to_segments(b"abcdef", [2, 4], 7)
+        assert [s.data for s in segments] == [b"ab", b"cd", b"ef"]
+        assert [s.offset for s in segments] == [0, 2, 4]
+        assert all(s.message_index == 7 for s in segments)
+
+    def test_out_of_range_boundaries_ignored(self):
+        segments = boundaries_to_segments(b"abcd", [-1, 0, 4, 99, 2], 0)
+        assert [s.data for s in segments] == [b"ab", b"cd"]
+
+    def test_duplicate_boundaries_ignored(self):
+        segments = boundaries_to_segments(b"abcd", [2, 2, 2], 0)
+        assert [s.data for s in segments] == [b"ab", b"cd"]
+
+    def test_empty_message(self):
+        assert boundaries_to_segments(b"", [], 0) == []
+
+    @given(
+        st.binary(min_size=1, max_size=40),
+        st.lists(st.integers(-5, 45), max_size=10),
+    )
+    def test_tiling_property(self, data, boundaries):
+        segments = boundaries_to_segments(data, boundaries, 0)
+        # Segments tile the message exactly, in order.
+        reassembled = b"".join(s.data for s in segments)
+        assert reassembled == data
+        offset = 0
+        for s in segments:
+            assert s.offset == offset
+            offset = s.end
+
+
+class TestSegmentsToBoundaries:
+    def test_roundtrip(self):
+        data = b"0123456789"
+        cuts = [3, 7]
+        segments = boundaries_to_segments(data, cuts, 0)
+        assert segments_to_boundaries(segments) == cuts
+
+    def test_unsorted_input(self):
+        segments = [
+            Segment(message_index=0, offset=5, data=b"56789"),
+            Segment(message_index=0, offset=0, data=b"01234"),
+        ]
+        assert segments_to_boundaries(segments) == [5]

@@ -1,0 +1,85 @@
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.trace import Trace, TraceMessage
+from repro.segmenters.base import SegmenterResourceError
+from repro.segmenters.csp import CspSegmenter, mine_patterns
+
+
+def trace_of(payloads):
+    return Trace(messages=[TraceMessage(data=p) for p in payloads])
+
+
+class TestMinePatterns:
+    def test_finds_common_keyword(self):
+        messages = [b"GET /a", b"GET /b", b"GET /c", b"GET /dd"]
+        patterns = mine_patterns(messages, min_support=0.5)
+        assert any(b"GET /" in p or p in b"GET /" for p in patterns)
+
+    def test_support_threshold(self):
+        messages = [b"aaaa", b"aaaa", b"bbbb", b"cccc", b"dddd", b"eeee"]
+        patterns = mine_patterns(messages, min_support=0.3)
+        # Only the 'a' run recurs across messages; closed-pattern filtering
+        # keeps the maximal form.
+        assert any(b"aa" in p for p in patterns)
+        assert not any(b"bb" in p for p in patterns)
+
+    def test_empty_corpus(self):
+        assert mine_patterns([]) == {}
+
+    def test_candidate_guard_raises(self):
+        import random
+
+        rng = random.Random(1)
+        messages = [bytes(rng.getrandbits(8) for _ in range(300)) for _ in range(60)]
+        with pytest.raises(SegmenterResourceError):
+            mine_patterns(messages, min_support=0.01, max_candidates=100)
+
+    def test_closed_patterns_preferred(self):
+        messages = [b"XABCY", b"ZABCW", b"ABC111", b"222ABC"]
+        patterns = mine_patterns(messages, min_support=0.9)
+        # "AB" and "BC" are subsumed by the equally frequent "ABC".
+        assert b"ABC" in patterns
+        assert b"AB" not in patterns
+
+
+class TestCspSegmenter:
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CspSegmenter().segment_message(b"abc", 0)
+
+    def test_segments_at_pattern_edges(self):
+        payloads = [b"\x11\x22" + bytes([i]) * 3 + b"\x33\x44" for i in range(60)]
+        trace = trace_of(payloads)
+        segments = CspSegmenter(min_support=0.5).segment(trace)
+        first = [s for s in segments if s.message_index == 0]
+        datas = [s.data for s in first]
+        assert b"\x11\x22" in datas
+        assert b"\x33\x44" in datas
+
+    def test_tiles_every_message(self):
+        payloads = [b"HDR" + bytes([i, i + 1, i + 2]) for i in range(30)]
+        trace = trace_of(payloads)
+        segments = CspSegmenter(min_support=0.5).segment(trace)
+        for index, payload in enumerate(payloads):
+            own = sorted(
+                (s for s in segments if s.message_index == index),
+                key=lambda s: s.offset,
+            )
+            assert b"".join(s.data for s in own) == payload
+
+    @given(st.lists(st.binary(min_size=1, max_size=20), min_size=2, max_size=15))
+    @settings(max_examples=30)
+    def test_tiling_property(self, payloads):
+        trace = trace_of(payloads)
+        try:
+            segments = CspSegmenter().segment(trace)
+        except SegmenterResourceError:
+            return
+        for index, message in enumerate(trace):
+            own = sorted(
+                (s for s in segments if s.message_index == index),
+                key=lambda s: s.offset,
+            )
+            assert b"".join(s.data for s in own) == message.data

@@ -1,0 +1,222 @@
+import random
+import struct
+
+import pytest
+
+from repro.core.segments import Segment, UniqueSegment
+from repro.net.trace import Trace, TraceMessage
+from repro.semantics.detectors import (
+    AddressDetector,
+    ConstantDetector,
+    CounterDetector,
+    EnumDetector,
+    LengthFieldDetector,
+    RandomTokenDetector,
+    TextDetector,
+    TimestampDetector,
+)
+from repro.semantics.features import ClusterView, safe_pearson
+
+
+def make_view(values_per_message, trace=None, offset=0):
+    """Build a ClusterView: one segment per message, value i in message i."""
+    if trace is None:
+        trace = Trace(
+            messages=[
+                TraceMessage(data=bytes(64), timestamp=float(i))
+                for i in range(len(values_per_message))
+            ]
+        )
+    grouped = {}
+    for index, value in enumerate(values_per_message):
+        grouped.setdefault(value, []).append(
+            Segment(message_index=index, offset=offset, data=value)
+        )
+    members = [
+        UniqueSegment(data=data, occurrences=tuple(segments))
+        for data, segments in grouped.items()
+    ]
+    return ClusterView.build(0, members, trace)
+
+
+class TestSafePearson:
+    def test_perfect_correlation(self):
+        import numpy as np
+
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert safe_pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_degenerate_inputs(self):
+        import numpy as np
+
+        assert safe_pearson(np.array([1.0]), np.array([1.0])) == 0.0
+        constant = np.ones(5)
+        varying = np.arange(5.0)
+        assert safe_pearson(constant, varying) == 0.0
+
+
+class TestConstantDetector:
+    def test_fires_on_repeated_single_value(self):
+        view = make_view([b"\x63\x82\x53\x63"] * 20)
+        assert ConstantDetector().confidence(view) == 1.0
+
+    def test_rejects_multiple_values(self):
+        view = make_view([b"\x01\x01", b"\x02\x02"] * 5)
+        assert ConstantDetector().confidence(view) == 0.0
+
+    def test_rejects_rare_value(self):
+        view = make_view([b"\xaa\xbb"] * 2)
+        assert ConstantDetector().confidence(view) == 0.0
+
+
+class TestEnumDetector:
+    def test_fires_on_reused_small_set(self):
+        values = [bytes([v, 0]) for v in (1, 2, 3)] * 10
+        assert EnumDetector().confidence(make_view(values)) > 0.5
+
+    def test_rejects_high_cardinality(self):
+        values = [bytes([v, 0]) for v in range(40)]
+        assert EnumDetector().confidence(make_view(values)) == 0.0
+
+
+class TestTextDetector:
+    def test_fires_on_names(self):
+        values = [f"host-{i:03d}".encode() for i in range(20)]
+        assert TextDetector().confidence(make_view(values)) > 0.9
+
+    def test_rejects_binary(self):
+        values = [bytes([i, 0xFF, 0x00, i ^ 0x80]) for i in range(20)]
+        assert TextDetector().confidence(make_view(values)) == 0.0
+
+
+class TestRandomTokenDetector:
+    def test_fires_on_nonces(self):
+        rng = random.Random(1)
+        values = [bytes(rng.getrandbits(8) for _ in range(8)) for _ in range(40)]
+        assert RandomTokenDetector().confidence(make_view(values)) > 0.4
+
+    def test_rejects_low_entropy(self):
+        values = [bytes([i % 3, 0, 0, 0]) for i in range(40)]
+        assert RandomTokenDetector().confidence(make_view(values)) == 0.0
+
+
+class TestCounterDetector:
+    def test_fires_on_sequence_numbers(self):
+        values = [struct.pack("!I", 1000 + 3 * i) for i in range(30)]
+        assert CounterDetector().confidence(make_view(values)) > 0.7
+
+    def test_rejects_random_values(self):
+        rng = random.Random(2)
+        values = [struct.pack("!I", rng.getrandbits(32)) for _ in range(30)]
+        assert CounterDetector().confidence(make_view(values)) == 0.0
+
+
+class TestTimestampDetector:
+    def test_fires_on_clock_tracking_values(self):
+        base = 1_700_000_000
+        values = [struct.pack("!I", base + 10 * i) for i in range(30)]
+        trace = Trace(
+            messages=[
+                TraceMessage(data=bytes(64), timestamp=1000.0 + 10 * i)
+                for i in range(30)
+            ]
+        )
+        assert TimestampDetector().confidence(make_view(values, trace)) > 0.9
+
+    def test_rejects_short_fields(self):
+        values = [struct.pack("!H", i) for i in range(30)]
+        assert TimestampDetector().confidence(make_view(values)) == 0.0
+
+    def test_rejects_without_clock_variance(self):
+        values = [struct.pack("!I", 100 + i) for i in range(30)]
+        trace = Trace(
+            messages=[TraceMessage(data=bytes(64), timestamp=5.0) for _ in range(30)]
+        )
+        assert TimestampDetector().confidence(make_view(values, trace)) == 0.0
+
+
+class TestLengthFieldDetector:
+    def test_fires_on_length_prefix(self):
+        rng = random.Random(3)
+        messages = []
+        values = []
+        for i in range(30):
+            body = bytes(rng.randint(5, 80))
+            value = struct.pack("!H", len(body) + 2)
+            values.append(value)
+            messages.append(TraceMessage(data=value + body, timestamp=float(i)))
+        trace = Trace(messages=messages)
+        detector = LengthFieldDetector()
+        assert detector.confidence(make_view(values, trace)) > 0.9
+        assert "correlate" in detector.explain(make_view(values, trace))
+
+    def test_rejects_uncorrelated(self):
+        rng = random.Random(4)
+        values = [struct.pack("!H", rng.getrandbits(16)) for _ in range(30)]
+        trace = Trace(
+            messages=[
+                TraceMessage(data=bytes(rng.randint(10, 90)), timestamp=float(i))
+                for i in range(30)
+            ]
+        )
+        assert LengthFieldDetector().confidence(make_view(values, trace)) == 0.0
+
+
+class TestSessionBindingDetector:
+    def _session_view(self, stable: bool):
+        from repro.semantics.detectors import SessionBindingDetector
+
+        messages = []
+        values = []
+        server = bytes([10, 0, 0, 254])
+        for i in range(24):
+            client = bytes([10, 0, 0, (i % 4) + 1])
+            if stable:
+                value = bytes([0x77, client[-1], 0x01, 0x02])
+            else:
+                value = bytes([i, i + 1, i + 2, i + 3])
+            values.append(value)
+            messages.append(
+                TraceMessage(
+                    data=bytes(16), timestamp=float(i), src_ip=client, dst_ip=server
+                )
+            )
+        return SessionBindingDetector(), make_view(values, Trace(messages=messages))
+
+    def test_fires_on_per_session_constants(self):
+        detector, view = self._session_view(stable=True)
+        assert detector.confidence(view) == 1.0
+        assert "sessions" in detector.explain(view)
+
+    def test_rejects_varying_values(self):
+        detector, view = self._session_view(stable=False)
+        assert detector.confidence(view) == 0.0
+
+    def test_inapplicable_without_context(self):
+        from repro.semantics.detectors import SessionBindingDetector
+
+        view = make_view([bytes([i, 0]) for i in range(10)])
+        assert SessionBindingDetector().confidence(view) == 0.0
+
+
+class TestAddressDetector:
+    def test_fires_when_values_embed_sender(self):
+        messages = []
+        values = []
+        for i in range(20):
+            client = bytes([10, 0, 0, i + 1])
+            values.append(client)
+            messages.append(
+                TraceMessage(
+                    data=bytes(32),
+                    timestamp=float(i),
+                    src_ip=client,
+                    dst_ip=bytes([10, 0, 0, 254]),
+                )
+            )
+        trace = Trace(messages=messages)
+        assert AddressDetector().confidence(make_view(values, trace)) > 0.7
+
+    def test_inapplicable_without_context(self):
+        values = [bytes([10, 0, 0, i]) for i in range(10)]
+        assert AddressDetector().confidence(make_view(values)) == 0.0

@@ -1,0 +1,76 @@
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.protocols import get_model
+from repro.segmenters import GroundTruthSegmenter
+from repro.semantics import deduce_semantics
+
+
+@pytest.fixture(scope="module")
+def dns_analysis():
+    model = get_model("dns")
+    trace = model.generate(300, seed=5).preprocess()
+    segments = GroundTruthSegmenter(model).segment(trace)
+    result = FieldTypeClusterer().cluster(segments)
+    return trace, result, deduce_semantics(result, trace)
+
+
+class TestDeduceSemantics:
+    def test_one_entry_per_cluster(self, dns_analysis):
+        _, result, semantics = dns_analysis
+        assert len(semantics) == result.cluster_count
+        assert [s.cluster_id for s in semantics] == list(range(result.cluster_count))
+
+    def test_hypotheses_sorted_by_confidence(self, dns_analysis):
+        _, _, semantics = dns_analysis
+        for entry in semantics:
+            confidences = [h.confidence for h in entry.hypotheses]
+            assert confidences == sorted(confidences, reverse=True)
+
+    def test_constant_flags_cluster_detected(self, dns_analysis):
+        # The DNS response flags value 0x8180 repeats across messages and
+        # forms a singleton-value cluster -> constant semantic.
+        _, result, semantics = dns_analysis
+        constant_entries = [s for s in semantics if s.label == "constant"]
+        assert constant_entries
+        for entry in constant_entries:
+            assert entry.distinct_values == 1
+
+    def test_render_contains_hypotheses(self, dns_analysis):
+        _, _, semantics = dns_analysis
+        text = "\n".join(s.render() for s in semantics)
+        assert "cluster 0" in text
+
+    def test_unknown_label_when_nothing_fires(self):
+        from repro.core.segments import Segment
+
+        # Two dissimilar low-entropy value families, too small for most
+        # detectors.
+        segments = []
+        for i in range(12):
+            segments.append(
+                Segment(message_index=i, offset=0, data=bytes([30 + i % 3, 35]))
+            )
+            segments.append(
+                Segment(message_index=i, offset=2, data=bytes([220 + i % 4, 250, 230, 240]))
+            )
+        from repro.net.trace import Trace, TraceMessage
+
+        trace = Trace(messages=[TraceMessage(data=bytes(8)) for _ in range(12)])
+        result = FieldTypeClusterer().cluster(segments)
+        semantics = deduce_semantics(result, trace)
+        assert all(isinstance(s.label, str) for s in semantics)
+
+
+class TestEndToEndSemantics:
+    def test_smb_text_fields_labeled(self):
+        model = get_model("smb")
+        trace = model.generate(200, seed=8).preprocess()
+        segments = GroundTruthSegmenter(model).segment(trace)
+        result = FieldTypeClusterer().cluster(segments)
+        semantics = deduce_semantics(result, trace)
+        labels = {s.label for s in semantics}
+        # SMB has rich text content (dialects, paths, accounts): the text
+        # semantic must surface, alongside at least one numeric semantic.
+        assert "text" in labels
+        assert labels & {"random-token", "enum", "counter", "length-field"}

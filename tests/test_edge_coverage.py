@@ -1,0 +1,117 @@
+"""Edge cases across modules that the mainline tests do not reach."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.core.segments import Segment, UniqueSegment
+from repro.fuzzing.valuemodel import MarkovValueModel
+from repro.semantics.features import ClusterView
+from repro.net.trace import Trace, TraceMessage
+
+
+class TestClusterViewEdges:
+    def test_numeric_values_empty_for_mixed_lengths(self):
+        members = [
+            UniqueSegment(
+                data=b"ab", occurrences=(Segment(message_index=0, offset=0, data=b"ab"),)
+            ),
+            UniqueSegment(
+                data=b"abc",
+                occurrences=(Segment(message_index=1, offset=0, data=b"abc"),),
+            ),
+        ]
+        trace = Trace(messages=[TraceMessage(data=bytes(8)) for _ in range(2)])
+        view = ClusterView.build(0, members, trace)
+        assert view.numeric_values().size == 0
+        assert view.lengths == [2, 3]
+
+    def test_occurrences_sorted_by_capture_order(self):
+        members = [
+            UniqueSegment(
+                data=b"xy",
+                occurrences=(
+                    Segment(message_index=5, offset=0, data=b"xy"),
+                    Segment(message_index=1, offset=0, data=b"xy"),
+                ),
+            )
+        ]
+        trace = Trace(messages=[TraceMessage(data=bytes(4)) for _ in range(6)])
+        view = ClusterView.build(0, members, trace)
+        orders = [o.capture_order for o in view.occurrences]
+        assert orders == sorted(orders)
+
+
+class TestMarkovDeadEnds:
+    def test_dead_end_restarts_from_initial(self):
+        # 'z' only ever appears last: sampling past it must not crash.
+        model = MarkovValueModel.fit([b"az", b"bz"])
+        rng = random.Random(0)
+        for _ in range(20):
+            sample = model.sample(rng)
+            assert 1 <= len(sample) <= 2
+
+
+class TestVizManyClusters:
+    def test_legend_caps_at_palette_size(self):
+        from repro.viz import PALETTE, EmbeddedClustering, render_svg
+
+        count = 30
+        coords = np.random.default_rng(0).random((count, 2))
+        labels = np.arange(count) % 12  # more clusters than palette slots
+        embedding = EmbeddedClustering(
+            coordinates=coords,
+            labels=labels,
+            hover=[f"p{i}" for i in range(count)],
+        )
+        svg = render_svg(embedding)
+        assert svg.count("cluster ") <= len(PALETTE)
+
+
+class TestReportingAnnotations:
+    def test_ascii_plot_annotation_column(self):
+        from repro.eval.reporting import ascii_plot
+
+        out = ascii_plot([0, 1, 2, 3], [0, 1, 2, 3], annotations={1.5: "mid"})
+        assert "|" in out
+        assert "mid" in out
+
+
+class TestStabilityFailurePath:
+    def test_all_failed_seeds_raise(self, monkeypatch):
+        from repro.eval import stability
+        from repro.eval.runner import ExperimentCell
+
+        def always_fails(*args, **kwargs):
+            return ExperimentCell(
+                protocol="x", message_count=1, segmenter="y", failed=True
+            )
+
+        monkeypatch.setattr(stability, "run_cell", always_fails)
+        with pytest.raises(RuntimeError, match="every seed failed"):
+            stability.run_stability("ntp", 10, seeds=[1, 2])
+
+
+class TestPipelineSingleUniqueValue:
+    def test_one_unique_value_many_occurrences(self):
+        segments = [
+            Segment(message_index=i, offset=0, data=b"\xca\xfe") for i in range(40)
+        ]
+        result = FieldTypeClusterer().cluster(segments)
+        # One unique value cannot form a pair: it is a singleton; the
+        # pipeline must return a sane (possibly empty) clustering.
+        assert len(result.segments) == 1
+        assert result.cluster_count in (0, 1)
+
+
+class TestTraceProtocolPropagation:
+    def test_preprocess_preserves_protocol(self):
+        trace = Trace(
+            messages=[TraceMessage(data=b"a"), TraceMessage(data=b"a")],
+            protocol="mystery",
+        )
+        assert trace.preprocess().protocol == "mystery"
+        assert trace.truncate(1).protocol == "mystery"
+        assert trace.deduplicate().protocol == "mystery"

@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; breaking one silently is a
+release bug.  Each test runs the script in-process (runpy) with a
+captured stdout and checks for its key output markers.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(capsys, monkeypatch, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_compare_segmenters(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "compare_segmenters.py", ["dns", "80"])
+        assert "groundtruth" in out
+        assert "nemesys" in out
+
+    def test_fuzzing_targets(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "fuzzing_targets.py")
+        assert "mutation map" in out
+
+    def test_pcap_workflow(self, capsys, monkeypatch, tmp_path):
+        out = run_example(
+            capsys, monkeypatch, "pcap_workflow.py", [str(tmp_path / "demo.pcap")]
+        )
+        assert "pseudo data types" in out
+
+    def test_semantic_deduction(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "semantic_deduction.py", ["ntp"])
+        assert "ground truth" in out
+
+    def test_message_types(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "message_types.py", ["ntp"])
+        assert "message types" in out
+        assert "field clustering" in out
+
+    def test_format_inference(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "format_inference.py", ["ntp"])
+        assert "message type 0" in out
+        assert "conform" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "quickstart.py")
+        assert "pseudo data types" in out
+        assert "coverage" in out
+
+    @pytest.mark.slow
+    def test_analyze_unknown_awdl(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "analyze_unknown_awdl.py")
+        assert "FieldHunter applicable: False" in out
+        assert "triage" in out

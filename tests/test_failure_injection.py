@@ -1,0 +1,139 @@
+"""Failure injection: the pipeline must degrade loudly, not silently.
+
+Corrupted captures, degenerate traces, and malformed messages exercise
+the error paths an analyst actually hits with hostile or broken inputs.
+"""
+
+import io
+
+import pytest
+
+from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
+from repro.core.segments import Segment
+from repro.net.pcap import PcapError, PcapPacket, read_pcap_stream, write_pcap_stream
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import get_model
+from repro.segmenters import CspSegmenter, NemesysSegmenter
+
+
+def seg(data, msg=0, offset=0):
+    return Segment(message_index=msg, offset=offset, data=data)
+
+
+class TestCorruptedCaptures:
+    # Cut 24 is excluded: a bare global header is a valid empty capture.
+    @pytest.mark.parametrize("cut", [1, 5, 23, 30, 39])
+    def test_truncation_at_any_point_raises_cleanly(self, cut):
+        buffer = io.BytesIO()
+        write_pcap_stream(buffer, [PcapPacket(timestamp=1.0, data=b"payload!")])
+        raw = buffer.getvalue()
+        assert cut < len(raw)
+        with pytest.raises(PcapError):
+            read_pcap_stream(io.BytesIO(raw[:cut]))
+
+    def test_bitflipped_magic_raises(self):
+        buffer = io.BytesIO()
+        write_pcap_stream(buffer, [])
+        raw = bytearray(buffer.getvalue())
+        raw[0] ^= 0xFF
+        with pytest.raises(PcapError, match="magic"):
+            read_pcap_stream(io.BytesIO(bytes(raw)))
+
+
+class TestDegenerateTraces:
+    def test_single_message_trace(self):
+        segments = NemesysSegmenter().segment(
+            Trace(messages=[TraceMessage(data=bytes(range(40)))])
+        )
+        result = FieldTypeClusterer().cluster(segments)
+        assert result.cluster_count >= 0  # completes without crashing
+
+    def test_all_identical_messages(self):
+        trace = Trace(messages=[TraceMessage(data=b"\x01\x02\x03\x04" * 4)] * 50)
+        deduped = trace.preprocess()
+        assert len(deduped) == 1
+
+    def test_all_unique_random_messages(self):
+        import random
+
+        rng = random.Random(0)
+        trace = Trace(
+            messages=[
+                TraceMessage(data=bytes(rng.getrandbits(8) for _ in range(30)))
+                for _ in range(60)
+            ]
+        )
+        segments = NemesysSegmenter().segment(trace)
+        result = FieldTypeClusterer().cluster(segments)
+        # Random data must not fabricate confident structure: most
+        # segments stay unclustered or land in few clusters.
+        assert result.cluster_count < 30
+
+    def test_two_segment_minimum(self):
+        segments = [seg(b"\x01\x02"), seg(b"\xf0\xf1", msg=1)]
+        result = FieldTypeClusterer().cluster(segments)
+        assert len(result.segments) == 2
+
+    def test_empty_messages_dropped_by_preprocess(self):
+        trace = Trace(messages=[TraceMessage(data=b""), TraceMessage(data=b"ab")])
+        assert len(trace.preprocess()) == 1
+
+    def test_csp_on_tiny_corpus(self):
+        trace = Trace(messages=[TraceMessage(data=b"ab")])
+        segments = CspSegmenter().segment(trace)
+        assert b"".join(s.data for s in segments) == b"ab"
+
+
+class TestMalformedProtocolMessages:
+    @pytest.mark.parametrize("proto", ["ntp", "dns", "nbns", "dhcp", "smb", "awdl", "au"])
+    def test_dissectors_reject_garbage(self, proto):
+        from repro.protocols.base import DissectionError
+
+        model = get_model(proto)
+        with pytest.raises((DissectionError, Exception)):
+            model.dissect(b"\xde\xad\xbe\xef")
+
+    @pytest.mark.parametrize("proto", ["dns", "smb", "awdl", "au"])
+    def test_dissectors_never_overrun_truncated_real_messages(self, proto):
+        from repro.protocols.base import DissectionError, validate_tiling
+
+        model = get_model(proto)
+        trace = model.generate(10, seed=1)
+        for message in trace:
+            data = message.data[: len(message.data) // 2]
+            try:
+                fields = model.dissect(data)
+            except DissectionError:
+                continue  # rejecting is the expected outcome
+            # If a dissector accepts a truncated message, its fields must
+            # still tile exactly (never overrun).
+            validate_tiling(fields, data)
+
+
+class TestPipelineRobustness:
+    def test_mixed_garbage_and_structure(self):
+        import random
+
+        rng = random.Random(1)
+        segments = []
+        for i in range(60):
+            segments.append(seg(bytes([40 + rng.randint(0, 5)] * 4), msg=i))
+            segments.append(
+                seg(bytes(rng.getrandbits(8) for _ in range(rng.randint(2, 9))), msg=i, offset=4)
+            )
+        result = FieldTypeClusterer().cluster(segments)
+        # The dense family must be found despite the noise flood.
+        assert result.cluster_count >= 1
+
+    def test_fixed_epsilon_zero_yields_all_noise(self):
+        segments = [seg(bytes([i, i + 1]), msg=i) for i in range(30)]
+        config = ClusteringConfig(fixed_epsilon=0.0, max_retrims=0, merge=False, split=False)
+        result = FieldTypeClusterer(config).cluster(segments)
+        assert result.cluster_count == 0
+        assert len(result.noise) == len(result.segments)
+
+    def test_huge_epsilon_single_cluster(self):
+        segments = [seg(bytes([i, 2 * i]), msg=i) for i in range(30)]
+        config = ClusteringConfig(fixed_epsilon=1.0, max_retrims=0, merge=False, split=False)
+        result = FieldTypeClusterer(config).cluster(segments)
+        assert result.cluster_count == 1

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.formats import infer_all_templates, infer_template
+from repro.msgtypes import MessageTypeClusterer
+from repro.protocols import get_model
+from repro.segmenters import GroundTruthSegmenter
+
+
+@pytest.fixture(scope="module")
+def ntp_analysis():
+    model = get_model("ntp")
+    trace = model.generate(100, seed=3).preprocess()
+    segmenter = GroundTruthSegmenter(model)
+    segments = segmenter.segment(trace)
+    field_result = FieldTypeClusterer().cluster(segments)
+    type_result = MessageTypeClusterer(segmenter).cluster(trace)
+    return model, trace, segments, field_result, type_result
+
+
+class TestInferTemplate:
+    def test_ntp_template_has_eleven_slots(self, ntp_analysis):
+        _, trace, segments, field_result, type_result = ntp_analysis
+        indices = type_result.members(0)
+        template = infer_template(0, indices, segments, field_result)
+        assert len(template.slots) == 11  # NTP's fixed field count
+        assert template.message_count == len(indices)
+
+    def test_fixed_protocol_conformance_high(self, ntp_analysis):
+        _, _, segments, field_result, type_result = ntp_analysis
+        template = infer_template(
+            0, type_result.members(0), segments, field_result
+        )
+        # NTP has a fixed structure: shapes are stable within one mode.
+        assert template.conformance >= 0.8
+
+    def test_slot_lengths_match_ntp_layout(self, ntp_analysis):
+        _, _, segments, field_result, type_result = ntp_analysis
+        template = infer_template(
+            0, type_result.members(0), segments, field_result
+        )
+        assert [s.min_length for s in template.slots] == [
+            1, 1, 1, 1, 4, 4, 4, 8, 8, 8, 8,
+        ]
+
+    def test_agreement_bounds(self, ntp_analysis):
+        _, _, segments, field_result, type_result = ntp_analysis
+        template = infer_template(
+            0, type_result.members(0), segments, field_result
+        )
+        assert all(0.0 < slot.agreement <= 1.0 for slot in template.slots)
+
+    def test_examples_collected(self, ntp_analysis):
+        _, _, segments, field_result, type_result = ntp_analysis
+        template = infer_template(
+            0, type_result.members(0), segments, field_result
+        )
+        assert all(slot.examples for slot in template.slots)
+
+    def test_render(self, ntp_analysis):
+        _, _, segments, field_result, type_result = ntp_analysis
+        template = infer_template(
+            0, type_result.members(0), segments, field_result
+        )
+        text = template.render()
+        assert "message type 0" in text
+        assert text.count("\n") == len(template.slots)
+
+
+class TestInferAllTemplates:
+    def test_one_template_per_type(self, ntp_analysis):
+        _, trace, segments, field_result, type_result = ntp_analysis
+        templates = infer_all_templates(
+            trace, segments, field_result, type_result.assignments()
+        )
+        assert len(templates) == type_result.type_count
+        assert [t.message_type for t in templates] == sorted(
+            t.message_type for t in templates
+        )
+
+    def test_noise_messages_skipped(self, ntp_analysis):
+        _, trace, segments, field_result, type_result = ntp_analysis
+        assignments = [(i, -1) for i in range(len(trace))]
+        assert infer_all_templates(trace, segments, field_result, assignments) == []

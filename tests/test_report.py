@@ -1,0 +1,61 @@
+import json
+
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.protocols import get_model
+from repro.report import AnalysisReport
+from repro.segmenters import GroundTruthSegmenter
+from repro.semantics import deduce_semantics
+
+
+@pytest.fixture(scope="module")
+def report():
+    model = get_model("ntp")
+    trace = model.generate(120, seed=6).preprocess()
+    segments = GroundTruthSegmenter(model).segment(trace)
+    result = FieldTypeClusterer().cluster(segments)
+    semantics = deduce_semantics(result, trace)
+    return AnalysisReport.build(result, trace, semantics), result, trace
+
+
+class TestAnalysisReport:
+    def test_header_fields(self, report):
+        built, result, trace = report
+        assert built.protocol == "ntp"
+        assert built.message_count == len(trace)
+        assert built.total_bytes == trace.total_bytes
+        assert built.cluster_count == result.cluster_count
+        assert built.epsilon == pytest.approx(result.epsilon, abs=1e-5)
+
+    def test_entries_match_clusters(self, report):
+        built, result, _ = report
+        assert len(built.clusters) == result.cluster_count
+        for entry, members in zip(built.clusters, result.clusters):
+            assert entry.distinct_values == len(members)
+            assert entry.example_values
+
+    def test_coverage_consistent(self, report):
+        built, result, trace = report
+        assert built.coverage == pytest.approx(
+            result.covered_bytes() / trace.total_bytes
+        )
+        assert built.covered_bytes == sum(e.covered_bytes for e in built.clusters)
+
+    def test_json_roundtrip(self, report):
+        built, _, _ = report
+        text = built.to_json()
+        json.loads(text)  # valid JSON
+        loaded = AnalysisReport.from_json(text)
+        assert loaded == built
+
+    def test_render_mentions_every_cluster(self, report):
+        built, _, _ = report
+        rendered = built.render()
+        for entry in built.clusters:
+            assert f"type {entry.cluster_id:3d}:" in rendered
+
+    def test_type_histogram(self, report):
+        built, _, _ = report
+        histogram = built.type_histogram()
+        assert sum(histogram.values()) == built.cluster_count

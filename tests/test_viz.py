@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FieldTypeClusterer
+from repro.core.segments import Segment
+from repro.viz import (
+    EmbeddedClustering,
+    classical_mds,
+    render_ascii,
+    render_svg,
+    save_svg,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    rng = np.random.default_rng(3)
+    segments = []
+    for i in range(60):
+        segments.append(
+            Segment(message_index=i, offset=0, data=bytes(rng.integers(30, 42, 4).tolist()))
+        )
+        segments.append(
+            Segment(message_index=i, offset=4, data=bytes(rng.integers(200, 256, 4).tolist()))
+        )
+    return FieldTypeClusterer().cluster(segments)
+
+
+class TestClassicalMds:
+    def test_recovers_line_distances(self):
+        # Points on a line: MDS must embed with matching distances.
+        positions = np.array([0.0, 1.0, 2.0, 5.0])
+        distances = np.abs(positions[:, None] - positions[None, :])
+        coords = classical_mds(distances)
+        embedded = np.linalg.norm(coords[:, None, :] - coords[None, :, :], axis=2)
+        assert np.allclose(embedded, distances, atol=1e-8)
+
+    def test_shape(self):
+        distances = np.random.default_rng(0).random((7, 7))
+        distances = (distances + distances.T) / 2
+        np.fill_diagonal(distances, 0.0)
+        assert classical_mds(distances).shape == (7, 2)
+
+    def test_empty(self):
+        assert classical_mds(np.zeros((0, 0))).shape == (0, 2)
+
+    def test_degenerate_identical_points(self):
+        coords = classical_mds(np.zeros((4, 4)))
+        assert np.allclose(coords, 0.0)
+
+
+class TestEmbedding:
+    def test_from_result(self, result):
+        embedding = EmbeddedClustering.from_result(result)
+        assert embedding.coordinates.shape == (len(result.segments), 2)
+        assert len(embedding.hover) == len(result.segments)
+
+    def test_clusters_separated_in_embedding(self, result):
+        embedding = EmbeddedClustering.from_result(result)
+        labels = embedding.labels
+        if len({int(l) for l in labels if l >= 0}) >= 2:
+            zero = embedding.coordinates[labels == 0].mean(axis=0)
+            one = embedding.coordinates[labels == 1].mean(axis=0)
+            # Distinct value-domain clusters land apart in MDS space.
+            assert np.linalg.norm(zero - one) > 0.1
+
+
+class TestRendering:
+    def test_svg_well_formed(self, result):
+        svg = render_svg(EmbeddedClustering.from_result(result))
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert svg.count("<circle") >= len(result.segments)
+        assert "cluster 0" in svg  # legend
+
+    def test_svg_escapes_title(self, result):
+        svg = render_svg(EmbeddedClustering.from_result(result), title="<&>")
+        assert "<&>" not in svg
+        assert "&lt;&amp;&gt;" in svg
+
+    def test_ascii_contains_cluster_digits(self, result):
+        out = render_ascii(EmbeddedClustering.from_result(result))
+        assert "0" in out or "1" in out
+
+    def test_save_svg(self, result, tmp_path):
+        path = tmp_path / "clusters.svg"
+        save_svg(result, str(path))
+        assert path.read_text().startswith("<svg")
