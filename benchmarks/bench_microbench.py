@@ -5,15 +5,37 @@ true repeated-timing benchmarks of the hot paths: Canberra dissimilarity
 matrix construction, k-NN extraction, DBSCAN, and the NEMESYS segmenter.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
+from conftest import attach_matrix_stats
 from repro.core.autoconf import configure
 from repro.core.dbscan import dbscan
-from repro.core.matrix import DissimilarityMatrix
+from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
+from repro.core.matrixcache import cache_counters
 from repro.core.segments import Segment, unique_segments
 from repro.protocols import get_model
 from repro.segmenters import CspSegmenter, NemesysSegmenter
+
+SERIAL = MatrixBuildOptions(workers=1, use_cache=False)
+
+
+def synthetic_unique_segments(count: int, seed: int = 5) -> list:
+    """Deterministic mixed-length random segments (all values unique)."""
+    rng = np.random.default_rng(seed)
+    lengths = (4, 6, 8, 10)
+    datas: set[bytes] = set()
+    while len(datas) < count:
+        length = lengths[int(rng.integers(0, len(lengths)))]
+        datas.add(bytes(rng.integers(0, 256, length).tolist()))
+    segments = [
+        Segment(message_index=i, offset=0, data=d)
+        for i, d in enumerate(sorted(datas))
+    ]
+    return unique_segments(segments)
 
 
 @pytest.fixture(scope="module")
@@ -33,9 +55,10 @@ def ntp_matrix(ntp_segments):
     return DissimilarityMatrix.build(ntp_segments)
 
 
-def test_matrix_build(benchmark, ntp_segments):
-    matrix = benchmark(DissimilarityMatrix.build, ntp_segments)
+def test_matrix_build(benchmark, ntp_segments, matrix_options):
+    matrix = benchmark(DissimilarityMatrix.build, ntp_segments, options=matrix_options)
     assert len(matrix) == len(ntp_segments)
+    attach_matrix_stats(benchmark, matrix)
 
 
 def test_knn_distances(benchmark, ntp_matrix):
@@ -51,6 +74,82 @@ def test_autoconf(benchmark, ntp_matrix):
 def test_dbscan(benchmark, ntp_matrix):
     result = benchmark(dbscan, ntp_matrix.values, 0.1, 5)
     assert result.labels.shape == (len(ntp_matrix),)
+
+
+def test_matrix_build_parallel(benchmark):
+    """Parallel backend parity + speedup on a ≥2000-unique-segment trace.
+
+    The speedup assertion is scaled to the runner: ≥2x on a proper
+    multi-core machine, parity-only on single-core boxes where the
+    backend falls back to serial anyway.
+    """
+    segments = synthetic_unique_segments(2200)
+    started = time.perf_counter()
+    serial = DissimilarityMatrix.build(segments, options=SERIAL)
+    serial_seconds = time.perf_counter() - started
+
+    parallel_options = MatrixBuildOptions(use_cache=False, parallel_threshold=0)
+    started = time.perf_counter()
+    parallel = DissimilarityMatrix.build(segments, options=parallel_options)
+    parallel_seconds = time.perf_counter() - started
+    # Register one timed parallel build in the benchmark report too.
+    matrix = benchmark.pedantic(
+        DissimilarityMatrix.build,
+        args=(segments,),
+        kwargs={"options": parallel_options},
+        rounds=1,
+        iterations=1,
+    )
+
+    assert np.array_equal(serial.values, parallel.values)
+    assert np.array_equal(serial.values, matrix.values)
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    attach_matrix_stats(benchmark, parallel)
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert parallel.stats.backend == "parallel"
+        assert speedup >= 2.0, f"parallel speedup {speedup:.2f}x < 2x on {cpus} cores"
+    elif cpus >= 2:
+        assert parallel.stats.backend == "parallel"
+        assert speedup >= 1.2, f"parallel speedup {speedup:.2f}x < 1.2x on {cpus} cores"
+
+
+def test_matrix_cache_warm(benchmark, tmp_path):
+    """Warm-cache rebuild must be ≥10x faster than the cold build."""
+    segments = synthetic_unique_segments(1600, seed=11)
+    options = MatrixBuildOptions(workers=1, use_cache=True, cache_dir=tmp_path)
+    started = time.perf_counter()
+    cold = DissimilarityMatrix.build(segments, options=options)
+    cold_seconds = time.perf_counter() - started
+    assert not cold.stats.cache_hit
+
+    warm_seconds = []
+    for _ in range(3):
+        started = time.perf_counter()
+        warm = DissimilarityMatrix.build(segments, options=options)
+        warm_seconds.append(time.perf_counter() - started)
+        assert warm.stats.cache_hit
+        assert np.array_equal(cold.values, warm.values)
+    matrix = benchmark.pedantic(
+        DissimilarityMatrix.build,
+        args=(segments,),
+        kwargs={"options": options},
+        rounds=1,
+        iterations=1,
+    )
+    assert np.array_equal(cold.values, matrix.values)
+
+    speedup = cold_seconds / min(warm_seconds)
+    counters = cache_counters()
+    assert counters["hits"] >= 4 and counters["misses"] == 1
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(min(warm_seconds), 4)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+    attach_matrix_stats(benchmark, matrix)
+    assert speedup >= 10.0, f"warm cache speedup {speedup:.1f}x < 10x"
 
 
 def test_nemesys_segmentation(benchmark):

@@ -11,6 +11,57 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.matrix import MatrixBuildOptions
+from repro.core.matrixcache import cache_counters, reset_cache_counters
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro matrix backend")
+    group.addoption(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="dissimilarity-matrix worker processes (default: all CPU cores)",
+    )
+    group.addoption(
+        "--matrix-cache",
+        action="store_true",
+        help="enable the on-disk matrix cache during benchmarks",
+    )
+    group.addoption(
+        "--matrix-cache-dir",
+        default=None,
+        help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+@pytest.fixture
+def matrix_options(request) -> MatrixBuildOptions:
+    """Backend options from the --matrix-* benchmark flags."""
+    return MatrixBuildOptions(
+        workers=request.config.getoption("--matrix-workers"),
+        use_cache=request.config.getoption("--matrix-cache"),
+        cache_dir=request.config.getoption("--matrix-cache-dir"),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache_counters():
+    """Per-benchmark cache counters so extra_info is attributable."""
+    reset_cache_counters()
+    yield
+
+
+def attach_matrix_stats(benchmark, matrix) -> None:
+    """Record the matrix backend + cache effectiveness in the report."""
+    stats = getattr(matrix, "stats", None)
+    if stats is not None:
+        benchmark.extra_info["matrix_backend"] = stats.backend
+        benchmark.extra_info["matrix_workers"] = stats.workers
+    counters = cache_counters()
+    benchmark.extra_info["cache_hits"] = counters["hits"]
+    benchmark.extra_info["cache_misses"] = counters["misses"]
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run *fn* exactly once under the benchmark timer."""

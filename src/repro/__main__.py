@@ -20,6 +20,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.matrix import MatrixBuildOptions, set_default_build_options
+from repro.core.matrixcache import cache_counters
 from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
 from repro.net.packet import build_udp_ipv4_frame
 from repro.net.pcap import LINKTYPE_USER0, PcapPacket, write_pcap
@@ -92,8 +94,12 @@ def _cmd_analyze(args) -> int:
     except SegmenterResourceError as error:
         print(f"error: segmenter failed: {error}", file=sys.stderr)
         return 1
-    config = ClusteringConfig()
+    matrix_options = matrix_options_from_args(args)
+    set_default_build_options(matrix_options)
+    config = ClusteringConfig(matrix_options=matrix_options)
     result = FieldTypeClusterer(config).cluster(segments)
+    if args.timings:
+        _print_timings(result)
     semantics = deduce_semantics(result, trace) if args.semantics else None
     report = AnalysisReport.build(result, trace, semantics)
     if args.json:
@@ -107,6 +113,51 @@ def _cmd_analyze(args) -> int:
         print(f"cluster map written to {args.svg}")
     print(report.render())
     return 0
+
+
+def matrix_options_from_args(args) -> MatrixBuildOptions:
+    """Translate the shared matrix-backend CLI flags into options."""
+    return MatrixBuildOptions(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def add_matrix_backend_flags(parser: argparse.ArgumentParser) -> None:
+    """The matrix execution/caching flags shared by repro-analyze and repro-eval."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dissimilarity-matrix worker processes (default: all CPU cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk dissimilarity-matrix cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+
+def _print_timings(result) -> None:
+    """Per-stage wall clock + matrix cache effectiveness, to stderr."""
+    stages = " ".join(
+        f"{name}={1e3 * value:.1f}ms" for name, value in result.timings.items()
+    )
+    print(f"timings: {stages}", file=sys.stderr)
+    stats = result.matrix.stats
+    if stats is not None:
+        counters = cache_counters()
+        print(
+            f"matrix: backend={stats.backend} workers={stats.workers} "
+            f"cache_hits={counters['hits']} cache_misses={counters['misses']}",
+            file=sys.stderr,
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +191,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", help="also write the report as JSON")
     analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
     analyze.add_argument("--seed", type=int, default=42)
+    analyze.add_argument("--timings", action="store_true",
+                         help="print per-stage timings and cache counters to stderr")
+    add_matrix_backend_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
     return parser
 

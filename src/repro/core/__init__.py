@@ -20,7 +20,14 @@ from repro.core.canberra import (
 from repro.core.dbscan import NOISE, DbscanResult, dbscan
 from repro.core.ecdf import Ecdf
 from repro.core.kneedle import Knee, detect_knees, rightmost_knee, smooth_ecdf
-from repro.core.matrix import DissimilarityMatrix
+from repro.core.matrix import (
+    BuildStats,
+    DissimilarityMatrix,
+    MatrixBuildOptions,
+    get_default_build_options,
+    set_default_build_options,
+)
+from repro.core.matrixcache import cache_counters, reset_cache_counters
 from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
 from repro.core.refinement import merge_clusters, percent_rank, refine, split_polarized
 from repro.core.segments import (
@@ -32,6 +39,7 @@ from repro.core.segments import (
 
 __all__ = [
     "AutoConfig",
+    "BuildStats",
     "ClusteringConfig",
     "ClusteringResult",
     "DEFAULT_PENALTY_FACTOR",
@@ -40,19 +48,24 @@ __all__ = [
     "Ecdf",
     "FieldTypeClusterer",
     "Knee",
+    "MatrixBuildOptions",
     "NOISE",
     "Segment",
     "UniqueSegment",
+    "cache_counters",
     "canberra_dissimilarity",
     "canberra_distance",
     "configure",
     "dbscan",
     "detect_knees",
+    "get_default_build_options",
     "merge_clusters",
     "min_samples_for",
     "percent_rank",
     "refine",
+    "reset_cache_counters",
     "rightmost_knee",
+    "set_default_build_options",
     "segments_from_fields",
     "smooth_ecdf",
     "split_polarized",

@@ -5,20 +5,165 @@ metric and as the source of the k-NN distance distributions for the
 epsilon auto-configuration.  Computation is grouped by segment length so
 that equal-length pairs use the plain normalized Canberra distance and
 unequal-length pairs use the sliding/penalty extension, both vectorized.
+
+Three interchangeable execution paths produce bit-identical values:
+
+- **serial** — one process walks the per-length-pair blocks in order
+  (the reference implementation, and the automatic fallback when the
+  segment count is below :attr:`MatrixBuildOptions.parallel_threshold`);
+- **parallel** — the independent blocks are dispatched to a
+  :class:`concurrent.futures.ProcessPoolExecutor`
+  (:attr:`MatrixBuildOptions.workers`, default ``os.cpu_count()``);
+- **cached** — a content-addressed ``.npz`` on disk
+  (:mod:`repro.core.matrixcache`) short-circuits the whole computation
+  for a previously seen segment set + penalty factor.
+
+:class:`BuildStats` on the returned matrix records which path ran and
+how long each stage took, so speedups stay observable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.core import matrixcache
 from repro.core.canberra import (
     DEFAULT_PENALTY_FACTOR,
     cross_length_block,
     pairwise_equal_length,
 )
 from repro.core.segments import UniqueSegment
+
+perf_logger = logging.getLogger("repro.perf")
+
+
+@dataclass(frozen=True)
+class MatrixBuildOptions:
+    """Execution knobs for :meth:`DissimilarityMatrix.build`.
+
+    The defaults are safe for library use: auto worker count (serial on
+    single-core machines and below the parallel threshold) and no disk
+    cache.  The CLIs enable the cache and expose every knob as a flag.
+    """
+
+    #: Process-pool size; None resolves to ``os.cpu_count()``.
+    workers: int | None = None
+    #: Reuse/persist matrices in the content-addressed on-disk cache.
+    use_cache: bool = False
+    #: Cache location; None means ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``.
+    cache_dir: str | Path | None = None
+    #: Minimum unique-segment count before forking workers pays for
+    #: itself; below it the serial path runs regardless of ``workers``.
+    parallel_threshold: int = 512
+
+    def effective_workers(self) -> int:
+        """Resolved worker count (>= 1)."""
+        if self.workers is not None:
+            return max(1, int(self.workers))
+        return os.cpu_count() or 1
+
+
+_DEFAULT_OPTIONS = MatrixBuildOptions()
+
+
+def get_default_build_options() -> MatrixBuildOptions:
+    """The process-wide options used when ``build(options=None)``."""
+    return _DEFAULT_OPTIONS
+
+
+def set_default_build_options(options: MatrixBuildOptions) -> MatrixBuildOptions:
+    """Replace the process-wide default options; returns the previous ones.
+
+    CLIs call this once from their flags so that every internal
+    ``DissimilarityMatrix.build`` call site (pipeline, figures, message
+    type similarity) picks up the same backend configuration without
+    threading options through every signature.
+    """
+    global _DEFAULT_OPTIONS
+    previous = _DEFAULT_OPTIONS
+    _DEFAULT_OPTIONS = options
+    return previous
+
+
+@dataclass
+class BuildStats:
+    """Observability record for one matrix build."""
+
+    unique_count: int = 0
+    #: "serial", "parallel", or "cache" — the path that produced values.
+    backend: str = "serial"
+    workers: int = 1
+    #: Independent work items (same-length + cross-length blocks).
+    task_count: int = 0
+    cache_hit: bool = False
+    cache_key: str | None = None
+    #: Per-stage wall-clock seconds: blocks/compute/cache_load/cache_store/total.
+    seconds: dict[str, float] = field(default_factory=dict)
+
+
+def _segment_blocks(
+    segments: list[UniqueSegment], by_length: dict[int, list[int]]
+) -> dict[int, np.ndarray]:
+    """One (count, length) float64 block per segment length.
+
+    Rows are decoded with ``np.frombuffer`` over the concatenated raw
+    bytes — no per-byte Python list round-trip.
+    """
+    blocks = {}
+    for length, indices in by_length.items():
+        raw = b"".join(segments[i].data for i in indices)
+        blocks[length] = (
+            np.frombuffer(raw, dtype=np.uint8)
+            .astype(np.float64)
+            .reshape(len(indices), length)
+        )
+    return blocks
+
+
+def _block_tasks(
+    lengths: list[int],
+    blocks: dict[int, np.ndarray],
+    penalty_factor: float,
+) -> list[tuple]:
+    """Independent work items: one per length pair (including li == lj)."""
+    tasks = []
+    for li, length_a in enumerate(lengths):
+        tasks.append(("same", length_a, length_a, blocks[length_a], None, penalty_factor))
+        for length_b in lengths[li + 1 :]:
+            tasks.append(
+                (
+                    "cross",
+                    length_a,
+                    length_b,
+                    blocks[length_a],
+                    blocks[length_b],
+                    penalty_factor,
+                )
+            )
+    return tasks
+
+
+def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
+    """Worker entry point: compute one same-/cross-length block.
+
+    Module-level so it pickles for :class:`ProcessPoolExecutor`; also the
+    serial path's unit of work, keeping both paths bit-identical.
+    """
+    kind, length_a, length_b, block_a, block_b, penalty_factor = task
+    if kind == "same":
+        return length_a, length_b, pairwise_equal_length(block_a)
+    return (
+        length_a,
+        length_b,
+        cross_length_block(block_a, block_b, penalty_factor=penalty_factor),
+    )
 
 
 @dataclass
@@ -27,38 +172,122 @@ class DissimilarityMatrix:
 
     segments: list[UniqueSegment]
     values: np.ndarray
+    stats: BuildStats | None = None
 
     @classmethod
     def build(
         cls,
         segments: list[UniqueSegment],
         penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+        options: MatrixBuildOptions | None = None,
     ) -> "DissimilarityMatrix":
+        """Build D over *segments*, honoring the execution *options*.
+
+        With ``options=None`` the process-wide defaults apply (see
+        :func:`set_default_build_options`).  All execution paths return
+        values ``np.allclose``-equal (in fact bit-identical) to the
+        serial reference.
+        """
+        if options is None:
+            options = get_default_build_options()
+        started = time.perf_counter()
+        stats = BuildStats(unique_count=len(segments))
+
+        if options.use_cache:
+            order = sorted(range(len(segments)), key=lambda i: segments[i].data)
+            stats.cache_key = matrixcache.matrix_cache_key(
+                (segments[i].data for i in order), penalty_factor
+            )
+            load_started = time.perf_counter()
+            canonical = matrixcache.load_matrix(stats.cache_key, options.cache_dir)
+            stats.seconds["cache_load"] = time.perf_counter() - load_started
+            if canonical is not None and canonical.shape[0] == len(segments):
+                # Stored in canonical (byte-sorted) order; permute back
+                # to the caller's segment order.
+                rank = np.empty(len(segments), dtype=np.int64)
+                rank[order] = np.arange(len(segments))
+                values = np.ascontiguousarray(canonical[np.ix_(rank, rank)])
+                stats.backend = "cache"
+                stats.cache_hit = True
+                stats.seconds["total"] = time.perf_counter() - started
+                perf_logger.debug(
+                    "matrix cache hit key=%s n=%d %.1fms",
+                    stats.cache_key[:12],
+                    len(segments),
+                    1e3 * stats.seconds["total"],
+                )
+                return cls(segments=segments, values=values, stats=stats)
+
+        values, stats = cls._compute(segments, penalty_factor, options, stats)
+
+        if options.use_cache and stats.cache_key is not None:
+            store_started = time.perf_counter()
+            order = sorted(range(len(segments)), key=lambda i: segments[i].data)
+            canonical = np.ascontiguousarray(values[np.ix_(order, order)])
+            matrixcache.store_matrix(stats.cache_key, canonical, options.cache_dir)
+            stats.seconds["cache_store"] = time.perf_counter() - store_started
+
+        stats.seconds["total"] = time.perf_counter() - started
+        perf_logger.debug(
+            "matrix build backend=%s workers=%d n=%d tasks=%d %.1fms",
+            stats.backend,
+            stats.workers,
+            stats.unique_count,
+            stats.task_count,
+            1e3 * stats.seconds["total"],
+        )
+        return cls(segments=segments, values=values, stats=stats)
+
+    @classmethod
+    def _compute(
+        cls,
+        segments: list[UniqueSegment],
+        penalty_factor: float,
+        options: MatrixBuildOptions,
+        stats: BuildStats,
+    ) -> tuple[np.ndarray, BuildStats]:
         count = len(segments)
         values = np.zeros((count, count), dtype=np.float64)
+        blocks_started = time.perf_counter()
         by_length: dict[int, list[int]] = {}
         for index, segment in enumerate(segments):
             by_length.setdefault(segment.length, []).append(index)
-        blocks = {
-            length: np.array(
-                [list(segments[i].data) for i in indices], dtype=np.float64
-            )
-            for length, indices in by_length.items()
-        }
+        blocks = _segment_blocks(segments, by_length)
         lengths = sorted(by_length)
-        for li, length_a in enumerate(lengths):
+        tasks = _block_tasks(lengths, blocks, penalty_factor)
+        stats.seconds["blocks"] = time.perf_counter() - blocks_started
+        stats.task_count = len(tasks)
+
+        workers = options.effective_workers()
+        parallel = (
+            workers > 1
+            and count >= options.parallel_threshold
+            and len(tasks) > 1
+        )
+        compute_started = time.perf_counter()
+        if parallel:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as executor:
+                    results = list(executor.map(_compute_block_task, tasks))
+                stats.backend = "parallel"
+                stats.workers = workers
+            except (OSError, ValueError, RuntimeError) as error:
+                # Restricted environments (no fork, no semaphores) fall
+                # back to the serial reference rather than failing.
+                perf_logger.debug("parallel build unavailable (%s); serial", error)
+                results = [_compute_block_task(task) for task in tasks]
+        else:
+            results = [_compute_block_task(task) for task in tasks]
+        for length_a, length_b, block_values in results:
             indices_a = by_length[length_a]
-            block_a = blocks[length_a]
-            same = pairwise_equal_length(block_a)
-            values[np.ix_(indices_a, indices_a)] = same
-            for length_b in lengths[li + 1 :]:
+            if length_a == length_b:
+                values[np.ix_(indices_a, indices_a)] = block_values
+            else:
                 indices_b = by_length[length_b]
-                cross = cross_length_block(
-                    block_a, blocks[length_b], penalty_factor=penalty_factor
-                )
-                values[np.ix_(indices_a, indices_b)] = cross
-                values[np.ix_(indices_b, indices_a)] = cross.T
-        return cls(segments=segments, values=values)
+                values[np.ix_(indices_a, indices_b)] = block_values
+                values[np.ix_(indices_b, indices_a)] = block_values.T
+        stats.seconds["compute"] = time.perf_counter() - compute_started
+        return values, stats
 
     def __len__(self) -> int:
         return len(self.segments)

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk cache for dissimilarity matrices.
+
+Every benchmark and repeated pipeline run recomputes the identical
+O(n²) Canberra matrix for the same trace.  This module keys a finished
+matrix by a SHA-256 over the *sorted* unique-segment byte values plus
+the penalty factor and a format version, and stores it as a compressed
+``.npz`` next to nothing else the pipeline owns:
+
+- location: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``;
+- key: ``sha256(version || penalty || len(data)||data ...)`` over the
+  values in sorted order, so the key is independent of segment order
+  (the caller permutes rows back to its own order);
+- invalidation: bump :data:`CACHE_FORMAT_VERSION` whenever the matrix
+  semantics change — old entries simply stop being addressed.
+
+Hit/miss/store counters are kept module-global so CLIs and benchmarks
+can report cache effectiveness without threading state around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+#: Bump to invalidate every existing cache entry (schema or semantics
+#: changes in the matrix computation).
+CACHE_FORMAT_VERSION = 1
+
+_COUNTERS = {"hits": 0, "misses": 0, "stores": 0}
+
+
+def cache_counters() -> dict[str, int]:
+    """Snapshot of the process-wide hit/miss/store counters."""
+    return dict(_COUNTERS)
+
+
+def reset_cache_counters() -> None:
+    """Zero the process-wide counters (test and benchmark isolation)."""
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def matrix_cache_key(sorted_datas: Iterable[bytes], penalty_factor: float) -> str:
+    """SHA-256 key over sorted segment values + penalty + format version.
+
+    *sorted_datas* must already be in canonical (byte-sorted) order; each
+    value is length-prefixed so concatenation is unambiguous.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"repro-matrix-v{CACHE_FORMAT_VERSION}\0".encode())
+    digest.update(struct.pack("<d", float(penalty_factor)))
+    for data in sorted_datas:
+        digest.update(struct.pack("<Q", len(data)))
+        digest.update(data)
+    return digest.hexdigest()
+
+
+def cache_path(key: str, cache_dir: str | Path | None = None) -> Path:
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    return directory / f"matrix-{key}.npz"
+
+
+def load_matrix(key: str, cache_dir: str | Path | None = None) -> np.ndarray | None:
+    """Load the canonical-order matrix for *key*, or None on a miss.
+
+    Corrupt or truncated entries count as misses and are removed so the
+    next build overwrites them.
+    """
+    path = cache_path(key, cache_dir)
+    try:
+        with np.load(path) as archive:
+            values = np.asarray(archive["values"], dtype=np.float64)
+    except (FileNotFoundError, OSError, KeyError, ValueError, EOFError):
+        if path.exists():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        _COUNTERS["misses"] += 1
+        return None
+    if values.ndim != 2 or values.shape[0] != values.shape[1]:
+        _COUNTERS["misses"] += 1
+        return None
+    _COUNTERS["hits"] += 1
+    return values
+
+
+def store_matrix(
+    key: str, values: np.ndarray, cache_dir: str | Path | None = None
+) -> Path | None:
+    """Atomically persist a canonical-order matrix; None if unwritable."""
+    path = cache_path(key, cache_dir)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, temp_name = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                # Uncompressed on purpose: dissimilarity values are
+                # near-incompressible float64 noise, and warm-cache loads
+                # should cost a read, not a decompress.
+                np.savez(handle, values=values)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache directory must never fail the build.
+        return None
+    _COUNTERS["stores"] += 1
+    return path

@@ -10,6 +10,8 @@ types* and retains every intermediate artefact the evaluation needs
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -18,7 +20,9 @@ from repro.core.autoconf import AutoConfig, configure
 from repro.core.canberra import DEFAULT_PENALTY_FACTOR
 from repro.core.dbscan import DbscanResult, dbscan
 from repro.core.kneedle import DEFAULT_SENSITIVITY
-from repro.core.matrix import DissimilarityMatrix
+from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
+
+perf_logger = logging.getLogger("repro.perf")
 from repro.core.refinement import (
     EPSILON_RHO_THRESHOLD,
     NEIGHBOR_DENSITY_THRESHOLD,
@@ -58,6 +62,10 @@ class ClusteringConfig:
     #: frequent values over-densify their neighborhoods and chain types
     #: together; kept as an ablation knob.
     weighted_density: bool = False
+    #: Matrix execution backend (workers / on-disk cache); None uses the
+    #: process-wide defaults (see
+    #: :func:`repro.core.matrix.set_default_build_options`).
+    matrix_options: MatrixBuildOptions | None = None
 
 
 @dataclass
@@ -73,6 +81,10 @@ class ClusteringResult:
     retrims: int = 0
     #: Unique segments excluded before clustering (shorter than minimum).
     excluded: list[UniqueSegment] = field(default_factory=list)
+    #: Wall-clock seconds per pipeline stage (matrix/configure/dbscan/
+    #: refine/total); the matrix backend's own breakdown and cache
+    #: hit/miss live on ``matrix.stats``.
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def epsilon(self) -> float:
@@ -115,18 +127,29 @@ class FieldTypeClusterer:
     def cluster(self, segments: list[Segment]) -> ClusteringResult:
         """Cluster field candidates into pseudo data types."""
         config = self.config
+        started = time.perf_counter()
+        timings: dict[str, float] = {}
         all_unique = unique_segments(segments, min_length=1)
         analyzable = [u for u in all_unique if u.length >= config.min_segment_length]
         excluded = [u for u in all_unique if u.length < config.min_segment_length]
         if not analyzable:
             raise ValueError("no analyzable segments (all shorter than the minimum)")
-        matrix = DissimilarityMatrix.build(analyzable, penalty_factor=config.penalty_factor)
+        stage = time.perf_counter()
+        matrix = DissimilarityMatrix.build(
+            analyzable,
+            penalty_factor=config.penalty_factor,
+            options=config.matrix_options,
+        )
+        timings["matrix"] = time.perf_counter() - stage
         weights = (
             np.array([u.count for u in analyzable], dtype=np.float64)
             if config.weighted_density
             else None
         )
+        stage = time.perf_counter()
         auto = self._configure(matrix, trim_at=None)
+        timings["configure"] = time.perf_counter() - stage
+        stage = time.perf_counter()
         result = dbscan(matrix.values, auto.epsilon, auto.min_samples, weights=weights)
         retrims = 0
         # Section III-E fallback, step 1: with multiple detected knees and
@@ -172,6 +195,8 @@ class FieldTypeClusterer:
             result = candidate
             trim_at = auto.knee.x if auto.knee is not None else None
             retrims += 1
+        timings["dbscan"] = time.perf_counter() - stage
+        stage = time.perf_counter()
         clusters = result.clusters()
         refined = refine(
             matrix.values,
@@ -183,10 +208,17 @@ class FieldTypeClusterer:
             split=config.split,
             link_cap=config.link_cap_factor * auto.epsilon,
         )
+        timings["refine"] = time.perf_counter() - stage
         clustered = (
             np.concatenate(refined) if refined else np.array([], dtype=np.int64)
         )
         noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
+        timings["total"] = time.perf_counter() - started
+        perf_logger.debug(
+            "pipeline n=%d %s",
+            len(analyzable),
+            " ".join(f"{name}={1e3 * value:.1f}ms" for name, value in timings.items()),
+        )
         return ClusteringResult(
             segments=analyzable,
             clusters=refined,
@@ -196,6 +228,7 @@ class FieldTypeClusterer:
             dbscan_result=result,
             retrims=retrims,
             excluded=excluded,
+            timings=timings,
         )
 
     def _configure(self, matrix: DissimilarityMatrix, trim_at: float | None) -> AutoConfig:

@@ -17,6 +17,9 @@ import sys
 
 from pathlib import Path
 
+from repro.__main__ import add_matrix_backend_flags, matrix_options_from_args
+from repro.core.matrix import set_default_build_options
+from repro.core.matrixcache import cache_counters
 from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.export import table1_records, table2_records, to_csv, to_json
 from repro.eval.figures import run_figure2, run_figure3
@@ -61,7 +64,16 @@ def main(argv: list[str] | None = None) -> int:
         "--export-dir",
         help="also write table records as JSON + CSV into this directory",
     )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print matrix cache hit/miss counters to stderr when done",
+    )
+    add_matrix_backend_flags(parser)
     args = parser.parse_args(argv)
+    # Every experiment builds its matrices through the same process-wide
+    # defaults, so one flag set covers tables, figures, and coverage.
+    set_default_build_options(matrix_options_from_args(args))
 
     outputs = []
     if args.artefact in ("table1", "all"):
@@ -86,6 +98,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.artefact in ("coverage", "all"):
         rows = SMALL_TRACE_ROWS if args.quick else None
         outputs.append(run_coverage_comparison(seed=args.seed, rows=rows).render())
+    if args.timings:
+        counters = cache_counters()
+        print(
+            f"matrix cache: hits={counters['hits']} misses={counters['misses']} "
+            f"stores={counters['stores']}",
+            file=sys.stderr,
+        )
     try:
         print("\n\n".join(outputs))
     except BrokenPipeError:  # output piped into head/less that closed early

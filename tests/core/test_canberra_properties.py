@@ -1,0 +1,60 @@
+"""Property-based contracts of the length-tolerant Canberra dissimilarity.
+
+The paper's metric (Section III-C, NEMETYL) must behave like a bounded
+dissimilarity for the matrix, DBSCAN, and the epsilon auto-configuration
+to make sense.  Hypothesis checks the contracts over arbitrary byte
+strings instead of hand-picked examples.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.canberra import canberra_dissimilarity, canberra_distance
+
+segments = st.binary(min_size=1, max_size=24)
+
+
+class TestDissimilarityProperties:
+    @given(segments, segments)
+    @settings(max_examples=200)
+    def test_symmetry(self, u, v):
+        assert canberra_dissimilarity(u, v) == pytest.approx(
+            canberra_dissimilarity(v, u), abs=1e-15
+        )
+
+    @given(segments)
+    @settings(max_examples=200)
+    def test_identity(self, u):
+        assert canberra_dissimilarity(u, u) == 0.0
+
+    @given(st.binary(max_size=24), st.binary(max_size=24))
+    @settings(max_examples=200)
+    def test_range(self, u, v):
+        d = canberra_dissimilarity(u, v)
+        assert 0.0 <= d <= 1.0
+
+    @given(segments, segments)
+    @settings(max_examples=200)
+    def test_equal_length_reduces_to_canberra_distance(self, u, v):
+        length = min(len(u), len(v))
+        u, v = u[:length], v[:length]
+        assert canberra_dissimilarity(u, v) == pytest.approx(
+            canberra_distance(u, v), abs=1e-15
+        )
+
+    @given(segments, st.binary(min_size=1, max_size=12), st.binary(min_size=1, max_size=12))
+    @settings(max_examples=200)
+    def test_monotone_in_length_mismatch(self, u, suffix, more):
+        """Growing the unmatched tail of a perfect sliding match can only
+        increase the dissimilarity (the penalty term dominates)."""
+        shorter_mismatch = canberra_dissimilarity(u, u + suffix)
+        longer_mismatch = canberra_dissimilarity(u, u + suffix + more)
+        assert shorter_mismatch <= longer_mismatch + 1e-12
+
+    @given(segments, st.binary(min_size=1, max_size=12))
+    @settings(max_examples=200)
+    def test_length_mismatch_is_never_free(self, u, suffix):
+        """Unequal lengths keep a positive penalty floor even on a
+        perfect overlap (the DESIGN.md chaining rationale)."""
+        assert canberra_dissimilarity(u, u + suffix) > 0.0

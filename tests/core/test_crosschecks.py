@@ -9,6 +9,8 @@ from scipy.spatial.distance import canberra as scipy_canberra
 
 from repro.core.canberra import canberra_distance
 from repro.core.dbscan import NOISE, dbscan
+from repro.core.matrix import DissimilarityMatrix
+from repro.core.segments import Segment, unique_segments
 
 
 class TestCanberraVsScipy:
@@ -83,6 +85,62 @@ class TestDbscanVsBruteForce:
         # Noise sets must agree everywhere.
         assert np.array_equal(ours == NOISE, reference == NOISE)
         # Same-cluster relation over core points must agree.
+        core_indices = np.nonzero(core)[0]
+        for i in core_indices:
+            for j in core_indices:
+                assert (ours[i] == ours[j]) == (reference[i] == reference[j])
+
+
+class TestDbscanOnPrecomputedMatrix:
+    """End-to-end cross-check, scipy-free: DBSCAN over a real
+    :class:`DissimilarityMatrix` recovers a known cluster structure on a
+    fixed seed-generated fixture and agrees with the brute-force
+    reference everywhere."""
+
+    EPSILON = 0.1
+    MIN_SAMPLES = 3
+
+    @pytest.fixture(scope="class")
+    def fixture_matrix(self):
+        # Two tight value families plus far-out singletons.  Family A
+        # varies around mid-range bytes (tiny Canberra terms); family B
+        # alternates high/low bytes; the singletons sit at the extremes.
+        rng = np.random.default_rng(1234)
+        datas = []
+        for i in range(8):
+            datas.append(bytes([100 + i, 110 + i, 120 + i, 130 + i]))
+        for i in range(8):
+            datas.append(bytes([200 + i, 10 + i, 200 + i, 10 + i]))
+        datas.append(bytes([0, 255, 0, 255]))
+        datas.append(bytes([255, 0, 255, 0]))
+        # A longer segment exercises the cross-length sliding metric.
+        datas.append(bytes(rng.integers(0, 256, 9).tolist()))
+        segments = unique_segments(
+            [Segment(message_index=i, offset=0, data=d) for i, d in enumerate(datas)]
+        )
+        assert len(segments) == len(datas)  # all values distinct
+        return DissimilarityMatrix.build(segments)
+
+    def test_expected_partition(self, fixture_matrix):
+        result = dbscan(fixture_matrix.values, self.EPSILON, self.MIN_SAMPLES)
+        labels = result.labels
+        family_a, family_b = labels[:8], labels[8:16]
+        # Each family forms one cluster, and they are distinct clusters.
+        assert len(set(family_a.tolist())) == 1 and family_a[0] != NOISE
+        assert len(set(family_b.tolist())) == 1 and family_b[0] != NOISE
+        assert family_a[0] != family_b[0]
+        assert result.cluster_count == 2
+        # The extreme values and the long segment stay noise.
+        assert np.all(labels[16:] == NOISE)
+
+    def test_agrees_with_brute_force_reference(self, fixture_matrix):
+        ours = dbscan(fixture_matrix.values, self.EPSILON, self.MIN_SAMPLES).labels
+        reference = brute_force_dbscan(
+            fixture_matrix.values, self.EPSILON, self.MIN_SAMPLES
+        )
+        within = fixture_matrix.values <= self.EPSILON
+        core = within.sum(axis=1) >= self.MIN_SAMPLES
+        assert np.array_equal(ours == NOISE, reference == NOISE)
         core_indices = np.nonzero(core)[0]
         for i in core_indices:
             for j in core_indices:
