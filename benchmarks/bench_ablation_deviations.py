@@ -6,7 +6,6 @@ deviation must *measurably earn its place* — these benchmarks assert
 the effect that justified it.
 """
 
-import pytest
 
 from conftest import run_once
 from repro.core.pipeline import ClusteringConfig

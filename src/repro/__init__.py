@@ -5,7 +5,14 @@ Reproduction of Kleber, Kargl, Stute, Hollick: *"Network Message Field
 Type Clustering for Reverse Engineering of Unknown Binary Protocols"*,
 IEEE DSN-W (DCDS) 2022.
 
-Quickstart::
+Quickstart (the stable facade, :mod:`repro.api`)::
+
+    from repro import analyze
+
+    report = analyze("capture.pcap", protocol="mystery", port=9999)
+    print(report.render())
+
+or stage by stage::
 
     from repro import FieldTypeClusterer, NemesysSegmenter, load_trace
 
@@ -17,7 +24,10 @@ Quickstart::
 
 Packages:
 
+- :mod:`repro.api` — the stable public facade (``analyze``,
+  ``cluster_segments``) shared by library users and both CLIs,
 - :mod:`repro.core` — the clustering method (the paper's contribution),
+- :mod:`repro.obs` — spans, metrics, and run manifests,
 - :mod:`repro.segmenters` — NEMESYS / Netzob / CSP heuristics,
 - :mod:`repro.protocols` — trace generators + ground-truth dissectors,
 - :mod:`repro.baselines` — the FieldHunter comparison baseline,
@@ -26,6 +36,7 @@ Packages:
 - :mod:`repro.eval` — regeneration of every table and figure.
 """
 
+from repro.api import AnalysisRun, analyze, cluster_segments, run_analysis
 from repro.core import (
     ClusteringConfig,
     ClusteringResult,
@@ -52,6 +63,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisReport",
+    "AnalysisRun",
     "ClusteringConfig",
     "ClusteringResult",
     "CspSegmenter",
@@ -65,10 +77,13 @@ __all__ = [
     "Trace",
     "TraceMessage",
     "UniqueSegment",
+    "analyze",
     "available_protocols",
     "canberra_dissimilarity",
+    "cluster_segments",
     "deduce_semantics",
     "get_model",
     "infer_all_templates",
     "load_trace",
+    "run_analysis",
 ]

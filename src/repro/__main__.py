@@ -8,11 +8,18 @@ Commands:
   models and write it as a pcap for use with external tooling.
 - ``protocols`` — list the bundled protocol models.
 
+The commands are thin wrappers over :mod:`repro.api`; anything the CLI
+can do, ``from repro import analyze`` can do without it.  For
+convenience, flags may be passed without the ``analyze`` verb
+(``repro-analyze --model ntp -n 200``) — analysis is the default
+command.
+
 Examples::
 
     python -m repro generate ntp -n 1000 -o /tmp/ntp.pcap
     python -m repro analyze /tmp/ntp.pcap --port 123 --segmenter nemesys
     python -m repro analyze --model awdl -n 500 --semantics --json report.json
+    python -m repro analyze --model ntp --trace-out run.json --metrics-out run.prom
 """
 
 from __future__ import annotations
@@ -20,27 +27,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.matrix import MatrixBuildOptions, set_default_build_options
-from repro.core.matrixcache import cache_counters
-from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
+from repro import api
+from repro.cliopts import backend_parent, emit_observability
+from repro.core.pipeline import ClusteringConfig
 from repro.net.packet import build_udp_ipv4_frame
 from repro.net.pcap import LINKTYPE_USER0, PcapPacket, write_pcap
 from repro.net.trace import load_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.protocols import available_protocols, get_model
-from repro.report import AnalysisReport
-from repro.segmenters import (
-    CspSegmenter,
-    NemesysSegmenter,
-    NetzobSegmenter,
-    SegmenterResourceError,
-)
-from repro.semantics import deduce_semantics
-
-_SEGMENTERS = {
-    "nemesys": NemesysSegmenter,
-    "netzob": NetzobSegmenter,
-    "csp": CspSegmenter,
-}
+from repro.segmenters import SegmenterResourceError
 
 
 def _cmd_protocols(_args) -> int:
@@ -84,24 +80,25 @@ def _cmd_analyze(args) -> int:
     else:
         print("error: provide a capture file or --model", file=sys.stderr)
         return 2
-    trace = trace.preprocess()
-    if not len(trace):
-        print("error: no messages after preprocessing", file=sys.stderr)
-        return 1
-    segmenter = _SEGMENTERS[args.segmenter]()
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    config = ClusteringConfig.from_args(args)
     try:
-        segments = segmenter.segment(trace)
+        run = api.run_analysis(
+            trace,
+            config,
+            segmenter=args.segmenter,
+            semantics=args.semantics,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except SegmenterResourceError as error:
         print(f"error: segmenter failed: {error}", file=sys.stderr)
         return 1
-    matrix_options = matrix_options_from_args(args)
-    set_default_build_options(matrix_options)
-    config = ClusteringConfig(matrix_options=matrix_options)
-    result = FieldTypeClusterer(config).cluster(segments)
-    if args.timings:
-        _print_timings(result)
-    semantics = deduce_semantics(result, trace) if args.semantics else None
-    report = AnalysisReport.build(result, trace, semantics)
+    report = run.report
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
@@ -109,55 +106,17 @@ def _cmd_analyze(args) -> int:
     if args.svg:
         from repro.viz import save_svg
 
-        save_svg(result, args.svg, title=f"{trace.protocol}: pseudo data types")
+        save_svg(run.result, args.svg, title=f"{run.trace.protocol}: pseudo data types")
         print(f"cluster map written to {args.svg}")
+    emit_observability(
+        args,
+        tracer,
+        metrics,
+        config,
+        meta={"command": "analyze", "protocol": run.trace.protocol},
+    )
     print(report.render())
     return 0
-
-
-def matrix_options_from_args(args) -> MatrixBuildOptions:
-    """Translate the shared matrix-backend CLI flags into options."""
-    return MatrixBuildOptions(
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
-
-
-def add_matrix_backend_flags(parser: argparse.ArgumentParser) -> None:
-    """The matrix execution/caching flags shared by repro-analyze and repro-eval."""
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="dissimilarity-matrix worker processes (default: all CPU cores)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the on-disk dissimilarity-matrix cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
-    )
-
-
-def _print_timings(result) -> None:
-    """Per-stage wall clock + matrix cache effectiveness, to stderr."""
-    stages = " ".join(
-        f"{name}={1e3 * value:.1f}ms" for name, value in result.timings.items()
-    )
-    print(f"timings: {stages}", file=sys.stderr)
-    stats = result.matrix.stats
-    if stats is not None:
-        counters = cache_counters()
-        print(
-            f"matrix: backend={stats.backend} workers={stats.workers} "
-            f"cache_hits={counters['hits']} cache_misses={counters['misses']}",
-            file=sys.stderr,
-        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,7 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=42)
     generate.set_defaults(handler=_cmd_generate)
 
-    analyze = sub.add_parser("analyze", help="cluster field data types")
+    analyze = sub.add_parser(
+        "analyze",
+        help="cluster field data types",
+        parents=[backend_parent()],
+    )
     analyze.add_argument("capture", nargs="?", help="pcap/pcapng file")
     analyze.add_argument("--model", choices=available_protocols(),
                          help="analyze a synthesized trace instead of a capture")
@@ -185,21 +148,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="messages to synthesize with --model")
     analyze.add_argument("--name", default="unknown", help="protocol label")
     analyze.add_argument("--port", type=int, help="UDP/TCP port filter")
-    analyze.add_argument("--segmenter", choices=sorted(_SEGMENTERS), default="nemesys")
+    analyze.add_argument("--segmenter", choices=sorted(api.SEGMENTERS),
+                         default="nemesys")
     analyze.add_argument("--semantics", action="store_true",
                          help="run semantic deduction on the clusters")
     analyze.add_argument("--json", help="also write the report as JSON")
     analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
     analyze.add_argument("--seed", type=int, default=42)
-    analyze.add_argument("--timings", action="store_true",
-                         help="print per-stage timings and cache counters to stderr")
-    add_matrix_backend_flags(analyze)
     analyze.set_defaults(handler=_cmd_analyze)
     return parser
 
 
+_COMMANDS = ("protocols", "generate", "analyze")
+
+
+def _default_to_analyze(argv: list[str]) -> list[str]:
+    """Insert the ``analyze`` verb when flags are passed without one."""
+    if not argv or argv[0] in _COMMANDS or argv[0] in ("-h", "--help"):
+        return argv
+    return ["analyze", *argv]
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_default_to_analyze(list(argv)))
     try:
         return args.handler(args)
     except BrokenPipeError:  # output piped into head/less that closed early

@@ -1,0 +1,162 @@
+"""Stable public facade: one entry point for library users and CLIs.
+
+The two calls every consumer needs:
+
+- :func:`analyze` — pcap/trace in, :class:`~repro.report.AnalysisReport`
+  out (load → preprocess → segment → cluster → optional semantics);
+- :func:`cluster_segments` — the clustering stage alone, for callers
+  that bring their own field candidates.
+
+Both accept an optional :class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry`; when given, they are bound
+as the active observability sinks for the duration of the call, so the
+caller gets the full span tree and metric snapshot without any global
+state.  :func:`run_analysis` is the richer variant behind
+:func:`analyze` that also returns the intermediate artefacts (trace,
+segments, :class:`~repro.core.pipeline.ClusteringResult`, semantics) —
+the ``repro-analyze`` CLI is a thin wrapper over it.
+
+Example::
+
+    from repro import analyze
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    report = analyze("capture.pcap", protocol="mystery", port=9999,
+                     tracer=tracer)
+    print(report.render())
+    print(tracer.stage_timings())
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
+from repro.core.segments import Segment
+from repro.net.trace import Trace, load_trace
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
+from repro.report import AnalysisReport
+from repro.segmenters import (
+    CspSegmenter,
+    NemesysSegmenter,
+    NetzobSegmenter,
+    Segmenter,
+)
+from repro.semantics import deduce_semantics
+from repro.semantics.engine import ClusterSemantics
+
+#: Heuristic segmenters selectable by name (CLI ``--segmenter`` choices).
+SEGMENTERS: dict[str, type[Segmenter]] = {
+    "nemesys": NemesysSegmenter,
+    "netzob": NetzobSegmenter,
+    "csp": CspSegmenter,
+}
+
+
+@dataclass
+class AnalysisRun:
+    """Everything one :func:`run_analysis` call produced."""
+
+    trace: Trace
+    segments: list[Segment]
+    result: ClusteringResult
+    report: AnalysisReport
+    semantics: list[ClusterSemantics] | None = None
+    config: ClusteringConfig = field(default_factory=ClusteringConfig)
+
+
+def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None):
+    """Context managers binding the caller's sinks (or no-ops)."""
+    tracer_scope = use_tracer(tracer) if tracer is not None else nullcontext()
+    metrics_scope = use_metrics(metrics) if metrics is not None else nullcontext()
+    return tracer_scope, metrics_scope
+
+
+def _resolve_segmenter(segmenter: str | Segmenter) -> Segmenter:
+    if isinstance(segmenter, Segmenter):
+        return segmenter
+    try:
+        return SEGMENTERS[segmenter]()
+    except KeyError:
+        raise ValueError(
+            f"unknown segmenter {segmenter!r} (choices: {sorted(SEGMENTERS)})"
+        ) from None
+
+
+def cluster_segments(
+    segments: list[Segment],
+    config: ClusteringConfig | None = None,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> ClusteringResult:
+    """Cluster field candidates into pseudo data types.
+
+    The clustering stage alone (paper Section III-C..E): dissimilarity
+    matrix → epsilon auto-configuration → DBSCAN → refinement.
+    """
+    tracer_scope, metrics_scope = _observability_scopes(tracer, metrics)
+    with tracer_scope, metrics_scope:
+        return FieldTypeClusterer(config).cluster(segments)
+
+
+def run_analysis(
+    trace_or_path: Trace | str | Path,
+    config: ClusteringConfig | None = None,
+    *,
+    protocol: str = "unknown",
+    port: int | None = None,
+    segmenter: str | Segmenter = "nemesys",
+    semantics: bool = False,
+    preprocess: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> AnalysisRun:
+    """Full analysis returning every intermediate artefact.
+
+    *trace_or_path* is either a loaded :class:`~repro.net.trace.Trace`
+    or a pcap/pcapng path (loaded with *protocol* as label and *port*
+    as the UDP/TCP filter).  Raises ValueError when preprocessing
+    leaves no messages; segmenter resource guards propagate as
+    :class:`~repro.segmenters.SegmenterResourceError`.
+    """
+    config = config or ClusteringConfig()
+    tracer_scope, metrics_scope = _observability_scopes(tracer, metrics)
+    with tracer_scope, metrics_scope:
+        if isinstance(trace_or_path, (str, Path)):
+            trace = load_trace(trace_or_path, protocol=protocol, port=port)
+        else:
+            trace = trace_or_path
+        if preprocess:
+            trace = trace.preprocess()
+        if not len(trace):
+            raise ValueError("no messages to analyze after preprocessing")
+        segments = _resolve_segmenter(segmenter).segment(trace)
+        result = FieldTypeClusterer(config).cluster(segments)
+        deduced = deduce_semantics(result, trace) if semantics else None
+        report = AnalysisReport.build(result, trace, deduced)
+    return AnalysisRun(
+        trace=trace,
+        segments=segments,
+        result=result,
+        report=report,
+        semantics=deduced,
+        config=config,
+    )
+
+
+def analyze(
+    trace_or_path: Trace | str | Path,
+    config: ClusteringConfig | None = None,
+    **kwargs,
+) -> AnalysisReport:
+    """Analyze a trace or capture file; returns the analysis report.
+
+    Thin wrapper over :func:`run_analysis` (same keyword arguments)
+    returning only the serializable :class:`AnalysisReport`.
+    """
+    return run_analysis(trace_or_path, config, **kwargs).report

@@ -1,0 +1,124 @@
+"""Shared command-line plumbing for ``repro-analyze`` and ``repro-eval``.
+
+Both CLIs take the same matrix-backend and observability flags; this
+module owns them once, as an :mod:`argparse` *parent parser*
+(:func:`backend_parent`), plus the helpers that turn parsed flags into
+options and emit the observability artefacts after a run:
+
+- ``--workers`` / ``--no-cache`` / ``--cache-dir`` — the matrix
+  execution backend (see :class:`repro.core.matrix.MatrixBuildOptions`);
+- ``--timings`` — per-stage wall-clock summary to stderr, a thin view
+  over the run's span tree;
+- ``--trace-out PATH`` — write the JSON run manifest (span tree +
+  metrics snapshot + config fingerprint);
+- ``--metrics-out PATH`` — write the metrics registry in Prometheus
+  text exposition format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.matrix import MatrixBuildOptions
+from repro.core.matrixcache import cache_counters
+from repro.obs.export import write_manifest, write_prometheus
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer
+
+
+def backend_parent() -> argparse.ArgumentParser:
+    """Parent parser with the flags both CLIs share (``add_help=False``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    backend = parent.add_argument_group("matrix backend")
+    backend.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="dissimilarity-matrix worker processes (default: all CPU cores)",
+    )
+    backend.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk dissimilarity-matrix cache",
+    )
+    backend.add_argument(
+        "--cache-dir",
+        default=None,
+        help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    observability = parent.add_argument_group("observability")
+    observability.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-stage timings and cache counters to stderr",
+    )
+    observability.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write the JSON run manifest (span tree + metrics + config)",
+    )
+    observability.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write metrics in Prometheus text format",
+    )
+    return parent
+
+
+def matrix_options_from_args(args) -> MatrixBuildOptions:
+    """Translate the shared matrix-backend flags into build options."""
+    return MatrixBuildOptions(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def print_timings(tracer: Tracer, metrics: MetricsRegistry) -> None:
+    """``--timings`` view: stage wall clock + cache counters, to stderr.
+
+    Reads the same span tree the run manifest serializes, so the quick
+    stderr summary and the JSON artefact can never disagree.
+    """
+    timings = tracer.stage_timings()
+    if timings:
+        stages = " ".join(
+            f"{name}={1e3 * seconds:.1f}ms" for name, seconds in timings.items()
+        )
+        print(f"timings: {stages}", file=sys.stderr)
+    for span in tracer.find("matrix.build"):
+        attributes = span.attributes
+        print(
+            f"matrix: backend={attributes.get('backend')} "
+            f"workers={attributes.get('workers')} "
+            f"cache_hit={attributes.get('cache_hit')}",
+            file=sys.stderr,
+        )
+    with use_metrics(metrics):
+        counters = cache_counters()
+    print(
+        f"matrix cache: hits={counters['hits']} misses={counters['misses']} "
+        f"stores={counters['stores']}",
+        file=sys.stderr,
+    )
+
+
+def emit_observability(
+    args,
+    tracer: Tracer,
+    metrics: MetricsRegistry,
+    config=None,
+    meta: dict | None = None,
+) -> None:
+    """Honor ``--timings`` / ``--trace-out`` / ``--metrics-out`` after a run."""
+    if args.timings:
+        print_timings(tracer, metrics)
+    if args.trace_out:
+        path = write_manifest(args.trace_out, tracer, metrics, config, meta)
+        print(f"run manifest written to {path}")
+    if args.metrics_out:
+        path = write_prometheus(args.metrics_out, metrics)
+        print(f"metrics written to {path}")

@@ -40,8 +40,12 @@ from repro.core.canberra import (
     pairwise_equal_length,
 )
 from repro.core.segments import UniqueSegment
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
-perf_logger = logging.getLogger("repro.perf")
+logger = logging.getLogger(__name__)
+
+BUILDS_METRIC = "repro_matrix_builds_total"
 
 
 @dataclass(frozen=True)
@@ -190,53 +194,59 @@ class DissimilarityMatrix:
         """
         if options is None:
             options = get_default_build_options()
-        started = time.perf_counter()
-        stats = BuildStats(unique_count=len(segments))
+        matrixcache.declare_cache_metrics()
+        with get_tracer().span(
+            "matrix.build", unique_segments=len(segments)
+        ) as span:
+            started = time.perf_counter()
+            stats = BuildStats(unique_count=len(segments))
 
-        if options.use_cache:
-            order = sorted(range(len(segments)), key=lambda i: segments[i].data)
-            stats.cache_key = matrixcache.matrix_cache_key(
-                (segments[i].data for i in order), penalty_factor
-            )
-            load_started = time.perf_counter()
-            canonical = matrixcache.load_matrix(stats.cache_key, options.cache_dir)
-            stats.seconds["cache_load"] = time.perf_counter() - load_started
-            if canonical is not None and canonical.shape[0] == len(segments):
-                # Stored in canonical (byte-sorted) order; permute back
-                # to the caller's segment order.
-                rank = np.empty(len(segments), dtype=np.int64)
-                rank[order] = np.arange(len(segments))
-                values = np.ascontiguousarray(canonical[np.ix_(rank, rank)])
-                stats.backend = "cache"
-                stats.cache_hit = True
-                stats.seconds["total"] = time.perf_counter() - started
-                perf_logger.debug(
-                    "matrix cache hit key=%s n=%d %.1fms",
-                    stats.cache_key[:12],
-                    len(segments),
-                    1e3 * stats.seconds["total"],
+            if options.use_cache:
+                order = sorted(range(len(segments)), key=lambda i: segments[i].data)
+                stats.cache_key = matrixcache.matrix_cache_key(
+                    (segments[i].data for i in order), penalty_factor
                 )
-                return cls(segments=segments, values=values, stats=stats)
+                load_started = time.perf_counter()
+                canonical = matrixcache.load_matrix(stats.cache_key, options.cache_dir)
+                stats.seconds["cache_load"] = time.perf_counter() - load_started
+                if canonical is not None and canonical.shape[0] == len(segments):
+                    # Stored in canonical (byte-sorted) order; permute back
+                    # to the caller's segment order.
+                    rank = np.empty(len(segments), dtype=np.int64)
+                    rank[order] = np.arange(len(segments))
+                    values = np.ascontiguousarray(canonical[np.ix_(rank, rank)])
+                    stats.backend = "cache"
+                    stats.cache_hit = True
+                    stats.seconds["total"] = time.perf_counter() - started
+                    cls._record_build(span, stats)
+                    return cls(segments=segments, values=values, stats=stats)
 
-        values, stats = cls._compute(segments, penalty_factor, options, stats)
+            values, stats = cls._compute(segments, penalty_factor, options, stats)
 
-        if options.use_cache and stats.cache_key is not None:
-            store_started = time.perf_counter()
-            order = sorted(range(len(segments)), key=lambda i: segments[i].data)
-            canonical = np.ascontiguousarray(values[np.ix_(order, order)])
-            matrixcache.store_matrix(stats.cache_key, canonical, options.cache_dir)
-            stats.seconds["cache_store"] = time.perf_counter() - store_started
+            if options.use_cache and stats.cache_key is not None:
+                store_started = time.perf_counter()
+                order = sorted(range(len(segments)), key=lambda i: segments[i].data)
+                canonical = np.ascontiguousarray(values[np.ix_(order, order)])
+                matrixcache.store_matrix(stats.cache_key, canonical, options.cache_dir)
+                stats.seconds["cache_store"] = time.perf_counter() - store_started
 
-        stats.seconds["total"] = time.perf_counter() - started
-        perf_logger.debug(
-            "matrix build backend=%s workers=%d n=%d tasks=%d %.1fms",
-            stats.backend,
-            stats.workers,
-            stats.unique_count,
-            stats.task_count,
-            1e3 * stats.seconds["total"],
+            stats.seconds["total"] = time.perf_counter() - started
+            cls._record_build(span, stats)
+            return cls(segments=segments, values=values, stats=stats)
+
+    @staticmethod
+    def _record_build(span, stats: BuildStats) -> None:
+        """Mirror one build's :class:`BuildStats` into span + metrics."""
+        span.set(
+            backend=stats.backend,
+            workers=stats.workers,
+            tasks=stats.task_count,
+            cache_hit=stats.cache_hit,
+            cache_key=stats.cache_key,
         )
-        return cls(segments=segments, values=values, stats=stats)
+        get_metrics().counter(
+            BUILDS_METRIC, help="Dissimilarity-matrix builds by backend."
+        ).inc(backend=stats.backend)
 
     @classmethod
     def _compute(
@@ -274,7 +284,7 @@ class DissimilarityMatrix:
             except (OSError, ValueError, RuntimeError) as error:
                 # Restricted environments (no fork, no semaphores) fall
                 # back to the serial reference rather than failing.
-                perf_logger.debug("parallel build unavailable (%s); serial", error)
+                logger.debug("parallel build unavailable (%s); serial", error)
                 results = [_compute_block_task(task) for task in tasks]
         else:
             results = [_compute_block_task(task) for task in tasks]

@@ -13,8 +13,11 @@ the penalty factor and a format version, and stores it as a compressed
 - invalidation: bump :data:`CACHE_FORMAT_VERSION` whenever the matrix
   semantics change — old entries simply stop being addressed.
 
-Hit/miss/store counters are kept module-global so CLIs and benchmarks
-can report cache effectiveness without threading state around.
+Hit/miss/store counters live in the active
+:class:`repro.obs.metrics.MetricsRegistry` (``repro_matrix_cache_*``),
+so they appear in run manifests and Prometheus dumps alongside every
+other pipeline metric; :func:`cache_counters` stays as the historical
+dict-shaped view over the same counters.
 """
 
 from __future__ import annotations
@@ -28,22 +31,53 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs.metrics import Counter, get_metrics
+
 #: Bump to invalidate every existing cache entry (schema or semantics
 #: changes in the matrix computation).
 CACHE_FORMAT_VERSION = 1
 
-_COUNTERS = {"hits": 0, "misses": 0, "stores": 0}
+HITS_METRIC = "repro_matrix_cache_hits_total"
+MISSES_METRIC = "repro_matrix_cache_misses_total"
+STORES_METRIC = "repro_matrix_cache_stores_total"
+
+_METRIC_HELP = {
+    HITS_METRIC: "Dissimilarity-matrix on-disk cache hits.",
+    MISSES_METRIC: "Dissimilarity-matrix on-disk cache misses.",
+    STORES_METRIC: "Dissimilarity matrices persisted to the on-disk cache.",
+}
+
+
+def declare_cache_metrics() -> dict[str, Counter]:
+    """Materialize the cache counters (at zero) in the active registry."""
+    counters = {}
+    for name, help_text in _METRIC_HELP.items():
+        counter = get_metrics().counter(name, help=help_text)
+        counter.inc(0.0)
+        counters[name] = counter
+    return counters
 
 
 def cache_counters() -> dict[str, int]:
-    """Snapshot of the process-wide hit/miss/store counters."""
-    return dict(_COUNTERS)
+    """Dict-shaped snapshot of the hit/miss/store counters."""
+    counters = declare_cache_metrics()
+    return {
+        "hits": int(counters[HITS_METRIC].value()),
+        "misses": int(counters[MISSES_METRIC].value()),
+        "stores": int(counters[STORES_METRIC].value()),
+    }
 
 
 def reset_cache_counters() -> None:
-    """Zero the process-wide counters (test and benchmark isolation)."""
-    for key in _COUNTERS:
-        _COUNTERS[key] = 0
+    """Zero the active registry's counters (test/benchmark isolation).
+
+    Registry counters are monotonic by contract, so "reset" re-creates
+    the three instruments from scratch rather than decrementing them.
+    """
+    registry = get_metrics()
+    for name in _METRIC_HELP:
+        registry.remove(name)
+    declare_cache_metrics()
 
 
 def default_cache_dir() -> Path:
@@ -90,12 +124,12 @@ def load_matrix(key: str, cache_dir: str | Path | None = None) -> np.ndarray | N
                 path.unlink()
             except OSError:
                 pass
-        _COUNTERS["misses"] += 1
+        get_metrics().counter(MISSES_METRIC, help=_METRIC_HELP[MISSES_METRIC]).inc()
         return None
     if values.ndim != 2 or values.shape[0] != values.shape[1]:
-        _COUNTERS["misses"] += 1
+        get_metrics().counter(MISSES_METRIC, help=_METRIC_HELP[MISSES_METRIC]).inc()
         return None
-    _COUNTERS["hits"] += 1
+    get_metrics().counter(HITS_METRIC, help=_METRIC_HELP[HITS_METRIC]).inc()
     return values
 
 
@@ -125,5 +159,5 @@ def store_matrix(
     except OSError:
         # A read-only or full cache directory must never fail the build.
         return None
-    _COUNTERS["stores"] += 1
+    get_metrics().counter(STORES_METRIC, help=_METRIC_HELP[STORES_METRIC]).inc()
     return path

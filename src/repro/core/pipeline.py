@@ -10,8 +10,6 @@ types* and retains every intermediate artefact the evaluation needs
 
 from __future__ import annotations
 
-import logging
-import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -21,14 +19,17 @@ from repro.core.canberra import DEFAULT_PENALTY_FACTOR
 from repro.core.dbscan import DbscanResult, dbscan
 from repro.core.kneedle import DEFAULT_SENSITIVITY
 from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
-
-perf_logger = logging.getLogger("repro.perf")
 from repro.core.refinement import (
     EPSILON_RHO_THRESHOLD,
     NEIGHBOR_DENSITY_THRESHOLD,
     refine,
 )
 from repro.core.segments import Segment, UniqueSegment, unique_segments
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+#: Bucket bounds for the cluster-size distribution histogram.
+CLUSTER_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,22 @@ class ClusteringConfig:
     #: :func:`repro.core.matrix.set_default_build_options`).
     matrix_options: MatrixBuildOptions | None = None
 
+    @classmethod
+    def from_args(cls, args, **overrides) -> "ClusteringConfig":
+        """Build a config from the shared CLI flags (:mod:`repro.cliopts`).
+
+        Reads ``args.workers`` / ``args.no_cache`` / ``args.cache_dir``
+        into explicit :attr:`matrix_options`, so CLI runs configure the
+        matrix backend per-config instead of mutating the process-wide
+        defaults.  *overrides* are forwarded to the constructor.
+        """
+        options = MatrixBuildOptions(
+            workers=getattr(args, "workers", None),
+            use_cache=not getattr(args, "no_cache", False),
+            cache_dir=getattr(args, "cache_dir", None),
+        )
+        return cls(matrix_options=options, **overrides)
+
 
 @dataclass
 class ClusteringResult:
@@ -81,9 +98,9 @@ class ClusteringResult:
     retrims: int = 0
     #: Unique segments excluded before clustering (shorter than minimum).
     excluded: list[UniqueSegment] = field(default_factory=list)
-    #: Wall-clock seconds per pipeline stage (matrix/configure/dbscan/
-    #: refine/total); the matrix backend's own breakdown and cache
-    #: hit/miss live on ``matrix.stats``.
+    #: Wall-clock seconds per pipeline stage (matrix/autoconf/dbscan/
+    #: refine/total), read off the stage spans; the matrix backend's own
+    #: breakdown and cache hit/miss live on ``matrix.stats``.
     timings: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -125,100 +142,136 @@ class FieldTypeClusterer:
         self.config = config or ClusteringConfig()
 
     def cluster(self, segments: list[Segment]) -> ClusteringResult:
-        """Cluster field candidates into pseudo data types."""
+        """Cluster field candidates into pseudo data types.
+
+        Each stage runs inside a span on the active tracer (``matrix``,
+        ``autoconf``, ``dbscan``, ``refine`` under one ``pipeline``
+        root) and reports its outcome to the active metrics registry;
+        ``ClusteringResult.timings`` is a flat view over the same spans.
+        """
         config = self.config
-        started = time.perf_counter()
-        timings: dict[str, float] = {}
-        all_unique = unique_segments(segments, min_length=1)
-        analyzable = [u for u in all_unique if u.length >= config.min_segment_length]
-        excluded = [u for u in all_unique if u.length < config.min_segment_length]
-        if not analyzable:
-            raise ValueError("no analyzable segments (all shorter than the minimum)")
-        stage = time.perf_counter()
-        matrix = DissimilarityMatrix.build(
-            analyzable,
-            penalty_factor=config.penalty_factor,
-            options=config.matrix_options,
-        )
-        timings["matrix"] = time.perf_counter() - stage
-        weights = (
-            np.array([u.count for u in analyzable], dtype=np.float64)
-            if config.weighted_density
-            else None
-        )
-        stage = time.perf_counter()
-        auto = self._configure(matrix, trim_at=None)
-        timings["configure"] = time.perf_counter() - stage
-        stage = time.perf_counter()
-        result = dbscan(matrix.values, auto.epsilon, auto.min_samples, weights=weights)
-        retrims = 0
-        # Section III-E fallback, step 1: with multiple detected knees and
-        # a giant cluster, "instead select the next smaller knee for an
-        # epsilon".  Accepted only if it actually resolves the giant
-        # cluster (otherwise the smaller knee was not a density level
-        # either, and step 2 below walks down via ECDF trimming).
-        if len(auto.knees) >= 2 and self._has_giant_cluster(result):
-            smaller_knee = auto.knees[-2]
-            candidate = dbscan(
-                matrix.values, smaller_knee.x, auto.min_samples, weights=weights
+        tracer = get_tracer()
+        with tracer.span("pipeline", segments=len(segments)) as pipeline_span:
+            all_unique = unique_segments(segments, min_length=1)
+            analyzable = [
+                u for u in all_unique if u.length >= config.min_segment_length
+            ]
+            excluded = [u for u in all_unique if u.length < config.min_segment_length]
+            if not analyzable:
+                raise ValueError(
+                    "no analyzable segments (all shorter than the minimum)"
+                )
+            pipeline_span.set(
+                unique_segments=len(analyzable), excluded=len(excluded)
             )
-            if candidate.cluster_count and not self._has_giant_cluster(candidate):
-                auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
-                result = candidate
-                retrims += 1
-        trim_at = auto.knee.x if auto.knee is not None else None
-        # Step 2: repeat the auto-configuration on the ECDF trimmed below
-        # the detected knee.  Only the multiple-knee situation makes the
-        # detected epsilon untrustworthy; a legitimately dominant data
-        # type (e.g. NTP timestamps) must not trigger a retrim.
-        while (
-            retrims < config.max_retrims
-            and trim_at is not None
-            and (
-                (len(auto.knees) >= 2 and self._has_giant_cluster(result))
-                or self._has_giant_cluster(result, config.extreme_cluster_fraction)
+            with tracer.span("matrix", unique_segments=len(analyzable)) as matrix_span:
+                matrix = DissimilarityMatrix.build(
+                    analyzable,
+                    penalty_factor=config.penalty_factor,
+                    options=config.matrix_options,
+                )
+                if matrix.stats is not None:
+                    matrix_span.set(
+                        backend=matrix.stats.backend,
+                        cache_hit=matrix.stats.cache_hit,
+                    )
+            weights = (
+                np.array([u.count for u in analyzable], dtype=np.float64)
+                if config.weighted_density
+                else None
             )
-        ):
-            retry = self._configure(matrix, trim_at=trim_at)
-            if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
-                break
-            candidate = dbscan(
-                matrix.values, retry.epsilon, retry.min_samples, weights=weights
+            with tracer.span("autoconf") as autoconf_span:
+                auto = self._configure(matrix, trim_at=None)
+                autoconf_span.set(
+                    epsilon=auto.epsilon,
+                    min_samples=auto.min_samples,
+                    knees=len(auto.knees),
+                )
+            with tracer.span("dbscan") as dbscan_span:
+                result = dbscan(
+                    matrix.values, auto.epsilon, auto.min_samples, weights=weights
+                )
+                retrims = 0
+                # Section III-E fallback, step 1: with multiple detected
+                # knees and a giant cluster, "instead select the next
+                # smaller knee for an epsilon".  Accepted only if it
+                # actually resolves the giant cluster (otherwise the
+                # smaller knee was not a density level either, and step 2
+                # below walks down via ECDF trimming).
+                if len(auto.knees) >= 2 and self._has_giant_cluster(result):
+                    smaller_knee = auto.knees[-2]
+                    candidate = dbscan(
+                        matrix.values, smaller_knee.x, auto.min_samples, weights=weights
+                    )
+                    if candidate.cluster_count and not self._has_giant_cluster(candidate):
+                        auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
+                        result = candidate
+                        retrims += 1
+                trim_at = auto.knee.x if auto.knee is not None else None
+                # Step 2: repeat the auto-configuration on the ECDF trimmed
+                # below the detected knee.  Only the multiple-knee situation
+                # makes the detected epsilon untrustworthy; a legitimately
+                # dominant data type (e.g. NTP timestamps) must not trigger
+                # a retrim.
+                while (
+                    retrims < config.max_retrims
+                    and trim_at is not None
+                    and (
+                        (len(auto.knees) >= 2 and self._has_giant_cluster(result))
+                        or self._has_giant_cluster(
+                            result, config.extreme_cluster_fraction
+                        )
+                    )
+                ):
+                    retry = self._configure(matrix, trim_at=trim_at)
+                    if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
+                        break
+                    candidate = dbscan(
+                        matrix.values, retry.epsilon, retry.min_samples, weights=weights
+                    )
+                    # A smaller epsilon that mostly manufactures noise did
+                    # not find a better density level — keep the previous
+                    # clustering.
+                    previous_clustered = len(result.labels) - len(result.noise)
+                    candidate_clustered = len(candidate.labels) - len(candidate.noise)
+                    if candidate_clustered < 0.5 * previous_clustered:
+                        break
+                    auto = retry
+                    result = candidate
+                    trim_at = auto.knee.x if auto.knee is not None else None
+                    retrims += 1
+                dbscan_span.set(
+                    epsilon=auto.epsilon,
+                    clusters=result.cluster_count,
+                    noise=len(result.noise),
+                    retrims=retrims,
+                )
+            with tracer.span("refine") as refine_span:
+                clusters = result.clusters()
+                refined = refine(
+                    matrix.values,
+                    clusters,
+                    analyzable,
+                    eps_rho_threshold=config.eps_rho_threshold,
+                    neighbor_density_threshold=config.neighbor_density_threshold,
+                    merge=config.merge,
+                    split=config.split,
+                    link_cap=config.link_cap_factor * auto.epsilon,
+                )
+                refine_span.set(clusters_in=len(clusters), clusters_out=len(refined))
+            clustered = (
+                np.concatenate(refined) if refined else np.array([], dtype=np.int64)
             )
-            # A smaller epsilon that mostly manufactures noise did not
-            # find a better density level — keep the previous clustering.
-            previous_clustered = len(result.labels) - len(result.noise)
-            candidate_clustered = len(candidate.labels) - len(candidate.noise)
-            if candidate_clustered < 0.5 * previous_clustered:
-                break
-            auto = retry
-            result = candidate
-            trim_at = auto.knee.x if auto.knee is not None else None
-            retrims += 1
-        timings["dbscan"] = time.perf_counter() - stage
-        stage = time.perf_counter()
-        clusters = result.clusters()
-        refined = refine(
-            matrix.values,
-            clusters,
-            analyzable,
-            eps_rho_threshold=config.eps_rho_threshold,
-            neighbor_density_threshold=config.neighbor_density_threshold,
-            merge=config.merge,
-            split=config.split,
-            link_cap=config.link_cap_factor * auto.epsilon,
-        )
-        timings["refine"] = time.perf_counter() - stage
-        clustered = (
-            np.concatenate(refined) if refined else np.array([], dtype=np.int64)
-        )
-        noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
-        timings["total"] = time.perf_counter() - started
-        perf_logger.debug(
-            "pipeline n=%d %s",
-            len(analyzable),
-            " ".join(f"{name}={1e3 * value:.1f}ms" for name, value in timings.items()),
-        )
+            noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
+            pipeline_span.set(clusters=len(refined), noise=len(noise))
+        timings = {
+            "matrix": matrix_span.wall_seconds,
+            "autoconf": autoconf_span.wall_seconds,
+            "dbscan": dbscan_span.wall_seconds,
+            "refine": refine_span.wall_seconds,
+            "total": pipeline_span.wall_seconds,
+        }
+        self._record_metrics(timings, analyzable, refined, noise, retrims)
         return ClusteringResult(
             segments=analyzable,
             clusters=refined,
@@ -230,6 +283,40 @@ class FieldTypeClusterer:
             excluded=excluded,
             timings=timings,
         )
+
+    @staticmethod
+    def _record_metrics(timings, analyzable, refined, noise, retrims) -> None:
+        """Report one run's outcome to the active metrics registry."""
+        metrics = get_metrics()
+        metrics.counter(
+            "repro_pipeline_runs_total", help="Completed clustering pipeline runs."
+        ).inc()
+        metrics.counter(
+            "repro_knee_retries_total",
+            help="Epsilon knee-retry (trim-and-retry fallback) iterations.",
+        ).inc(retrims)
+        metrics.gauge(
+            "repro_unique_segments", help="Unique segments in the last run."
+        ).set(len(analyzable))
+        metrics.gauge(
+            "repro_clusters", help="Pseudo-data-type clusters in the last run."
+        ).set(len(refined))
+        metrics.gauge(
+            "repro_noise_segments", help="Noise segments in the last run."
+        ).set(len(noise))
+        size_histogram = metrics.histogram(
+            "repro_cluster_size",
+            help="Distribution of cluster sizes (unique segments per cluster).",
+            buckets=CLUSTER_SIZE_BUCKETS,
+        )
+        for members in refined:
+            size_histogram.observe(len(members))
+        stage_histogram = metrics.histogram(
+            "repro_stage_seconds", help="Wall-clock seconds per pipeline stage."
+        )
+        for name, value in timings.items():
+            if name != "total":
+                stage_histogram.observe(value, stage=name)
 
     def _configure(self, matrix: DissimilarityMatrix, trim_at: float | None) -> AutoConfig:
         config = self.config

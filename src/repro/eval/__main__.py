@@ -7,24 +7,24 @@ Examples::
     python -m repro.eval fig2
     python -m repro.eval fig3
     python -m repro.eval coverage
-    python -m repro.eval all --seed 7
+    python -m repro.eval all --seed 7 --trace-out eval.json --metrics-out eval.prom
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-
 from pathlib import Path
 
-from repro.__main__ import add_matrix_backend_flags, matrix_options_from_args
+from repro.cliopts import backend_parent, emit_observability, matrix_options_from_args
 from repro.core.matrix import set_default_build_options
-from repro.core.matrixcache import cache_counters
 from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.export import table1_records, table2_records, to_csv, to_json
 from repro.eval.figures import run_figure2, run_figure3
 from repro.eval.runner import DEFAULT_SEED
 from repro.eval.tables import run_table1, run_table2
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
 from repro.protocols.registry import ALL_ROWS, SMALL_TRACE_ROWS
 
 
@@ -48,6 +48,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-eval",
         description="Regenerate the tables and figures of the field type "
         "clustering paper (Kleber et al., DSN-W 2022).",
+        parents=[backend_parent()],
     )
     parser.add_argument(
         "artefact",
@@ -64,47 +65,45 @@ def main(argv: list[str] | None = None) -> int:
         "--export-dir",
         help="also write table records as JSON + CSV into this directory",
     )
-    parser.add_argument(
-        "--timings",
-        action="store_true",
-        help="print matrix cache hit/miss counters to stderr when done",
-    )
-    add_matrix_backend_flags(parser)
     args = parser.parse_args(argv)
-    # Every experiment builds its matrices through the same process-wide
-    # defaults, so one flag set covers tables, figures, and coverage.
+    # Experiments build matrices from deep call sites (tables, figures,
+    # message-type similarity), so the eval path still configures the
+    # process-wide backend defaults; the analyze path threads explicit
+    # per-config options instead.
     set_default_build_options(matrix_options_from_args(args))
+    tracer = Tracer()
+    metrics = MetricsRegistry()
 
     outputs = []
-    if args.artefact in ("table1", "all"):
-        table = run_table1(seed=args.seed, rows=_rows(args.quick))
-        outputs.append(table.render())
-        _export(args, "table1", table1_records(table))
-    if args.artefact in ("table2", "all"):
-        table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
-        outputs.append(table2.render())
-        _export(args, "table2", table2_records(table2))
-    if args.artefact == "scorecard":
-        from repro.eval.paperdiff import build_scorecard
+    with use_tracer(tracer), use_metrics(metrics):
+        if args.artefact in ("table1", "all"):
+            table = run_table1(seed=args.seed, rows=_rows(args.quick))
+            outputs.append(table.render())
+            _export(args, "table1", table1_records(table))
+        if args.artefact in ("table2", "all"):
+            table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+            outputs.append(table2.render())
+            _export(args, "table2", table2_records(table2))
+        if args.artefact == "scorecard":
+            from repro.eval.paperdiff import build_scorecard
 
-        table1 = run_table1(seed=args.seed, rows=_rows(args.quick))
-        table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
-        outputs.append(build_scorecard(table1, table2).render())
-    if args.artefact in ("fig2", "all"):
-        count = 100 if args.quick else 1000
-        outputs.append(run_figure2(message_count=count, seed=args.seed).render())
-    if args.artefact in ("fig3", "all"):
-        outputs.append(run_figure3(seed=args.seed).render())
-    if args.artefact in ("coverage", "all"):
-        rows = SMALL_TRACE_ROWS if args.quick else None
-        outputs.append(run_coverage_comparison(seed=args.seed, rows=rows).render())
-    if args.timings:
-        counters = cache_counters()
-        print(
-            f"matrix cache: hits={counters['hits']} misses={counters['misses']} "
-            f"stores={counters['stores']}",
-            file=sys.stderr,
-        )
+            table1 = run_table1(seed=args.seed, rows=_rows(args.quick))
+            table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+            outputs.append(build_scorecard(table1, table2).render())
+        if args.artefact in ("fig2", "all"):
+            count = 100 if args.quick else 1000
+            outputs.append(run_figure2(message_count=count, seed=args.seed).render())
+        if args.artefact in ("fig3", "all"):
+            outputs.append(run_figure3(seed=args.seed).render())
+        if args.artefact in ("coverage", "all"):
+            rows = SMALL_TRACE_ROWS if args.quick else None
+            outputs.append(run_coverage_comparison(seed=args.seed, rows=rows).render())
+    emit_observability(
+        args,
+        tracer,
+        metrics,
+        meta={"command": "eval", "artefact": args.artefact, "seed": args.seed},
+    )
     try:
         print("\n\n".join(outputs))
     except BrokenPipeError:  # output piped into head/less that closed early

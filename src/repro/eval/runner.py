@@ -10,12 +10,13 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
-from repro.core.segments import Segment
+from repro.api import cluster_segments
+from repro.core.pipeline import ClusteringConfig
 from repro.eval.truth import label_with_truth
 from repro.metrics import clustering_coverage, score_result
 from repro.metrics.pairwise import ClusterScore
 from repro.net.trace import Trace
+from repro.obs.tracer import get_tracer
 from repro.protocols import get_model
 from repro.protocols.base import ProtocolModel
 from repro.segmenters import (
@@ -26,6 +27,19 @@ from repro.segmenters import (
     Segmenter,
     SegmenterResourceError,
 )
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentCell",
+    "HEURISTIC_SEGMENTERS",
+    "Table1Row",
+    "cluster_segments",
+    "expected_min_samples",
+    "make_segmenter",
+    "prepare_trace",
+    "run_cell",
+    "run_table1_row",
+]
 
 DEFAULT_SEED = 42
 
@@ -84,12 +98,6 @@ def prepare_trace(protocol: str, message_count: int, seed: int = DEFAULT_SEED) -
     return model, trace
 
 
-def cluster_segments(
-    segments: list[Segment], config: ClusteringConfig | None = None
-) -> ClusteringResult:
-    return FieldTypeClusterer(config).cluster(segments)
-
-
 def run_cell(
     protocol: str,
     message_count: int,
@@ -97,26 +105,42 @@ def run_cell(
     seed: int = DEFAULT_SEED,
     config: ClusteringConfig | None = None,
 ) -> ExperimentCell:
-    """Run segmentation + clustering + scoring for one table cell."""
+    """Run segmentation + clustering + scoring for one table cell.
+
+    The whole cell runs inside one ``eval.cell`` span, so eval run
+    manifests attribute segmentation/pipeline time to their table cell.
+    """
     model, trace = prepare_trace(protocol, message_count, seed)
     segmenter = make_segmenter(segmenter_name, model)
     started = time.perf_counter()
-    try:
-        segments = segmenter.segment(trace)
-    except SegmenterResourceError as error:
-        return ExperimentCell(
-            protocol=protocol,
-            message_count=message_count,
-            segmenter=segmenter_name,
-            failed=True,
-            failure_reason=str(error),
-            runtime_seconds=time.perf_counter() - started,
+    with get_tracer().span(
+        "eval.cell",
+        protocol=protocol,
+        messages=message_count,
+        segmenter=segmenter_name,
+    ) as span:
+        try:
+            segments = segmenter.segment(trace)
+        except SegmenterResourceError as error:
+            span.set(failed=True, reason=str(error))
+            return ExperimentCell(
+                protocol=protocol,
+                message_count=message_count,
+                segmenter=segmenter_name,
+                failed=True,
+                failure_reason=str(error),
+                runtime_seconds=time.perf_counter() - started,
+            )
+        if segmenter_name != "groundtruth":
+            segments = label_with_truth(segments, trace, model)
+        result = cluster_segments(segments, config)
+        score = score_result(result)
+        coverage = clustering_coverage(result, trace).ratio
+        span.set(
+            fscore=round(score.fscore, 4),
+            clusters=result.cluster_count,
+            epsilon=result.epsilon,
         )
-    if segmenter_name != "groundtruth":
-        segments = label_with_truth(segments, trace, model)
-    result = cluster_segments(segments, config)
-    score = score_result(result)
-    coverage = clustering_coverage(result, trace).ratio
     return ExperimentCell(
         protocol=protocol,
         message_count=message_count,

@@ -14,6 +14,8 @@ import abc
 
 from repro.core.segments import Segment
 from repro.net.trace import Trace
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 
 class SegmenterResourceError(RuntimeError):
@@ -21,7 +23,14 @@ class SegmenterResourceError(RuntimeError):
 
 
 class Segmenter(abc.ABC):
-    """Splits every message of a trace into field candidates."""
+    """Splits every message of a trace into field candidates.
+
+    :meth:`segment` is the public entry point; it wraps the actual
+    segmentation (:meth:`segment_trace`, the subclass override point)
+    in one ``segment`` span on the active tracer and counts the emitted
+    field candidates, so every pipeline run records its segmentation
+    stage uniformly across heuristics.
+    """
 
     #: short identifier used in tables ("nemesys", "netzob", "csp", ...)
     name: str = "segmenter"
@@ -31,7 +40,20 @@ class Segmenter(abc.ABC):
         """Segment a single message."""
 
     def segment(self, trace: Trace) -> list[Segment]:
-        """Segment every message; default is per-message independent."""
+        """Segment every message, recorded as one ``segment`` span."""
+        with get_tracer().span(
+            "segment", segmenter=self.name, messages=len(trace)
+        ) as span:
+            segments = self.segment_trace(trace)
+            span.set(segments=len(segments))
+        get_metrics().counter(
+            "repro_segments_total",
+            help="Field-candidate segments emitted by segmenters.",
+        ).inc(len(segments), segmenter=self.name)
+        return segments
+
+    def segment_trace(self, trace: Trace) -> list[Segment]:
+        """Segmentation strategy; default is per-message independent."""
         segments: list[Segment] = []
         for index, message in enumerate(trace):
             segments.extend(self.segment_message(message.data, index))

@@ -121,7 +121,7 @@ class CspSegmenter(Segmenter):
             raise RuntimeError("CspSegmenter.fit must run before segmentation")
         return self._patterns
 
-    def segment(self, trace: Trace) -> list[Segment]:
+    def segment_trace(self, trace: Trace) -> list[Segment]:
         self.fit([m.data for m in trace])
         segments: list[Segment] = []
         for index, message in enumerate(trace):

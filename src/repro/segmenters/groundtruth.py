@@ -8,7 +8,6 @@ clustering idea (Table I) and to score heuristic segmenters (Table II).
 from __future__ import annotations
 
 from repro.core.segments import Segment, segments_from_fields
-from repro.net.trace import Trace
 from repro.protocols.base import ProtocolModel
 from repro.segmenters.base import Segmenter
 
@@ -24,9 +23,3 @@ class GroundTruthSegmenter(Segmenter):
     def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
         fields = self.model.dissect(data)
         return segments_from_fields(message_index, data, fields)
-
-    def segment(self, trace: Trace) -> list[Segment]:
-        segments: list[Segment] = []
-        for index, message in enumerate(trace):
-            segments.extend(self.segment_message(message.data, index))
-        return segments

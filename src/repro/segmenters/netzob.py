@@ -58,7 +58,7 @@ class NetzobSegmenter(Segmenter):
         mean_len = sum(len(m.data) for m in trace) / len(trace)
         return (len(trace) * mean_len) ** 2
 
-    def segment(self, trace: Trace) -> list[Segment]:
+    def segment_trace(self, trace: Trace) -> list[Segment]:
         if not len(trace):
             return []
         work = self.estimate_work(trace)

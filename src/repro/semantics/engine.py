@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 
 from repro.core.pipeline import ClusteringResult
 from repro.net.trace import Trace
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.semantics.detectors import DEFAULT_DETECTORS, Detector
 from repro.semantics.features import ClusterView
 
@@ -64,31 +66,41 @@ def deduce_semantics(
     Returns one :class:`ClusterSemantics` per cluster with hypotheses
     sorted by descending confidence.  Detector state is per-call —
     detectors may cache their last explanation, so a fresh default
-    tuple is used unless the caller supplies instances.
+    tuple is used unless the caller supplies instances.  The whole
+    deduction runs inside one ``semantics`` span on the active tracer.
     """
-    out = []
-    for cluster_id in range(result.cluster_count):
-        members = result.cluster_members(cluster_id)
-        view = ClusterView.build(cluster_id, members, trace)
-        hypotheses = []
-        for detector in detectors:
-            confidence = detector.confidence(view)
-            if confidence >= min_confidence:
-                hypotheses.append(
-                    SemanticHypothesis(
-                        label=detector.label,
-                        confidence=confidence,
-                        explanation=detector.explain(view),
+    with get_tracer().span(
+        "semantics", clusters=result.cluster_count, detectors=len(detectors)
+    ) as span:
+        out = []
+        for cluster_id in range(result.cluster_count):
+            members = result.cluster_members(cluster_id)
+            view = ClusterView.build(cluster_id, members, trace)
+            hypotheses = []
+            for detector in detectors:
+                confidence = detector.confidence(view)
+                if confidence >= min_confidence:
+                    hypotheses.append(
+                        SemanticHypothesis(
+                            label=detector.label,
+                            confidence=confidence,
+                            explanation=detector.explain(view),
+                        )
                     )
+            hypotheses.sort(key=lambda h: h.confidence, reverse=True)
+            out.append(
+                ClusterSemantics(
+                    cluster_id=cluster_id,
+                    distinct_values=view.distinct_values,
+                    total_occurrences=view.total_occurrences,
+                    lengths=view.lengths,
+                    hypotheses=hypotheses,
                 )
-        hypotheses.sort(key=lambda h: h.confidence, reverse=True)
-        out.append(
-            ClusterSemantics(
-                cluster_id=cluster_id,
-                distinct_values=view.distinct_values,
-                total_occurrences=view.total_occurrences,
-                lengths=view.lengths,
-                hypotheses=hypotheses,
             )
-        )
+        hypothesis_count = sum(len(s.hypotheses) for s in out)
+        span.set(hypotheses=hypothesis_count)
+    get_metrics().counter(
+        "repro_semantic_hypotheses_total",
+        help="Semantic hypotheses that passed their confidence threshold.",
+    ).inc(hypothesis_count)
     return out

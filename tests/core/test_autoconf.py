@@ -1,7 +1,6 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core.autoconf import configure, min_samples_for
 from repro.core.matrix import DissimilarityMatrix

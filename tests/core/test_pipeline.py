@@ -2,10 +2,9 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
-from repro.core.segments import Segment
+from repro.core.segments import Segment, segments_from_fields
 from repro.metrics import score_result
 from repro.protocols import get_model
-from repro.core.segments import segments_from_fields
 
 
 def synthetic_two_type_segments(rng, per_type=80):

@@ -1,17 +1,15 @@
 import numpy as np
 import pytest
 
-from repro.core.matrix import DissimilarityMatrix
 from repro.core.refinement import (
     cluster_stats,
     link_segments,
     merge_clusters,
     percent_rank,
     refine,
-    should_merge,
     split_polarized,
 )
-from repro.core.segments import Segment, UniqueSegment, unique_segments
+from repro.core.segments import Segment, UniqueSegment
 
 
 def uniq(data, count=1):

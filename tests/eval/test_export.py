@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.export import (
     coverage_records,
     table1_records,
@@ -11,7 +12,6 @@ from repro.eval.export import (
     to_csv,
     to_json,
 )
-from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.tables import run_table1, run_table2
 
 

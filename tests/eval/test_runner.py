@@ -1,7 +1,6 @@
 import pytest
 
 from repro.eval.runner import (
-    ExperimentCell,
     make_segmenter,
     prepare_trace,
     run_cell,

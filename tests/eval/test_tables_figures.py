@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.figures import run_figure2, run_figure3

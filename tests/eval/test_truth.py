@@ -2,7 +2,6 @@ import pytest
 
 from repro.core.segments import Segment
 from repro.eval.truth import dominant_type, label_with_truth
-from repro.net.trace import Trace, TraceMessage
 from repro.protocols import get_model
 from repro.protocols.base import Field
 

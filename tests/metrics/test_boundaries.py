@@ -1,6 +1,5 @@
 import pytest
 
-from repro.core.segments import Segment
 from repro.metrics.boundaries import boundary_score, format_match_score
 from repro.segmenters.base import boundaries_to_segments
 

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.metrics import score_clustering
 from repro.msgtypes import MessageTypeClusterer

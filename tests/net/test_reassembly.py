@@ -1,4 +1,3 @@
-import pytest
 
 from repro.net.packet import build_tcp_ipv4_frame
 from repro.net.reassembly import (

@@ -2,14 +2,12 @@ import struct
 
 import pytest
 
-from repro.protocols.au import AuModel, MAGIC, TYPE_STATUS
+from repro.protocols.au import MAGIC, TYPE_STATUS, AuModel
 from repro.protocols.awdl import (
-    AwdlModel,
     SUBTYPE_MIF,
     SUBTYPE_PSF,
-    TLV_ARPA,
-    TLV_ELECTION_PARAMS,
     TLV_SYNC_PARAMS,
+    AwdlModel,
 )
 from repro.protocols.base import DissectionError
 

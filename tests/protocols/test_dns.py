@@ -6,10 +6,8 @@ from hypothesis import strategies as st
 
 from repro.protocols.base import DissectionError
 from repro.protocols.dns import (
-    DnsModel,
-    QTYPE_A,
-    QTYPE_AAAA,
     QTYPE_CNAME,
+    DnsModel,
     encode_name,
     name_length,
 )

@@ -1,6 +1,5 @@
 """The traffic models' population knobs must have their documented effect."""
 
-import pytest
 
 from repro.protocols.au import AuModel
 from repro.protocols.awdl import SUBTYPE_PSF, AwdlModel

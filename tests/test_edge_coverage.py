@@ -8,8 +8,8 @@ import pytest
 from repro.core.pipeline import FieldTypeClusterer
 from repro.core.segments import Segment, UniqueSegment
 from repro.fuzzing.valuemodel import MarkovValueModel
-from repro.semantics.features import ClusterView
 from repro.net.trace import Trace, TraceMessage
+from repro.semantics.features import ClusterView
 
 
 class TestClusterViewEdges:
