@@ -37,6 +37,13 @@ Packages:
 """
 
 from repro.api import AnalysisRun, analyze, cluster_segments, run_analysis
+from repro.errors import (
+    CacheError,
+    ComputeError,
+    IngestError,
+    QuarantineReport,
+    ReproError,
+)
 from repro.core import (
     ClusteringConfig,
     ClusteringResult,
@@ -64,15 +71,20 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisReport",
     "AnalysisRun",
+    "CacheError",
     "ClusteringConfig",
     "ClusteringResult",
+    "ComputeError",
     "CspSegmenter",
     "FieldTypeClusterer",
     "GroundTruthSegmenter",
+    "IngestError",
     "MessageFuzzer",
     "MessageTypeClusterer",
     "NemesysSegmenter",
     "NetzobSegmenter",
+    "QuarantineReport",
+    "ReproError",
     "Segment",
     "Trace",
     "TraceMessage",

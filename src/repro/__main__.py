@@ -30,10 +30,11 @@ import sys
 from repro import api
 from repro.cliopts import backend_parent, emit_observability
 from repro.core.pipeline import ClusteringConfig
+from repro.errors import IngestError
 from repro.net.packet import build_udp_ipv4_frame
 from repro.net.pcap import LINKTYPE_USER0, PcapPacket, write_pcap
 from repro.net.trace import load_trace
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer
 from repro.protocols import available_protocols, get_model
 from repro.segmenters import SegmenterResourceError
@@ -71,17 +72,34 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    tracer = Tracer()
+    metrics = MetricsRegistry()
     if args.model:
         model = get_model(args.model)
         trace = model.generate(args.count, seed=args.seed)
         trace.protocol = args.model
     elif args.capture:
-        trace = load_trace(args.capture, protocol=args.name, port=args.port)
+        try:
+            with use_metrics(metrics):
+                trace = load_trace(
+                    args.capture,
+                    protocol=args.name,
+                    port=args.port,
+                    strict=not args.lenient,
+                )
+        except IngestError as error:
+            print(f"error: malformed capture: {error}", file=sys.stderr)
+            if not args.lenient:
+                print(
+                    "hint: --lenient salvages records before the corruption",
+                    file=sys.stderr,
+                )
+            return 1
+        if trace.quarantine:
+            print(f"quarantine: {trace.quarantine.summary()}", file=sys.stderr)
     else:
         print("error: provide a capture file or --model", file=sys.stderr)
         return 2
-    tracer = Tracer()
-    metrics = MetricsRegistry()
     config = ClusteringConfig.from_args(args)
     try:
         run = api.run_analysis(

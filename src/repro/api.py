@@ -36,6 +36,7 @@ from pathlib import Path
 
 from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
 from repro.core.segments import Segment
+from repro.errors import QuarantineReport
 from repro.net.trace import Trace, load_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer, use_tracer
@@ -67,6 +68,8 @@ class AnalysisRun:
     report: AnalysisReport
     semantics: list[ClusterSemantics] | None = None
     config: ClusteringConfig = field(default_factory=ClusteringConfig)
+    #: Malformed-record report from a lenient capture load, if any.
+    quarantine: QuarantineReport | None = None
 
 
 def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None):
@@ -113,6 +116,7 @@ def run_analysis(
     segmenter: str | Segmenter = "nemesys",
     semantics: bool = False,
     preprocess: bool = True,
+    strict: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> AnalysisRun:
@@ -123,14 +127,21 @@ def run_analysis(
     as the UDP/TCP filter).  Raises ValueError when preprocessing
     leaves no messages; segmenter resource guards propagate as
     :class:`~repro.segmenters.SegmenterResourceError`.
+
+    With ``strict=False`` a malformed capture is loaded leniently:
+    records before the first corruption are salvaged and the rest are
+    quarantined into :attr:`AnalysisRun.quarantine` (see
+    :mod:`repro.errors`) instead of raising
+    :class:`~repro.errors.IngestError`.
     """
     config = config or ClusteringConfig()
     tracer_scope, metrics_scope = _observability_scopes(tracer, metrics)
     with tracer_scope, metrics_scope:
         if isinstance(trace_or_path, (str, Path)):
-            trace = load_trace(trace_or_path, protocol=protocol, port=port)
+            trace = load_trace(trace_or_path, protocol=protocol, port=port, strict=strict)
         else:
             trace = trace_or_path
+        quarantine = trace.quarantine
         if preprocess:
             trace = trace.preprocess()
         if not len(trace):
@@ -146,6 +157,7 @@ def run_analysis(
         report=report,
         semantics=deduced,
         config=config,
+        quarantine=quarantine,
     )
 
 

@@ -7,6 +7,10 @@ options and emit the observability artefacts after a run:
 
 - ``--workers`` / ``--no-cache`` / ``--cache-dir`` — the matrix
   execution backend (see :class:`repro.core.matrix.MatrixBuildOptions`);
+- ``--block-timeout`` / ``--max-retries`` — the self-healing knobs of
+  the parallel backend (per-block timeout, pool rebuild budget);
+- ``--lenient`` — quarantine malformed capture records instead of
+  aborting the load (see :mod:`repro.errors`);
 - ``--timings`` — per-stage wall-clock summary to stderr, a thin view
   over the run's span tree;
 - ``--trace-out PATH`` — write the JSON run manifest (span tree +
@@ -22,6 +26,7 @@ import sys
 
 from repro.core.matrix import MatrixBuildOptions
 from repro.core.matrixcache import cache_counters
+from repro.errors import ingest_counters
 from repro.obs.export import write_manifest, write_prometheus
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer
@@ -46,6 +51,29 @@ def backend_parent() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    backend.add_argument(
+        "--block-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-block timeout for parallel matrix builds; a hung worker "
+        "is abandoned and its block recomputed (default: wait forever)",
+    )
+    backend.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="how often a crashed/hung worker pool is rebuilt before the "
+        "remaining blocks run serially (default: 2)",
+    )
+    ingest = parent.add_argument_group("fault tolerance")
+    ingest.add_argument(
+        "--lenient",
+        action="store_true",
+        help="quarantine malformed capture records instead of aborting; "
+        "salvages everything before the first corruption",
     )
     observability = parent.add_argument_group("observability")
     observability.add_argument(
@@ -74,6 +102,8 @@ def matrix_options_from_args(args) -> MatrixBuildOptions:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        block_timeout=args.block_timeout,
+        max_retries=max(0, args.max_retries),
     )
 
 
@@ -99,11 +129,19 @@ def print_timings(tracer: Tracer, metrics: MetricsRegistry) -> None:
         )
     with use_metrics(metrics):
         counters = cache_counters()
+        ingest = ingest_counters()
     print(
         f"matrix cache: hits={counters['hits']} misses={counters['misses']} "
         f"stores={counters['stores']}",
         file=sys.stderr,
     )
+    if any(ingest.values()):
+        print(
+            f"ingest: ok={ingest['ok']} quarantined={ingest['quarantined']} "
+            f"salvaged_tail={ingest['salvaged_tail']} "
+            f"unparsed_frames={ingest['unparsed_frames']}",
+            file=sys.stderr,
+        )
 
 
 def emit_observability(

@@ -11,9 +11,13 @@ Three interchangeable execution paths produce bit-identical values:
 - **serial** — one process walks the per-length-pair blocks in order
   (the reference implementation, and the automatic fallback when the
   segment count is below :attr:`MatrixBuildOptions.parallel_threshold`);
-- **parallel** — the independent blocks are dispatched to a
-  :class:`concurrent.futures.ProcessPoolExecutor`
-  (:attr:`MatrixBuildOptions.workers`, default ``os.cpu_count()``);
+- **parallel** — the independent blocks are dispatched as per-block
+  futures on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (:attr:`MatrixBuildOptions.workers`, default ``os.cpu_count()``),
+  with block-level fault tolerance: a failed or timed-out block is
+  retried once and then recomputed serially in-process, and a crashed
+  or hung pool is rebuilt up to :attr:`MatrixBuildOptions.max_retries`
+  times before the remainder falls back to the serial path;
 - **cached** — a content-addressed ``.npz`` on disk
   (:mod:`repro.core.matrixcache`) short-circuits the whole computation
   for a previously seen segment set + penalty factor.
@@ -27,7 +31,8 @@ from __future__ import annotations
 import logging
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -40,12 +45,24 @@ from repro.core.canberra import (
     pairwise_equal_length,
 )
 from repro.core.segments import UniqueSegment
+from repro.errors import ComputeError
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 
 logger = logging.getLogger(__name__)
 
 BUILDS_METRIC = "repro_matrix_builds_total"
+FAULTS_METRIC = "repro_matrix_faults_total"
+
+_FAULTS_HELP = (
+    "Self-healing events during parallel matrix builds "
+    "(kind: block_retry/serial_fallback/pool_rebuild)."
+)
+
+
+def _count_fault(kind: str, amount: int = 1) -> None:
+    if amount:
+        get_metrics().counter(FAULTS_METRIC, help=_FAULTS_HELP).inc(amount, kind=kind)
 
 
 @dataclass(frozen=True)
@@ -66,6 +83,12 @@ class MatrixBuildOptions:
     #: Minimum unique-segment count before forking workers pays for
     #: itself; below it the serial path runs regardless of ``workers``.
     parallel_threshold: int = 512
+    #: Seconds to wait for one block result before treating the worker
+    #: as hung; None waits forever (historical behavior).
+    block_timeout: float | None = None
+    #: How many times a broken or hung process pool is rebuilt before
+    #: the remaining blocks are computed serially in-process.
+    max_retries: int = 2
 
     def effective_workers(self) -> int:
         """Resolved worker count (>= 1)."""
@@ -108,6 +131,12 @@ class BuildStats:
     task_count: int = 0
     cache_hit: bool = False
     cache_key: str | None = None
+    #: Self-healing bookkeeping: blocks re-submitted to the pool after a
+    #: failure/timeout, blocks recomputed serially in-process, and how
+    #: often the pool itself was rebuilt.
+    block_retries: int = 0
+    serial_fallback_blocks: int = 0
+    pool_rebuilds: int = 0
     #: Per-stage wall-clock seconds: blocks/compute/cache_load/cache_store/total.
     seconds: dict[str, float] = field(default_factory=dict)
 
@@ -168,6 +197,121 @@ def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
         length_b,
         cross_length_block(block_a, block_b, penalty_factor=penalty_factor),
     )
+
+
+def _recover_serially(task: tuple) -> tuple[int, int, np.ndarray]:
+    """Last-resort in-process recomputation of one block.
+
+    Runs after the pool-level retry ladder is exhausted; an exception
+    here means the block itself is uncomputable, which is a genuine
+    defect, so it surfaces as :class:`ComputeError`.
+    """
+    try:
+        return _compute_block_task(task)
+    except Exception as error:
+        raise ComputeError(
+            f"block ({task[1]}, {task[2]}) failed even in serial fallback: {error}"
+        ) from error
+
+
+def _compute_tasks_parallel(
+    tasks: list[tuple], options: MatrixBuildOptions, stats: BuildStats
+) -> list[tuple[int, int, np.ndarray]] | None:
+    """Run *tasks* on a process pool with block-level fault tolerance.
+
+    Every block is retried once in the pool after a failure or timeout,
+    then recomputed serially in-process; a broken pool (crashed worker)
+    or a hung worker triggers a pool rebuild, up to
+    :attr:`MatrixBuildOptions.max_retries` times, after which whatever
+    is left runs serially.  All recovery paths reuse
+    :func:`_compute_block_task`, so the result stays bit-identical to
+    the serial reference no matter which path produced each block.
+
+    Returns None when the pool cannot be created at all (restricted
+    environments without fork/semaphores) so the caller can fall back
+    to the plain serial loop.
+    """
+    workers = options.effective_workers()
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, RuntimeError) as error:
+        logger.debug("parallel build unavailable (%s); serial", error)
+        return None
+    results: dict[int, tuple[int, int, np.ndarray]] = {}
+    attempts: dict[int, int] = {}
+    rebuilds = 0
+    pending = list(range(len(tasks)))
+    try:
+        while pending:
+            futures = {}
+            pool_broken = False
+            for i in pending:
+                try:
+                    futures[i] = executor.submit(_compute_block_task, tasks[i])
+                except (BrokenExecutor, RuntimeError):
+                    pool_broken = True
+                    break
+            failed: list[int] = []
+            needs_rebuild = pool_broken
+            for i, future in futures.items():
+                if needs_rebuild and not future.done():
+                    # The pool is already known-bad (crash or hang):
+                    # don't wait on the remaining futures, just requeue.
+                    future.cancel()
+                    failed.append(i)
+                    continue
+                try:
+                    results[i] = future.result(timeout=options.block_timeout)
+                except (FuturesTimeoutError, TimeoutError):
+                    logger.warning(
+                        "matrix block %d timed out after %.3gs",
+                        i,
+                        options.block_timeout or 0.0,
+                    )
+                    needs_rebuild = True  # the worker is hung; abandon the pool
+                    failed.append(i)
+                except BrokenExecutor as error:
+                    logger.warning("matrix worker pool broke: %s", error)
+                    needs_rebuild = True
+                    failed.append(i)
+                except Exception as error:
+                    logger.warning("matrix block %d raised: %s", i, error)
+                    failed.append(i)
+            failed.extend(i for i in pending if i not in futures and i not in failed)
+            pending = []
+            for i in failed:
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] <= 1:
+                    stats.block_retries += 1
+                    _count_fault("block_retry")
+                    pending.append(i)
+                else:
+                    results[i] = _recover_serially(tasks[i])
+                    stats.serial_fallback_blocks += 1
+                    _count_fault("serial_fallback")
+            if pending and needs_rebuild:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+                if rebuilds < options.max_retries:
+                    rebuilds += 1
+                    stats.pool_rebuilds += 1
+                    _count_fault("pool_rebuild")
+                    try:
+                        executor = ProcessPoolExecutor(max_workers=workers)
+                    except (OSError, ValueError, RuntimeError) as error:
+                        logger.warning("pool rebuild failed (%s); serial", error)
+                if executor is None:
+                    # Rebuild budget exhausted (or rebuild impossible):
+                    # finish everything that is left in-process.
+                    for i in pending:
+                        results[i] = _recover_serially(tasks[i])
+                        stats.serial_fallback_blocks += 1
+                        _count_fault("serial_fallback")
+                    pending = []
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+    return [results[i] for i in range(len(tasks))]
 
 
 @dataclass
@@ -244,6 +388,12 @@ class DissimilarityMatrix:
             cache_hit=stats.cache_hit,
             cache_key=stats.cache_key,
         )
+        if stats.block_retries or stats.serial_fallback_blocks or stats.pool_rebuilds:
+            span.set(
+                block_retries=stats.block_retries,
+                serial_fallback_blocks=stats.serial_fallback_blocks,
+                pool_rebuilds=stats.pool_rebuilds,
+            )
         get_metrics().counter(
             BUILDS_METRIC, help="Dissimilarity-matrix builds by backend."
         ).inc(backend=stats.backend)
@@ -275,18 +425,15 @@ class DissimilarityMatrix:
             and len(tasks) > 1
         )
         compute_started = time.perf_counter()
+        results = None
         if parallel:
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as executor:
-                    results = list(executor.map(_compute_block_task, tasks))
+            results = _compute_tasks_parallel(tasks, options, stats)
+            if results is not None:
                 stats.backend = "parallel"
                 stats.workers = workers
-            except (OSError, ValueError, RuntimeError) as error:
-                # Restricted environments (no fork, no semaphores) fall
-                # back to the serial reference rather than failing.
-                logger.debug("parallel build unavailable (%s); serial", error)
-                results = [_compute_block_task(task) for task in tasks]
-        else:
+        if results is None:
+            # Restricted environments (no fork, no semaphores) fall
+            # back to the serial reference rather than failing.
             results = [_compute_block_task(task) for task in tasks]
         for length_a, length_b, block_values in results:
             indices_a = by_length[length_a]

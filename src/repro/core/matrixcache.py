@@ -11,7 +11,10 @@ the penalty factor and a format version, and stores it as a compressed
   values in sorted order, so the key is independent of segment order
   (the caller permutes rows back to its own order);
 - invalidation: bump :data:`CACHE_FORMAT_VERSION` whenever the matrix
-  semantics change — old entries simply stop being addressed.
+  semantics change — old entries simply stop being addressed;
+- integrity: every entry embeds a SHA-256 checksum over its payload
+  (:func:`matrix_checksum`), verified on load — bit flips and truncated
+  writes are deleted and recomputed instead of being trusted.
 
 Hit/miss/store counters live in the active
 :class:`repro.obs.metrics.MetricsRegistry` (``repro_matrix_cache_*``),
@@ -26,25 +29,29 @@ import hashlib
 import os
 import struct
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
+from repro.errors import CacheError
 from repro.obs.metrics import Counter, get_metrics
 
 #: Bump to invalidate every existing cache entry (schema or semantics
-#: changes in the matrix computation).
-CACHE_FORMAT_VERSION = 1
+#: changes in the matrix computation).  v2 added the payload checksum.
+CACHE_FORMAT_VERSION = 2
 
 HITS_METRIC = "repro_matrix_cache_hits_total"
 MISSES_METRIC = "repro_matrix_cache_misses_total"
 STORES_METRIC = "repro_matrix_cache_stores_total"
+CORRUPT_METRIC = "repro_matrix_cache_corrupt_total"
 
 _METRIC_HELP = {
     HITS_METRIC: "Dissimilarity-matrix on-disk cache hits.",
     MISSES_METRIC: "Dissimilarity-matrix on-disk cache misses.",
     STORES_METRIC: "Dissimilarity matrices persisted to the on-disk cache.",
+    CORRUPT_METRIC: "Cache entries rejected as corrupt and deleted.",
 }
 
 
@@ -108,25 +115,52 @@ def cache_path(key: str, cache_dir: str | Path | None = None) -> Path:
     return directory / f"matrix-{key}.npz"
 
 
-def load_matrix(key: str, cache_dir: str | Path | None = None) -> np.ndarray | None:
-    """Load the canonical-order matrix for *key*, or None on a miss.
+def matrix_checksum(values: np.ndarray) -> str:
+    """SHA-256 over the matrix payload (shape + raw float64 bytes)."""
+    digest = hashlib.sha256()
+    digest.update(b"repro-matrix-payload-v2\0")
+    digest.update(struct.pack("<QQ", *values.shape))
+    digest.update(np.ascontiguousarray(values).tobytes())
+    return digest.hexdigest()
 
-    Corrupt or truncated entries count as misses and are removed so the
-    next build overwrites them.
-    """
-    path = cache_path(key, cache_dir)
+
+def _load_verified(path: Path) -> np.ndarray:
+    """Read and checksum-verify one entry; raises CacheError if invalid."""
     try:
         with np.load(path) as archive:
             values = np.asarray(archive["values"], dtype=np.float64)
-    except (FileNotFoundError, OSError, KeyError, ValueError, EOFError):
-        if path.exists():
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            stored = str(archive["checksum"])
+    except FileNotFoundError:
+        raise
+    except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
+        raise CacheError(f"unreadable cache entry {path.name}: {error}") from error
+    if values.ndim != 2 or values.shape[0] != values.shape[1]:
+        raise CacheError(f"cache entry {path.name} has shape {values.shape}")
+    if matrix_checksum(values) != stored:
+        raise CacheError(f"cache entry {path.name} failed checksum verification")
+    return values
+
+
+def load_matrix(key: str, cache_dir: str | Path | None = None) -> np.ndarray | None:
+    """Load the canonical-order matrix for *key*, or None on a miss.
+
+    Every entry carries a checksum over its payload; corrupt, truncated,
+    or bit-flipped entries are detected, deleted, and counted as misses
+    (plus ``repro_matrix_cache_corrupt_total``) so the next build
+    recomputes and overwrites them rather than trusting damaged values.
+    """
+    path = cache_path(key, cache_dir)
+    try:
+        values = _load_verified(path)
+    except FileNotFoundError:
         get_metrics().counter(MISSES_METRIC, help=_METRIC_HELP[MISSES_METRIC]).inc()
         return None
-    if values.ndim != 2 or values.shape[0] != values.shape[1]:
+    except CacheError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        get_metrics().counter(CORRUPT_METRIC, help=_METRIC_HELP[CORRUPT_METRIC]).inc()
         get_metrics().counter(MISSES_METRIC, help=_METRIC_HELP[MISSES_METRIC]).inc()
         return None
     get_metrics().counter(HITS_METRIC, help=_METRIC_HELP[HITS_METRIC]).inc()
@@ -148,7 +182,11 @@ def store_matrix(
                 # Uncompressed on purpose: dissimilarity values are
                 # near-incompressible float64 noise, and warm-cache loads
                 # should cost a read, not a decompress.
-                np.savez(handle, values=values)
+                np.savez(
+                    handle,
+                    values=values,
+                    checksum=np.array(matrix_checksum(values)),
+                )
             os.replace(temp_name, path)
         except BaseException:
             try:

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.cliopts import backend_parent, emit_observability, matrix_options_from_args
 from repro.core.matrix import set_default_build_options
+from repro.eval.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.export import table1_records, table2_records, to_csv, to_json
 from repro.eval.figures import run_figure2, run_figure3
@@ -65,7 +66,26 @@ def main(argv: list[str] | None = None) -> int:
         "--export-dir",
         help="also write table records as JSON + CSV into this directory",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="JSONL file recording each finished table cell; a killed "
+        "sweep can later continue from it with --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already recorded in --checkpoint (same seed only)",
+    )
     args = parser.parse_args(argv)
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint PATH")
+    checkpoint = (
+        SweepCheckpoint(args.checkpoint, sweep_fingerprint(args.seed))
+        if args.checkpoint
+        else None
+    )
     # Experiments build matrices from deep call sites (tables, figures,
     # message-type similarity), so the eval path still configures the
     # process-wide backend defaults; the analyze path threads explicit
@@ -77,18 +97,38 @@ def main(argv: list[str] | None = None) -> int:
     outputs = []
     with use_tracer(tracer), use_metrics(metrics):
         if args.artefact in ("table1", "all"):
-            table = run_table1(seed=args.seed, rows=_rows(args.quick))
+            table = run_table1(
+                seed=args.seed,
+                rows=_rows(args.quick),
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
             outputs.append(table.render())
             _export(args, "table1", table1_records(table))
         if args.artefact in ("table2", "all"):
-            table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+            table2 = run_table2(
+                seed=args.seed,
+                rows=_rows(args.quick),
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
             outputs.append(table2.render())
             _export(args, "table2", table2_records(table2))
         if args.artefact == "scorecard":
             from repro.eval.paperdiff import build_scorecard
 
-            table1 = run_table1(seed=args.seed, rows=_rows(args.quick))
-            table2 = run_table2(seed=args.seed, rows=_rows(args.quick))
+            table1 = run_table1(
+                seed=args.seed,
+                rows=_rows(args.quick),
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
+            table2 = run_table2(
+                seed=args.seed,
+                rows=_rows(args.quick),
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
             outputs.append(build_scorecard(table1, table2).render())
         if args.artefact in ("fig2", "all"):
             count = 100 if args.quick else 1000

@@ -8,14 +8,16 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.api import cluster_segments
 from repro.core.pipeline import ClusteringConfig
+from repro.errors import ComputeError
 from repro.eval.truth import label_with_truth
 from repro.metrics import clustering_coverage, score_result
 from repro.metrics.pairwise import ClusterScore
 from repro.net.trace import Trace
+from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
 from repro.protocols import get_model
 from repro.protocols.base import ProtocolModel
@@ -45,6 +47,15 @@ DEFAULT_SEED = 42
 
 HEURISTIC_SEGMENTERS = ("netzob", "nemesys", "csp")
 
+CELLS_METRIC = "repro_eval_cells_total"
+
+_CELLS_HELP = "Evaluation sweep cells, by outcome (ok/failed/resumed)."
+
+
+def count_cell(status: str) -> None:
+    """Increment ``repro_eval_cells_total{status=...}``."""
+    get_metrics().counter(CELLS_METRIC, help=_CELLS_HELP).inc(status=status)
+
 
 def make_segmenter(name: str, model: ProtocolModel) -> Segmenter:
     """Instantiate a segmenter by table name."""
@@ -68,6 +79,7 @@ class ExperimentCell:
     message_count: int
     segmenter: str
     failed: bool = False
+    failure_class: str = ""
     failure_reason: str = ""
     score: ClusterScore | None = None
     coverage: float | None = None
@@ -109,8 +121,14 @@ def run_cell(
 
     The whole cell runs inside one ``eval.cell`` span, so eval run
     manifests attribute segmentation/pipeline time to their table cell.
+    Any exception raised while evaluating the cell — not just the
+    segmenter resource guard — is recorded as a *failed* cell (error
+    class + message land in the span and hence the run manifest) so a
+    sweep continues past one broken cell instead of aborting.  Unknown
+    protocol or segmenter names still raise immediately: those are
+    caller errors, not evaluation outcomes.
     """
-    model, trace = prepare_trace(protocol, message_count, seed)
+    model = get_model(protocol)
     segmenter = make_segmenter(segmenter_name, model)
     started = time.perf_counter()
     with get_tracer().span(
@@ -119,28 +137,37 @@ def run_cell(
         messages=message_count,
         segmenter=segmenter_name,
     ) as span:
-        try:
-            segments = segmenter.segment(trace)
-        except SegmenterResourceError as error:
-            span.set(failed=True, reason=str(error))
+        def failed_cell(error: Exception, failure_class: str) -> ExperimentCell:
+            span.set(failed=True, error_class=failure_class, reason=str(error))
+            count_cell("failed")
             return ExperimentCell(
                 protocol=protocol,
                 message_count=message_count,
                 segmenter=segmenter_name,
                 failed=True,
+                failure_class=failure_class,
                 failure_reason=str(error),
                 runtime_seconds=time.perf_counter() - started,
             )
-        if segmenter_name != "groundtruth":
-            segments = label_with_truth(segments, trace, model)
-        result = cluster_segments(segments, config)
-        score = score_result(result)
-        coverage = clustering_coverage(result, trace).ratio
+
+        try:
+            trace = model.generate(message_count, seed=seed).preprocess()
+            segments = segmenter.segment(trace)
+            if segmenter_name != "groundtruth":
+                segments = label_with_truth(segments, trace, model)
+            result = cluster_segments(segments, config)
+            score = score_result(result)
+            coverage = clustering_coverage(result, trace).ratio
+        except SegmenterResourceError as error:
+            return failed_cell(error, "SegmenterResourceError")
+        except Exception as error:  # the per-cell exception barrier
+            return failed_cell(error, type(error).__name__)
         span.set(
             fscore=round(score.fscore, 4),
             clusters=result.cluster_count,
             epsilon=result.epsilon,
         )
+    count_cell("ok")
     return ExperimentCell(
         protocol=protocol,
         message_count=message_count,
@@ -180,6 +207,11 @@ def run_table1_row(
 ) -> Table1Row:
     """One Table I row: cluster ground-truth segments of one trace."""
     cell = run_cell(protocol, message_count, "groundtruth", seed=seed, config=config)
+    if cell.failed:
+        raise ComputeError(
+            f"table1 cell {protocol}/{message_count} failed: "
+            f"{cell.failure_class}: {cell.failure_reason}"
+        )
     assert cell.score is not None and cell.epsilon is not None
     return Table1Row(
         protocol=protocol,

@@ -2,17 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.pipeline import ClusteringConfig
+from repro.eval.checkpoint import SweepCheckpoint
 from repro.eval.reporting import fmt, fmt_pct, render_table
 from repro.eval.runner import (
     DEFAULT_SEED,
     HEURISTIC_SEGMENTERS,
     ExperimentCell,
     Table1Row,
+    count_cell,
     run_cell,
-    run_table1_row,
 )
 from repro.protocols.registry import ALL_ROWS
 
@@ -81,6 +82,8 @@ PAPER_TABLE2 = {
 @dataclass
 class Table1:
     rows: list[Table1Row]
+    #: Cells whose evaluation failed (recorded, not silently dropped).
+    failures: list[ExperimentCell] = field(default_factory=list)
 
     def render(self) -> str:
         body = []
@@ -95,6 +98,20 @@ class Table1:
                     fmt(row.score.precision),
                     fmt(row.score.recall),
                     fmt(row.score.fscore),
+                    fmt(paper[3]) if paper else "",
+                ]
+            )
+        for cell in self.failures:
+            paper = PAPER_TABLE1.get((cell.protocol, cell.message_count))
+            body.append(
+                [
+                    cell.protocol,
+                    cell.message_count,
+                    cell.unique_segments,
+                    "fails",
+                    "",
+                    "",
+                    "",
                     fmt(paper[3]) if paper else "",
                 ]
             )
@@ -143,16 +160,71 @@ class Table2:
         return sum(values) / len(values) if values else 0.0
 
 
+def sweep_cells(
+    specs: list[tuple[str, int, str]],
+    seed: int = DEFAULT_SEED,
+    config: ClusteringConfig | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    resume: bool = False,
+) -> dict[tuple[str, int, str], ExperimentCell]:
+    """Evaluate every (protocol, count, segmenter) cell, resumably.
+
+    With a *checkpoint*, each finished cell (ok or failed) is appended
+    to the JSONL file as soon as it completes; with ``resume=True``,
+    cells already recorded under the same sweep fingerprint are loaded
+    back instead of recomputed (counted as ``status="resumed"`` in
+    ``repro_eval_cells_total``).  The per-cell exception barrier lives
+    in :func:`~repro.eval.runner.run_cell`, so one crashing cell is
+    recorded as failed and the sweep continues.
+    """
+    done = checkpoint.load() if (checkpoint is not None and resume) else {}
+    cells: dict[tuple[str, int, str], ExperimentCell] = {}
+    for spec in specs:
+        if spec in done:
+            cells[spec] = done[spec]
+            count_cell("resumed")
+            continue
+        cell = run_cell(spec[0], spec[1], spec[2], seed=seed, config=config)
+        if checkpoint is not None:
+            checkpoint.record(cell)
+        cells[spec] = cell
+    return cells
+
+
 def run_table1(
     seed: int = DEFAULT_SEED,
     rows: list[tuple[str, int]] | None = None,
     config: ClusteringConfig | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    resume: bool = False,
 ) -> Table1:
-    """Run every Table I row (ground-truth segment clustering)."""
+    """Run every Table I row (ground-truth segment clustering).
+
+    A failed cell becomes a :attr:`Table1.failures` entry (rendered as
+    ``fails``) instead of aborting the whole table.
+    """
     selected = rows if rows is not None else ALL_ROWS
-    return Table1(
-        rows=[run_table1_row(p, n, seed=seed, config=config) for p, n in selected]
+    specs = [(proto, count, "groundtruth") for proto, count in selected]
+    cells = sweep_cells(
+        specs, seed=seed, config=config, checkpoint=checkpoint, resume=resume
     )
+    table = Table1(rows=[])
+    for spec in specs:
+        cell = cells[spec]
+        if cell.failed:
+            table.failures.append(cell)
+            continue
+        assert cell.score is not None and cell.epsilon is not None
+        table.rows.append(
+            Table1Row(
+                protocol=cell.protocol,
+                message_count=cell.message_count,
+                unique_fields=cell.unique_segments,
+                epsilon=cell.epsilon,
+                score=cell.score,
+            )
+        )
+    return table
 
 
 def run_table2(
@@ -160,13 +232,17 @@ def run_table2(
     rows: list[tuple[str, int]] | None = None,
     segmenters: tuple[str, ...] = HEURISTIC_SEGMENTERS,
     config: ClusteringConfig | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    resume: bool = False,
 ) -> Table2:
     """Run every Table II cell (heuristic segmenters x protocols)."""
     selected = rows if rows is not None else ALL_ROWS
-    cells = {}
-    for proto, count in selected:
-        for segmenter in segmenters:
-            cells[(proto, count, segmenter)] = run_cell(
-                proto, count, segmenter, seed=seed, config=config
-            )
-    return Table2(cells=cells)
+    specs = [
+        (proto, count, segmenter)
+        for proto, count in selected
+        for segmenter in segmenters
+    ]
+    cells = sweep_cells(
+        specs, seed=seed, config=config, checkpoint=checkpoint, resume=resume
+    )
+    return Table2(cells={spec: cells[spec] for spec in specs})

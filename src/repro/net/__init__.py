@@ -10,6 +10,7 @@ reproduction.  It provides:
   step (protocol filtering and payload de-duplication).
 """
 
+from repro.errors import IngestError, QuarantinedRecord, QuarantineReport
 from repro.net.packet import (
     EthernetFrame,
     IPv4Packet,
@@ -27,9 +28,12 @@ __all__ = [
     "EthernetFrame",
     "IPv4Packet",
     "IPv6Packet",
+    "IngestError",
     "ParsedPacket",
     "PcapError",
     "PcapPacket",
+    "QuarantineReport",
+    "QuarantinedRecord",
     "TcpSegment",
     "Trace",
     "TraceMessage",

@@ -5,6 +5,16 @@ captures: Section Header (SHB), Interface Description (IDB), Enhanced
 Packet (EPB), and Simple Packet (SPB).  Options are parsed and preserved
 as raw (code, value) pairs.  Multiple interfaces per section are
 supported; multiple sections concatenate their packets.
+
+The reader takes a ``strict`` flag mirroring :mod:`repro.net.pcap`:
+strict mode raises :class:`~repro.net.pcap.PcapError` on the first
+malformed block, lenient mode (``strict=False``) quarantines it into a
+:class:`~repro.errors.QuarantineReport` instead.  Errors local to one
+well-framed block (short EPB/SPB/IDB body, unknown interface id, SPB
+before any IDB, a disagreeing trailer length) quarantine that block and
+keep going; errors that destroy the block framing (truncation, an
+impossible block length) quarantine the tail and stop, salvaging every
+packet read so far.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable
 
+from repro.errors import QuarantineReport
 from repro.net.pcap import PcapError, PcapPacket
 
 BLOCK_SHB = 0x0A0D0D0A
@@ -61,54 +72,108 @@ def _ts_resolution_from_options(options: list[tuple[int, bytes]]) -> float:
     return 1e-6
 
 
-def read_pcapng(path: str | Path) -> tuple[list[Interface], list[PcapPacket]]:
+def read_pcapng(
+    path: str | Path,
+    *,
+    strict: bool = True,
+    report: QuarantineReport | None = None,
+) -> tuple[list[Interface], list[PcapPacket]]:
     """Read a pcapng file, returning ``(interfaces, packets)``.
 
     Packet timestamps are converted to float epoch seconds using each
     interface's declared resolution.
     """
     with open(path, "rb") as stream:
-        return read_pcapng_stream(stream)
+        return read_pcapng_stream(stream, strict=strict, report=report)
 
 
-def read_pcapng_stream(stream: BinaryIO) -> tuple[list[Interface], list[PcapPacket]]:
+def read_pcapng_stream(
+    stream: BinaryIO,
+    *,
+    strict: bool = True,
+    report: QuarantineReport | None = None,
+) -> tuple[list[Interface], list[PcapPacket]]:
+    if report is None:
+        report = QuarantineReport()
     interfaces: list[Interface] = []
     packets: list[PcapPacket] = []
     endian = "<"
+    offset = 0
+    index = 0
+
+    def fail(reason: str, detail: str, data: bytes = b"") -> None:
+        """Framing-destroying corruption: raise, or quarantine the tail."""
+        if strict:
+            raise PcapError(detail)
+        report.quarantine_tail(index, offset, reason, detail, data=data)
+
+    def skip(reason: str, detail: str, data: bytes = b"") -> None:
+        """Block-local corruption: raise, or quarantine just this block."""
+        if strict:
+            raise PcapError(detail)
+        report.quarantine(index, offset, reason, detail, data=data)
+
     while True:
         head = stream.read(8)
         if not head:
             break
         if len(head) != 8:
-            raise PcapError("truncated pcapng: partial block header")
+            fail(
+                "partial-block-header",
+                "truncated pcapng: partial block header",
+                data=head,
+            )
+            break
         (block_type,) = struct.unpack(endian + "I", head[:4])
         if block_type == BLOCK_SHB:
             # Byte order may change per section; peek at the magic.
             magic_bytes = stream.read(4)
             if len(magic_bytes) != 4:
-                raise PcapError("truncated pcapng: missing byte-order magic")
+                fail("shb-no-magic", "truncated pcapng: missing byte-order magic")
+                break
             (magic_le,) = struct.unpack("<I", magic_bytes)
             endian = "<" if magic_le == BYTE_ORDER_MAGIC else ">"
             (block_len,) = struct.unpack(endian + "I", head[4:])
             if block_len < 28:
-                raise PcapError(f"SHB too short: {block_len}")
+                fail("shb-too-short", f"SHB too short: {block_len}")
+                break
             body = stream.read(block_len - 12)
             if len(body) != block_len - 12:
-                raise PcapError("truncated pcapng: SHB body")
+                fail("shb-truncated", "truncated pcapng: SHB body", data=body)
+                break
+            offset += block_len
+            index += 1
             continue
         (block_len,) = struct.unpack(endian + "I", head[4:])
         if block_len < 12 or block_len % 4:
-            raise PcapError(f"bad block length {block_len}")
+            fail("bad-block-length", f"bad block length {block_len}")
+            break
         body = stream.read(block_len - 12)
         if len(body) != block_len - 12:
-            raise PcapError("truncated pcapng: block body")
+            fail("block-truncated", "truncated pcapng: block body", data=body)
+            break
         trailer = stream.read(4)
         if len(trailer) != 4:
-            raise PcapError("truncated pcapng: block trailer")
+            fail("trailer-truncated", "truncated pcapng: block trailer", data=body)
+            break
         (trailer_len,) = struct.unpack(endian + "I", trailer)
         if trailer_len != block_len:
-            raise PcapError(f"block length mismatch: {block_len} != {trailer_len}")
+            # The leading length already framed the block, so lenient
+            # mode can drop just this block and stay synchronized.
+            skip(
+                "trailer-mismatch",
+                f"block length mismatch: {block_len} != {trailer_len}",
+                data=body,
+            )
+            offset += block_len
+            index += 1
+            continue
         if block_type == BLOCK_IDB:
+            if len(body) < 8:
+                skip("idb-short", f"IDB body too short: {len(body)} bytes", data=body)
+                offset += block_len
+                index += 1
+                continue
             linktype, _reserved, snaplen = struct.unpack(endian + "HHI", body[:8])
             options = _parse_options(body[8:], endian)
             interfaces.append(
@@ -119,25 +184,60 @@ def read_pcapng_stream(stream: BinaryIO) -> tuple[list[Interface], list[PcapPack
                 )
             )
         elif block_type == BLOCK_EPB:
+            if len(body) < 20:
+                skip("epb-short", f"EPB body too short: {len(body)} bytes", data=body)
+                offset += block_len
+                index += 1
+                continue
             iface_id, ts_high, ts_low, cap_len, orig_len = struct.unpack(
                 endian + "IIIII", body[:20]
             )
             if iface_id >= len(interfaces):
-                raise PcapError(f"EPB references unknown interface {iface_id}")
+                skip(
+                    "epb-unknown-interface",
+                    f"EPB references unknown interface {iface_id}",
+                    data=body[20 : 20 + cap_len],
+                )
+                offset += block_len
+                index += 1
+                continue
             data = body[20 : 20 + cap_len]
             if len(data) != cap_len:
-                raise PcapError("EPB captured data shorter than declared")
+                skip(
+                    "epb-short-data",
+                    "EPB captured data shorter than declared",
+                    data=data,
+                )
+                offset += block_len
+                index += 1
+                continue
             resolution = interfaces[iface_id].ts_resolution
             timestamp = ((ts_high << 32) | ts_low) * resolution
             packets.append(PcapPacket(timestamp=timestamp, data=data, orig_len=orig_len))
+            report.record_ok()
         elif block_type == BLOCK_SPB:
             if not interfaces:
-                raise PcapError("SPB before any interface description")
+                skip(
+                    "spb-before-idb",
+                    "SPB before any interface description",
+                    data=body[4:],
+                )
+                offset += block_len
+                index += 1
+                continue
+            if len(body) < 4:
+                skip("spb-short", f"SPB body too short: {len(body)} bytes", data=body)
+                offset += block_len
+                index += 1
+                continue
             (orig_len,) = struct.unpack(endian + "I", body[:4])
             cap_len = min(orig_len, interfaces[0].snaplen or orig_len)
             data = body[4 : 4 + cap_len]
             packets.append(PcapPacket(timestamp=0.0, data=data, orig_len=orig_len))
+            report.record_ok()
         # Unknown block types (NRB, ISB, custom) are skipped by design.
+        offset += block_len
+        index += 1
     return interfaces, packets
 
 
@@ -172,6 +272,11 @@ def write_pcapng_stream(
     _write_block(stream, BLOCK_IDB, idb_body)
     count = 0
     for packet in packets:
+        if snaplen and len(packet.data) > snaplen:
+            raise PcapError(
+                f"packet {count} captured length {len(packet.data)} exceeds "
+                f"snaplen {snaplen}"
+            )
         ticks = int(round(packet.timestamp * 1e6))
         orig_len = packet.orig_len if packet.orig_len is not None else len(packet.data)
         epb_body = (

@@ -16,8 +16,14 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
+from repro.errors import QuarantineReport, count_unparsed_frame
 from repro.net.packet import ParsedPacket, parse_ethernet_frame
 from repro.net.pcap import LINKTYPE_ETHERNET, read_pcap
+from repro.net.pcapng import read_pcapng
+
+#: First four bytes of a pcapng file (the SHB block type, an
+#: endianness-palindrome by design).
+PCAPNG_MAGIC = b"\x0a\x0d\x0d\x0a"
 
 
 @dataclass(frozen=True)
@@ -47,10 +53,16 @@ class TraceMessage:
 
 @dataclass
 class Trace:
-    """An ordered collection of messages of one protocol."""
+    """An ordered collection of messages of one protocol.
+
+    ``quarantine`` is attached by :func:`load_trace` after a lenient
+    load; derived traces (filter/truncate/preprocess results) do not
+    carry it — it describes the original capture, not the view.
+    """
 
     messages: list[TraceMessage]
     protocol: str = "unknown"
+    quarantine: QuarantineReport | None = None
 
     def __len__(self) -> int:
         return len(self.messages)
@@ -118,14 +130,32 @@ def load_trace(
     path: str | Path,
     protocol: str = "unknown",
     port: int | None = None,
+    *,
+    strict: bool = True,
+    report: QuarantineReport | None = None,
 ) -> Trace:
-    """Load a Trace from an Ethernet pcap file.
+    """Load a Trace from a pcap or pcapng capture file.
 
-    Frames that do not parse down to a transport payload are kept with
-    their raw link payload so nothing silently disappears; pass *port* to
+    The format is sniffed from the first four bytes.  Frames that do
+    not parse down to a transport payload are kept with their raw link
+    payload so nothing silently disappears (counted in the
+    ``repro_ingest_frames_unparsed_total`` metric); pass *port* to
     filter to one UDP/TCP service.
+
+    With ``strict=False`` malformed records are quarantined instead of
+    raising (see :mod:`repro.errors`); the resulting
+    :class:`~repro.errors.QuarantineReport` is attached to the returned
+    trace as ``trace.quarantine``.
     """
-    linktype, packets = read_pcap(path)
+    if report is None and not strict:
+        report = QuarantineReport(source=str(path))
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+    if magic == PCAPNG_MAGIC:
+        interfaces, packets = read_pcapng(path, strict=strict, report=report)
+        linktype = interfaces[0].linktype if interfaces else LINKTYPE_ETHERNET
+    else:
+        linktype, packets = read_pcap(path, strict=strict, report=report)
     messages = []
     for packet in packets:
         if linktype == LINKTYPE_ETHERNET:
@@ -133,6 +163,10 @@ def load_trace(
                 parsed: ParsedPacket = parse_ethernet_frame(packet.data)
             except ValueError:
                 parsed = ParsedPacket(payload=packet.data)
+                if report is not None:
+                    report.frame_unparsed()
+                else:
+                    count_unparsed_frame()
         else:
             # Non-Ethernet linktypes carry the application payload directly
             # (the convention our generators use for AWDL / AU captures).
@@ -150,6 +184,7 @@ def load_trace(
     trace = Trace(messages=messages, protocol=protocol)
     if port is not None:
         trace = trace.filter(port_filter(port))
+    trace.quarantine = report
     return trace
 
 

@@ -1,0 +1,185 @@
+"""Fault injection, eval: a killed sweep resumes; a crashing cell is recorded.
+
+Acceptance path: an eval sweep killed mid-run resumes via ``--resume``
+without recomputing finished cells, and a raising cell is recorded as
+*failed* while the sweep completes.
+"""
+
+import pytest
+
+from repro.eval import runner as runner_mod
+from repro.eval import tables as tables_mod
+from repro.eval.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.eval.runner import ExperimentCell, run_cell
+from repro.eval.tables import run_table1, sweep_cells
+from repro.metrics.pairwise import ClusterScore
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+pytestmark = pytest.mark.faults
+
+SPECS = [
+    ("dns", 40, "groundtruth"),
+    ("ntp", 40, "groundtruth"),
+    ("nbns", 40, "groundtruth"),
+    ("dhcp", 40, "groundtruth"),
+]
+
+
+def _fake_cell(spec, marker: float = 1.0) -> ExperimentCell:
+    return ExperimentCell(
+        protocol=spec[0],
+        message_count=spec[1],
+        segmenter=spec[2],
+        score=ClusterScore(
+            precision=1.0,
+            recall=1.0,
+            fscore=1.0,
+            true_positives=1,
+            false_positives=0,
+            false_negatives=0,
+            cluster_count=1,
+            noise_count=0,
+        ),
+        coverage=1.0,
+        epsilon=0.1,
+        unique_segments=spec[1],
+        runtime_seconds=marker,
+    )
+
+
+class KilledMidSweep(Exception):
+    """Stands in for SIGKILL: aborts the sweep between two cells."""
+
+
+class TestResume:
+    def test_killed_sweep_resumes_without_recompute(self, tmp_path, monkeypatch):
+        checkpoint = SweepCheckpoint(tmp_path / "sweep.jsonl", sweep_fingerprint(42))
+        calls: list[tuple] = []
+
+        def dying_run_cell(protocol, message_count, segmenter, seed, config):
+            spec = (protocol, message_count, segmenter)
+            if len(calls) == 2:
+                raise KilledMidSweep(spec)
+            calls.append(spec)
+            return _fake_cell(spec, marker=7.0)
+
+        monkeypatch.setattr(tables_mod, "run_cell", dying_run_cell)
+        with pytest.raises(KilledMidSweep):
+            sweep_cells(SPECS, seed=42, checkpoint=checkpoint)
+        assert calls == SPECS[:2]  # two cells finished before the "kill"
+
+        def resumed_run_cell(protocol, message_count, segmenter, seed, config):
+            spec = (protocol, message_count, segmenter)
+            assert spec not in SPECS[:2], f"recomputed finished cell {spec}"
+            calls.append(spec)
+            return _fake_cell(spec)
+
+        monkeypatch.setattr(tables_mod, "run_cell", resumed_run_cell)
+        cells = sweep_cells(SPECS, seed=42, checkpoint=checkpoint, resume=True)
+        assert set(cells) == set(SPECS)
+        # The first two cells came back from the checkpoint, marker intact.
+        assert cells[SPECS[0]].runtime_seconds == 7.0
+        assert cells[SPECS[1]].runtime_seconds == 7.0
+        assert calls == SPECS  # every cell computed exactly once overall
+
+    def test_resumed_cells_counted_in_metrics(self, tmp_path, monkeypatch):
+        checkpoint = SweepCheckpoint(tmp_path / "sweep.jsonl", sweep_fingerprint(42))
+        monkeypatch.setattr(
+            tables_mod, "run_cell", lambda p, m, s, seed, config: _fake_cell((p, m, s))
+        )
+        sweep_cells(SPECS[:2], seed=42, checkpoint=checkpoint)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            sweep_cells(SPECS[:2], seed=42, checkpoint=checkpoint, resume=True)
+            resumed = registry.counter(runner_mod.CELLS_METRIC).value(status="resumed")
+        assert resumed == 2
+
+    def test_different_seed_does_not_resume(self, tmp_path, monkeypatch):
+        recorder = SweepCheckpoint(tmp_path / "sweep.jsonl", sweep_fingerprint(42))
+        monkeypatch.setattr(
+            tables_mod, "run_cell", lambda p, m, s, seed, config: _fake_cell((p, m, s))
+        )
+        sweep_cells(SPECS[:2], seed=42, checkpoint=recorder)
+        other = SweepCheckpoint(tmp_path / "sweep.jsonl", sweep_fingerprint(43))
+        calls = []
+
+        def counting_run_cell(protocol, message_count, segmenter, seed, config):
+            calls.append((protocol, message_count, segmenter))
+            return _fake_cell((protocol, message_count, segmenter))
+
+        monkeypatch.setattr(tables_mod, "run_cell", counting_run_cell)
+        sweep_cells(SPECS[:2], seed=43, checkpoint=other, resume=True)
+        assert calls == SPECS[:2]  # nothing was (wrongly) reused
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path, monkeypatch):
+        path = tmp_path / "sweep.jsonl"
+        checkpoint = SweepCheckpoint(path, sweep_fingerprint(42))
+        monkeypatch.setattr(
+            tables_mod, "run_cell", lambda p, m, s, seed, config: _fake_cell((p, m, s))
+        )
+        sweep_cells(SPECS[:1], seed=42, checkpoint=checkpoint)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"schema": "other-tool/v9", "cell": {}}\n')
+            handle.write('{"schema": "repro.eval-checkpoint/v1", "fi')  # torn write
+        done = checkpoint.load()
+        assert set(done) == {SPECS[0]}
+
+
+class TestFailedCellBarrier:
+    def test_raising_cell_recorded_failed_sweep_completes(self, monkeypatch):
+        real_cluster = runner_mod.cluster_segments
+
+        # The first cell (dns) crashes, the second (ntp) succeeds: the
+        # sweep must finish with one failure entry and one real row.
+        def selective_cluster(segments, config=None, **kwargs):
+            if getattr(selective_cluster, "armed", True):
+                selective_cluster.armed = False
+                raise RuntimeError("injected clustering crash")
+            return real_cluster(segments, config, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "cluster_segments", selective_cluster)
+        table = run_table1(seed=1, rows=[("dns", 40), ("ntp", 40)])
+        assert len(table.failures) == 1
+        assert table.failures[0].failure_class == "RuntimeError"
+        assert "injected clustering crash" in table.failures[0].failure_reason
+        assert len(table.rows) == 1
+        assert table.rows[0].protocol == "ntp"
+        assert "fails" in table.render()
+
+    def test_failed_cell_checkpointed_and_not_rerun(self, tmp_path, monkeypatch):
+        checkpoint = SweepCheckpoint(tmp_path / "sweep.jsonl", sweep_fingerprint(1))
+
+        def always_crash(segments, config=None, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner_mod, "cluster_segments", always_crash)
+        first = run_cell("dns", 40, "groundtruth", seed=1)
+        assert first.failed and first.failure_class == "RuntimeError"
+        checkpoint.record(first)
+
+        # Resuming returns the recorded failure instead of recomputing.
+        def must_not_run(protocol, message_count, segmenter, seed, config):
+            raise AssertionError("failed cell was recomputed on resume")
+
+        monkeypatch.setattr(tables_mod, "run_cell", must_not_run)
+        cells = sweep_cells(
+            [("dns", 40, "groundtruth")], seed=1, checkpoint=checkpoint, resume=True
+        )
+        assert cells[("dns", 40, "groundtruth")].failed
+
+    def test_caller_errors_still_raise(self):
+        with pytest.raises(Exception):
+            run_cell("no-such-protocol", 10, "groundtruth")
+        with pytest.raises(Exception):
+            run_cell("dns", 10, "no-such-segmenter")
+
+
+class TestEvalCliFlags:
+    def test_resume_requires_checkpoint(self, capsys):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err

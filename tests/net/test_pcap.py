@@ -114,3 +114,116 @@ class TestMalformed:
         buf.seek(0)
         _, packets = read_pcap_stream(buf)
         assert packets[0].timestamp == pytest.approx(2.0)
+
+
+def _capture_bytes(packets, **kwargs) -> bytes:
+    buf = io.BytesIO()
+    write_pcap_stream(buf, packets, **kwargs)
+    return buf.getvalue()
+
+
+class TestWriterSnaplen:
+    def test_over_snaplen_packet_rejected(self):
+        with pytest.raises(PcapError, match="exceeds snaplen"):
+            _capture_bytes([PcapPacket(timestamp=0.0, data=b"x" * 9)], snaplen=8)
+
+    def test_at_snaplen_packet_accepted(self):
+        raw = _capture_bytes([PcapPacket(timestamp=0.0, data=b"x" * 8)], snaplen=8)
+        _, packets = read_pcap_stream(io.BytesIO(raw))
+        assert packets[0].data == b"x" * 8
+
+    def test_rejected_file_stays_readable_prefix(self):
+        # The writer fails fast, so everything already written is valid.
+        buf = io.BytesIO()
+        good = PcapPacket(timestamp=0.0, data=b"ok")
+        bad = PcapPacket(timestamp=1.0, data=b"toolarge!")
+        with pytest.raises(PcapError):
+            write_pcap_stream(buf, [good, bad], snaplen=4)
+        buf.seek(0)
+        _, packets = read_pcap_stream(buf)
+        assert [p.data for p in packets] == [b"ok"]
+
+
+class TestReaderParity:
+    """iter_pcap and read_pcap share one core: identical validation."""
+
+    def test_iter_pcap_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "v3.pcap"
+        header = struct.pack("<IHHiIII", MAGIC_MICRO_LE, 3, 0, 0, 0, 65535, 1)
+        path.write_bytes(header)
+        with pytest.raises(PcapError, match="version"):
+            list(iter_pcap(path))
+        with pytest.raises(PcapError, match="version"):
+            read_pcap(path)
+
+    def test_iter_pcap_rejects_over_snaplen_record(self, tmp_path):
+        path = tmp_path / "oversnap.pcap"
+        header = struct.pack("<IHHiIII", MAGIC_MICRO_LE, 2, 4, 0, 0, 4, 1)
+        record = struct.pack("<IIII", 0, 0, 6, 6) + b"abcdef"
+        path.write_bytes(header + record)
+        with pytest.raises(PcapError, match="snaplen"):
+            list(iter_pcap(path))
+        with pytest.raises(PcapError, match="snaplen"):
+            read_pcap(path)
+
+    def test_iter_pcap_rejects_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        raw = _capture_bytes([PcapPacket(timestamp=0.0, data=b"abcdef")])
+        path.write_bytes(raw[:-3])
+        with pytest.raises(PcapError, match="truncated"):
+            list(iter_pcap(path))
+
+
+class TestLenientMode:
+    def test_truncated_tail_salvages_prefix(self):
+        from repro.errors import QuarantineReport
+
+        raw = _capture_bytes(
+            [
+                PcapPacket(timestamp=0.0, data=b"first"),
+                PcapPacket(timestamp=1.0, data=b"second"),
+            ]
+        )
+        report = QuarantineReport()
+        _, packets = read_pcap_stream(
+            io.BytesIO(raw[:-4]), strict=False, report=report
+        )
+        assert [p.data for p in packets] == [b"first"]
+        assert report.truncated_tail
+        assert report.ok_count == 1
+        assert report.records[0].reason == "truncated-packet-data"
+
+    def test_partial_record_header_tail(self):
+        from repro.errors import QuarantineReport
+
+        raw = _capture_bytes([PcapPacket(timestamp=0.0, data=b"keep")]) + b"\x00" * 7
+        report = QuarantineReport()
+        _, packets = read_pcap_stream(io.BytesIO(raw), strict=False, report=report)
+        assert [p.data for p in packets] == [b"keep"]
+        assert report.records[0].reason == "partial-record-header"
+
+    def test_over_snaplen_record_skipped_in_place(self):
+        # A well-framed but over-snaplen record is dropped; records
+        # after it are still read — no tail truncation.
+        header = struct.pack("<IHHiIII", MAGIC_MICRO_LE, 2, 4, 0, 0, 4, 1)
+        big = struct.pack("<IIII", 0, 0, 6, 6) + b"abcdef"
+        good = struct.pack("<IIII", 1, 0, 2, 2) + b"ok"
+        from repro.errors import QuarantineReport
+
+        report = QuarantineReport()
+        _, packets = read_pcap_stream(
+            io.BytesIO(header + big + good), strict=False, report=report
+        )
+        assert [p.data for p in packets] == [b"ok"]
+        assert not report.truncated_tail
+        assert report.records[0].reason == "over-snaplen"
+
+    def test_lenient_header_corruption_still_raises(self):
+        with pytest.raises(PcapError, match="magic"):
+            read_pcap_stream(io.BytesIO(b"\xff" * 24), strict=False)
+
+    def test_strict_mode_unchanged_on_clean_file(self):
+        raw = _capture_bytes([PcapPacket(timestamp=0.0, data=b"abc")])
+        strict_result = read_pcap_stream(io.BytesIO(raw))
+        lenient_result = read_pcap_stream(io.BytesIO(raw), strict=False)
+        assert strict_result == lenient_result

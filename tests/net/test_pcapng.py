@@ -5,13 +5,45 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.net.pcap import PcapError, PcapPacket
+from repro.errors import QuarantineReport
+from repro.net.pcap import (
+    PcapError,
+    PcapPacket,
+    read_pcap_stream,
+    write_pcap_stream,
+)
 from repro.net.pcapng import (
+    BYTE_ORDER_MAGIC,
     read_pcapng,
     read_pcapng_stream,
     write_pcapng,
     write_pcapng_stream,
 )
+
+
+def _raw_block(block_type: int, body: bytes, *, trailer: int | None = None) -> bytes:
+    """Hand-build one pcapng block, optionally with a lying trailer."""
+    pad = b"\x00" * ((4 - len(body) % 4) % 4)
+    total = 12 + len(body) + len(pad)
+    return (
+        struct.pack("<II", block_type, total)
+        + body
+        + pad
+        + struct.pack("<I", trailer if trailer is not None else total)
+    )
+
+
+def _shb() -> bytes:
+    return _raw_block(0x0A0D0D0A, struct.pack("<IHHq", BYTE_ORDER_MAGIC, 1, 0, -1))
+
+
+def _idb(linktype: int = 1, snaplen: int = 65535) -> bytes:
+    return _raw_block(0x00000001, struct.pack("<HHI", linktype, 0, snaplen))
+
+
+def _epb(data: bytes, iface: int = 0) -> bytes:
+    body = struct.pack("<IIIII", iface, 0, 0, len(data), len(data)) + data
+    return _raw_block(0x00000006, body)
 
 
 def roundtrip(packets, linktype=1):
@@ -87,3 +119,109 @@ class TestMalformed:
         buf.seek(0)
         _, packets = read_pcapng_stream(buf)
         assert [p.data for p in packets] == [b"keep"]
+
+    def test_truncated_shb_body(self):
+        raw = _shb()[:20]  # SHB claims 28 bytes, only 20 present
+        with pytest.raises(PcapError, match="SHB"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_bad_block_length_too_small(self):
+        raw = _shb() + struct.pack("<II", 0x00000001, 8)
+        with pytest.raises(PcapError, match="bad block length"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_bad_block_length_unaligned(self):
+        raw = _shb() + struct.pack("<II", 0x00000001, 21)
+        with pytest.raises(PcapError, match="bad block length"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_epb_body_too_short(self):
+        # An EPB whose body can't even hold the fixed 20-byte header
+        # used to crash with a raw struct.error; now a PcapError.
+        raw = _shb() + _idb() + _raw_block(0x00000006, b"\x00" * 8)
+        with pytest.raises(PcapError, match="EPB body too short"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_idb_body_too_short(self):
+        raw = _shb() + _raw_block(0x00000001, b"\x00" * 4)
+        with pytest.raises(PcapError, match="IDB body too short"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_spb_before_idb(self):
+        raw = _shb() + _raw_block(0x00000003, struct.pack("<I", 4) + b"data")
+        with pytest.raises(PcapError, match="SPB before any interface"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+    def test_epb_declared_length_exceeds_body(self):
+        body = struct.pack("<IIIII", 0, 0, 0, 64, 64) + b"short"
+        raw = _shb() + _idb() + _raw_block(0x00000006, body)
+        with pytest.raises(PcapError, match="shorter than declared"):
+            read_pcapng_stream(io.BytesIO(raw))
+
+
+class TestLenientMode:
+    def test_block_local_corruption_quarantined(self):
+        # Unknown-interface EPB is dropped; the packets around it survive.
+        raw = _shb() + _idb() + _epb(b"one") + _epb(b"bad", iface=7) + _epb(b"two")
+        report = QuarantineReport()
+        _, packets = read_pcapng_stream(io.BytesIO(raw), strict=False, report=report)
+        assert [p.data for p in packets] == [b"one", b"two"]
+        assert not report.truncated_tail
+        assert report.records[0].reason == "epb-unknown-interface"
+
+    def test_trailer_mismatch_quarantined_resync(self):
+        lying = _raw_block(
+            0x00000006,
+            struct.pack("<IIIII", 0, 0, 0, 3, 3) + b"bad",
+            trailer=9999,
+        )
+        raw = _shb() + _idb() + lying + _epb(b"after")
+        report = QuarantineReport()
+        _, packets = read_pcapng_stream(io.BytesIO(raw), strict=False, report=report)
+        assert [p.data for p in packets] == [b"after"]
+        assert report.records[0].reason == "trailer-mismatch"
+
+    def test_truncated_tail_salvages_prefix(self):
+        raw = _shb() + _idb() + _epb(b"keep") + _epb(b"lost")[:-6]
+        report = QuarantineReport()
+        _, packets = read_pcapng_stream(io.BytesIO(raw), strict=False, report=report)
+        assert [p.data for p in packets] == [b"keep"]
+        assert report.truncated_tail
+        assert report.ok_count == 1
+
+    def test_lenient_matches_strict_on_clean_file(self):
+        buf = io.BytesIO()
+        write_pcapng_stream(buf, [PcapPacket(timestamp=3.5, data=b"abc")])
+        raw = buf.getvalue()
+        strict_result = read_pcapng_stream(io.BytesIO(raw))
+        lenient_result = read_pcapng_stream(io.BytesIO(raw), strict=False)
+        assert strict_result == lenient_result
+
+
+class TestCrossFormatRoundtrip:
+    """pcap and pcapng agree on payload + timestamp for the same packets."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=2**31, allow_nan=False),
+                st.binary(max_size=64),
+            ),
+            max_size=8,
+        )
+    )
+    def test_pcap_to_pcapng_roundtrip_property(self, items):
+        packets = [PcapPacket(timestamp=ts, data=data) for ts, data in items]
+        pcap_buf = io.BytesIO()
+        write_pcap_stream(pcap_buf, packets)
+        pcap_buf.seek(0)
+        _, from_pcap = read_pcap_stream(pcap_buf)
+
+        ng_buf = io.BytesIO()
+        write_pcapng_stream(ng_buf, from_pcap)
+        ng_buf.seek(0)
+        _, from_pcapng = read_pcapng_stream(ng_buf)
+
+        assert [p.data for p in from_pcapng] == [p.data for p in packets]
+        for got, sent in zip(from_pcapng, packets):
+            assert got.timestamp == pytest.approx(sent.timestamp, abs=1e-5)
