@@ -2,11 +2,17 @@
 
 Unlike the experiment benchmarks (single deterministic runs), these are
 true repeated-timing benchmarks of the hot paths: Canberra dissimilarity
-matrix construction, k-NN extraction, DBSCAN, and the NEMESYS segmenter.
+matrix construction (binned kernel vs the per-pair reference oracle,
+serial vs parallel — the grid is persisted to ``BENCH_matrix.json`` as
+the perf trajectory baseline), k-NN extraction, DBSCAN, and the NEMESYS
+segmenter.
 """
 
+import json
 import os
+import platform
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,13 +20,22 @@ import pytest
 from conftest import attach_matrix_stats
 from repro.core.autoconf import configure
 from repro.core.dbscan import dbscan
-from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
+from repro.core.matrix import KERNELS, DissimilarityMatrix, MatrixBuildOptions
 from repro.core.matrixcache import cache_counters
 from repro.core.segments import Segment, unique_segments
 from repro.protocols import get_model
 from repro.segmenters import CspSegmenter, NemesysSegmenter
 
 SERIAL = MatrixBuildOptions(workers=1, use_cache=False)
+
+#: Where the kernel-grid baseline lands (committed alongside the bench).
+BENCH_MATRIX_PATH = Path(__file__).parent / "BENCH_matrix.json"
+
+#: Matrix sizes of the kernel grid (unique segments).
+KERNEL_GRID_SIZES = (200, 1000)
+
+#: Acceptance floor: binned must beat the per-pair oracle single-core.
+MIN_SINGLE_CORE_SPEEDUP = 5.0
 
 
 def synthetic_unique_segments(count: int, seed: int = 5) -> list:
@@ -74,6 +89,91 @@ def test_autoconf(benchmark, ntp_matrix):
 def test_dbscan(benchmark, ntp_matrix):
     result = benchmark(dbscan, ntp_matrix.values, 0.1, 5)
     assert result.labels.shape == (len(ntp_matrix),)
+
+
+def test_matrix_kernel_grid(benchmark):
+    """pairwise vs binned × serial vs parallel at n ∈ {200, 1000}.
+
+    The whole grid must agree within 1e-12 (the kernels are numerically
+    interchangeable), the binned kernel must beat the per-pair oracle by
+    ≥5× single-core, and the measured grid is written to
+    ``BENCH_matrix.json`` so future PRs have a perf trajectory.
+    """
+    cases = []
+    speedups = {}
+    for n in KERNEL_GRID_SIZES:
+        segments = synthetic_unique_segments(n, seed=3)
+        seconds = {}
+        reference = None
+        for kernel in KERNELS:
+            for backend, options in (
+                (
+                    "serial",
+                    MatrixBuildOptions(workers=1, use_cache=False, kernel=kernel),
+                ),
+                (
+                    "parallel",
+                    MatrixBuildOptions(
+                        use_cache=False, parallel_threshold=0, kernel=kernel
+                    ),
+                ),
+            ):
+                started = time.perf_counter()
+                matrix = DissimilarityMatrix.build(segments, options=options)
+                elapsed = time.perf_counter() - started
+                seconds[(kernel, backend)] = elapsed
+                if reference is None:
+                    reference = matrix.values
+                else:
+                    drift = float(np.abs(reference - matrix.values).max())
+                    assert drift <= 1e-12, (
+                        f"kernel grid drift {drift} at n={n} {kernel}/{backend}"
+                    )
+                cases.append(
+                    {
+                        "n": n,
+                        "kernel": kernel,
+                        "requested_backend": backend,
+                        "backend": matrix.stats.backend,
+                        "workers": matrix.stats.workers,
+                        "pairs_vectorized": matrix.stats.pairs_vectorized,
+                        "seconds": round(elapsed, 4),
+                    }
+                )
+        single_core = seconds[("pairwise", "serial")] / seconds[("binned", "serial")]
+        speedups[str(n)] = {
+            "binned_vs_pairwise_serial": round(single_core, 1),
+            "binned_vs_pairwise_parallel": round(
+                seconds[("pairwise", "parallel")] / seconds[("binned", "parallel")], 1
+            ),
+            "binned_parallel_vs_serial": round(
+                seconds[("binned", "serial")] / seconds[("binned", "parallel")], 2
+            ),
+        }
+        assert single_core >= MIN_SINGLE_CORE_SPEEDUP, (
+            f"binned kernel only {single_core:.1f}x faster than the per-pair "
+            f"oracle at n={n} (floor: {MIN_SINGLE_CORE_SPEEDUP}x single-core)"
+        )
+        benchmark.extra_info[f"speedup_serial_n{n}"] = round(single_core, 1)
+    payload = {
+        "schema": "repro.bench-matrix/v1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "cases": cases,
+        "speedups": speedups,
+    }
+    BENCH_MATRIX_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    # Register one timed binned serial build in the benchmark report.
+    segments = synthetic_unique_segments(KERNEL_GRID_SIZES[0], seed=3)
+    matrix = benchmark.pedantic(
+        DissimilarityMatrix.build,
+        args=(segments,),
+        kwargs={"options": SERIAL},
+        rounds=1,
+        iterations=1,
+    )
+    attach_matrix_stats(benchmark, matrix)
 
 
 def test_matrix_build_parallel(benchmark):

@@ -5,8 +5,9 @@ module owns them once, as an :mod:`argparse` *parent parser*
 (:func:`backend_parent`), plus the helpers that turn parsed flags into
 options and emit the observability artefacts after a run:
 
-- ``--workers`` / ``--no-cache`` / ``--cache-dir`` — the matrix
-  execution backend (see :class:`repro.core.matrix.MatrixBuildOptions`);
+- ``--workers`` / ``--no-cache`` / ``--cache-dir`` / ``--kernel`` — the
+  matrix execution backend and per-bin compute kernel (see
+  :class:`repro.core.matrix.MatrixBuildOptions`);
 - ``--block-timeout`` / ``--max-retries`` — the self-healing knobs of
   the parallel backend (per-block timeout, pool rebuild budget);
 - ``--lenient`` — quarantine malformed capture records instead of
@@ -24,7 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.matrix import MatrixBuildOptions
+from repro.core.matrix import KERNEL_BINNED, KERNELS, MatrixBuildOptions
 from repro.core.matrixcache import cache_counters
 from repro.errors import ingest_counters
 from repro.obs.export import write_manifest, write_prometheus
@@ -51,6 +52,13 @@ def backend_parent() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="matrix cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    backend.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=KERNEL_BINNED,
+        help="per-bin compute kernel: 'binned' (vectorized, default) or "
+        "'pairwise' (per-pair reference oracle, slow)",
     )
     backend.add_argument(
         "--block-timeout",
@@ -104,6 +112,7 @@ def matrix_options_from_args(args) -> MatrixBuildOptions:
         cache_dir=args.cache_dir,
         block_timeout=args.block_timeout,
         max_retries=max(0, args.max_retries),
+        kernel=getattr(args, "kernel", KERNEL_BINNED),
     )
 
 
@@ -123,6 +132,7 @@ def print_timings(tracer: Tracer, metrics: MetricsRegistry) -> None:
         attributes = span.attributes
         print(
             f"matrix: backend={attributes.get('backend')} "
+            f"kernel={attributes.get('kernel')} "
             f"workers={attributes.get('workers')} "
             f"cache_hit={attributes.get('cache_hit')}",
             file=sys.stderr,

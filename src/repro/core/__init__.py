@@ -21,6 +21,9 @@ from repro.core.dbscan import NOISE, DbscanResult, dbscan
 from repro.core.ecdf import Ecdf
 from repro.core.kneedle import Knee, detect_knees, rightmost_knee, smooth_ecdf
 from repro.core.matrix import (
+    KERNEL_BINNED,
+    KERNEL_PAIRWISE,
+    KERNELS,
     BuildStats,
     DissimilarityMatrix,
     MatrixBuildOptions,
@@ -47,6 +50,9 @@ __all__ = [
     "DissimilarityMatrix",
     "Ecdf",
     "FieldTypeClusterer",
+    "KERNEL_BINNED",
+    "KERNEL_PAIRWISE",
+    "KERNELS",
     "Knee",
     "MatrixBuildOptions",
     "NOISE",

@@ -17,6 +17,24 @@ Two layers:
   the observed overlap dissimilarity, keeping ``d`` within [0, 1],
   monotone in the overlap quality, and monotone in the length mismatch
   (see DESIGN.md for the rationale where the paper under-specifies).
+
+On top of the per-pair functions sit the **batch kernels** the matrix
+builder uses, in two interchangeable flavors per length bin:
+
+- *binned* (:func:`pairwise_equal_length`, :func:`cross_length_block`)
+  — whole ``(len_a, len_b)`` bins at once.  Because byte values live in
+  ``[0, 255]``, every Canberra term is one of 256×256 possible values;
+  uint8 blocks are resolved through a precomputed 512 KB lookup table
+  (:func:`byte_term_lut`), replacing the abs/add/divide/where chain by
+  a single gather.  Equal-length bins compute only the upper triangle
+  and mirror it (the terms are exactly symmetric); unequal-length bins
+  evaluate all sliding offsets simultaneously.  Work is tiled to a
+  fixed temporary budget so peak memory stays bounded.
+- *pairwise* (:func:`pairwise_equal_length_reference`,
+  :func:`cross_length_block_reference`) — one Python-level
+  :func:`canberra_distance` / :func:`canberra_dissimilarity` call per
+  pair.  Slow by construction, kept as the reference oracle the parity
+  and golden-trace tests pin the binned kernel against.
 """
 
 from __future__ import annotations
@@ -92,32 +110,72 @@ def _as_vector(data) -> np.ndarray:
 #: Cap on temporary broadcast cells (float64) per chunk: ~160 MB.
 _CHUNK_CELL_BUDGET = 20_000_000
 
+_BYTE_TERM_LUT: np.ndarray | None = None
+
 
 def _chunk_rows_for(cells_per_row: int) -> int:
     return max(1, _CHUNK_CELL_BUDGET // max(1, cells_per_row))
+
+
+def byte_term_lut() -> np.ndarray:
+    """The 256×256 float64 table of Canberra byte terms ``|i−j|/(i+j)``.
+
+    Built lazily with :func:`canberra_terms` itself, so each entry is the
+    exact IEEE-754 value the broadcast formula would produce — gathering
+    from the table is bit-identical to computing the term, just cheaper
+    (one indexed load instead of abs/add/divide/select per cell).
+    """
+    global _BYTE_TERM_LUT
+    if _BYTE_TERM_LUT is None:
+        values = np.arange(256, dtype=np.float64)
+        _BYTE_TERM_LUT = canberra_terms(values[:, np.newaxis], values[np.newaxis, :])
+    return _BYTE_TERM_LUT
+
+
+def _terms_mean_float(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Broadcast ``canberra_terms(left, right).mean(axis=-1)`` for floats."""
+    denominator = np.abs(left) + np.abs(right)
+    numerator = np.abs(left - right)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(denominator > 0, numerator / denominator, 0.0)
+    return terms.mean(axis=-1)
 
 
 def pairwise_equal_length(block: np.ndarray) -> np.ndarray:
     """Pairwise normalized Canberra distances within one equal-length block.
 
     *block* has shape (count, length).  Returns a symmetric (count, count)
-    matrix.  Work is chunked to bound peak memory.
+    matrix.  Work is chunked to bound peak memory.  uint8 blocks take the
+    fast path: terms are gathered from :func:`byte_term_lut` and only the
+    upper triangle is computed (``|x−y|/(x+y)`` is exactly symmetric, so
+    mirroring is bit-identical to computing both halves).
     """
-    block = np.asarray(block, dtype=np.float64)
-    count = block.shape[0]
+    block = np.asarray(block)
+    binned = block.dtype == np.uint8
+    if not binned:
+        block = np.asarray(block, dtype=np.float64)
+    count, length = block.shape
     result = np.zeros((count, count), dtype=np.float64)
-    if block.shape[1] == 0:
+    if length == 0 or count < 2:
         return result
-    chunk_rows = _chunk_rows_for(count * block.shape[1])
+    chunk_rows = _chunk_rows_for(count * length)
+    if binned:
+        lut = byte_term_lut()
+        for start in range(0, count, chunk_rows):
+            stop = min(start + chunk_rows, count)
+            # Gather terms for rows [start:stop) against columns
+            # [start:) only — everything left of the diagonal band is
+            # recovered by mirroring below.
+            terms = lut[block[start:stop, np.newaxis, :], block[np.newaxis, start:, :]]
+            result[start:stop, start:] = terms.mean(axis=2)
+        lower = np.tril_indices(count, k=-1)
+        result[lower] = result.T[lower]
+        return result
     for start in range(0, count, chunk_rows):
         stop = min(start + chunk_rows, count)
         left = block[start:stop, np.newaxis, :]  # (c, 1, m)
         right = block[np.newaxis, :, :]  # (1, count, m)
-        denominator = np.abs(left) + np.abs(right)
-        numerator = np.abs(left - right)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            terms = np.where(denominator > 0, numerator / denominator, 0.0)
-        result[start:stop, :] = terms.mean(axis=2)
+        result[start:stop, :] = _terms_mean_float(left, right)
     return result
 
 
@@ -129,10 +187,17 @@ def cross_length_block(
     """Pairwise dissimilarities between a length-m block and a length-n block.
 
     *short_block* is (a, m), *long_block* is (b, n) with m < n.  Returns
-    an (a, b) matrix of length-tolerant Canberra dissimilarities.
+    an (a, b) matrix of length-tolerant Canberra dissimilarities.  The
+    sliding-overlap minimum is evaluated across all offsets of all pairs
+    simultaneously; uint8 blocks gather their terms from
+    :func:`byte_term_lut` instead of recomputing them.
     """
-    short_block = np.asarray(short_block, dtype=np.float64)
-    long_block = np.asarray(long_block, dtype=np.float64)
+    short_block = np.asarray(short_block)
+    long_block = np.asarray(long_block)
+    binned = short_block.dtype == np.uint8 and long_block.dtype == np.uint8
+    if not binned:
+        short_block = np.asarray(short_block, dtype=np.float64)
+        long_block = np.asarray(long_block, dtype=np.float64)
     a, m = short_block.shape
     b, n = long_block.shape
     if m >= n:
@@ -142,15 +207,57 @@ def cross_length_block(
     offsets = windows.shape[1]
     d_min = np.full((a, b), np.inf, dtype=np.float64)
     chunk_rows = _chunk_rows_for(b * offsets * m)
+    lut = byte_term_lut() if binned else None
     for start in range(0, a, chunk_rows):
         stop = min(start + chunk_rows, a)
         left = short_block[start:stop, np.newaxis, np.newaxis, :]  # (c,1,1,m)
         right = windows[np.newaxis, :, :, :]  # (1,b,offsets,m)
-        denominator = np.abs(left) + np.abs(right)
-        numerator = np.abs(left - right)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            terms = np.where(denominator > 0, numerator / denominator, 0.0)
-        means = terms.mean(axis=3)  # (c, b, offsets)
+        if binned:
+            means = lut[left, right].mean(axis=3)  # (c, b, offsets)
+        else:
+            means = _terms_mean_float(left, right)
         d_min[start:stop, :] = means.min(axis=2)
     penalty = penalty_factor + (1.0 - penalty_factor) * d_min
     return (m * d_min + (n - m) * penalty) / n
+
+
+def pairwise_equal_length_reference(block: np.ndarray) -> np.ndarray:
+    """Per-pair oracle for :func:`pairwise_equal_length`.
+
+    One :func:`canberra_distance` call per unordered pair — the direct
+    transcription of the paper's definition, quadratic in Python-call
+    overhead.  The binned kernel is pinned against this implementation.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    count = block.shape[0]
+    result = np.zeros((count, count), dtype=np.float64)
+    for i in range(count):
+        for j in range(i + 1, count):
+            result[i, j] = result[j, i] = canberra_distance(block[i], block[j])
+    return result
+
+
+def cross_length_block_reference(
+    short_block: np.ndarray,
+    long_block: np.ndarray,
+    penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+) -> np.ndarray:
+    """Per-pair oracle for :func:`cross_length_block`.
+
+    One :func:`canberra_dissimilarity` call per (short, long) pair,
+    including its Python-level sliding-window minimum.
+    """
+    short_block = np.asarray(short_block, dtype=np.float64)
+    long_block = np.asarray(long_block, dtype=np.float64)
+    if short_block.shape[1] >= long_block.shape[1]:
+        raise ValueError(
+            f"short block must be shorter: "
+            f"{short_block.shape[1]} >= {long_block.shape[1]}"
+        )
+    result = np.empty((short_block.shape[0], long_block.shape[0]), dtype=np.float64)
+    for i, short in enumerate(short_block):
+        for j, long in enumerate(long_block):
+            result[i, j] = canberra_dissimilarity(
+                short, long, penalty_factor=penalty_factor
+            )
+    return result

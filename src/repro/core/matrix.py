@@ -4,7 +4,19 @@ Builds the full symmetric matrix **D** used as DBSCAN's precomputed
 metric and as the source of the k-NN distance distributions for the
 epsilon auto-configuration.  Computation is grouped by segment length so
 that equal-length pairs use the plain normalized Canberra distance and
-unequal-length pairs use the sliding/penalty extension, both vectorized.
+unequal-length pairs use the sliding/penalty extension.
+
+Two interchangeable **kernels** fill each per-length-pair bin
+(:attr:`MatrixBuildOptions.kernel`):
+
+- ``"binned"`` (default) — the vectorized batch kernel: every bin is
+  computed at once via a byte-term lookup table, triangle mirroring for
+  equal lengths and an all-offsets sliding minimum for unequal lengths
+  (see :mod:`repro.core.canberra`);
+- ``"pairwise"`` — the per-pair reference oracle (one
+  ``canberra_dissimilarity`` call per pair), kept so parity and
+  golden-trace tests can pin the fast kernel's numerics (agreement
+  within 1e-12 absolute, in practice bit-identical).
 
 Three interchangeable execution paths produce bit-identical values:
 
@@ -42,7 +54,9 @@ from repro.core import matrixcache
 from repro.core.canberra import (
     DEFAULT_PENALTY_FACTOR,
     cross_length_block,
+    cross_length_block_reference,
     pairwise_equal_length,
+    pairwise_equal_length_reference,
 )
 from repro.core.segments import UniqueSegment
 from repro.errors import ComputeError
@@ -53,6 +67,16 @@ logger = logging.getLogger(__name__)
 
 BUILDS_METRIC = "repro_matrix_builds_total"
 FAULTS_METRIC = "repro_matrix_faults_total"
+PAIRS_VECTORIZED_METRIC = "repro_matrix_pairs_vectorized_total"
+
+#: The per-bin compute kernels (see module docstring).
+KERNEL_BINNED = "binned"
+KERNEL_PAIRWISE = "pairwise"
+KERNELS = (KERNEL_BINNED, KERNEL_PAIRWISE)
+
+_PAIRS_HELP = (
+    "Unique segment pairs computed by the vectorized (binned) kernel."
+)
 
 _FAULTS_HELP = (
     "Self-healing events during parallel matrix builds "
@@ -89,6 +113,16 @@ class MatrixBuildOptions:
     #: How many times a broken or hung process pool is rebuilt before
     #: the remaining blocks are computed serially in-process.
     max_retries: int = 2
+    #: Per-bin compute kernel: "binned" (vectorized, default) or
+    #: "pairwise" (per-pair reference oracle; orders of magnitude
+    #: slower, numerically equal within 1e-12).
+    kernel: str = KERNEL_BINNED
+
+    def __post_init__(self) -> None:
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown matrix kernel {self.kernel!r} (choices: {KERNELS})"
+            )
 
     def effective_workers(self) -> int:
         """Resolved worker count (>= 1)."""
@@ -126,9 +160,13 @@ class BuildStats:
     unique_count: int = 0
     #: "serial", "parallel", or "cache" — the path that produced values.
     backend: str = "serial"
+    #: "binned" or "pairwise" — the per-bin compute kernel.
+    kernel: str = KERNEL_BINNED
     workers: int = 1
     #: Independent work items (same-length + cross-length blocks).
     task_count: int = 0
+    #: Unique segment pairs computed by the vectorized (binned) kernel.
+    pairs_vectorized: int = 0
     cache_hit: bool = False
     cache_key: str | None = None
     #: Self-healing bookkeeping: blocks re-submitted to the pool after a
@@ -144,18 +182,19 @@ class BuildStats:
 def _segment_blocks(
     segments: list[UniqueSegment], by_length: dict[int, list[int]]
 ) -> dict[int, np.ndarray]:
-    """One (count, length) float64 block per segment length.
+    """One (count, length) uint8 block per segment length.
 
     Rows are decoded with ``np.frombuffer`` over the concatenated raw
-    bytes — no per-byte Python list round-trip.
+    bytes — no per-byte Python list round-trip.  Kept as raw uint8 so
+    the binned kernel can gather Canberra terms straight from the
+    byte-term lookup table; the pairwise reference kernel widens to
+    float64 itself.
     """
     blocks = {}
     for length, indices in by_length.items():
         raw = b"".join(segments[i].data for i in indices)
-        blocks[length] = (
-            np.frombuffer(raw, dtype=np.uint8)
-            .astype(np.float64)
-            .reshape(len(indices), length)
+        blocks[length] = np.frombuffer(raw, dtype=np.uint8).reshape(
+            len(indices), length
         )
     return blocks
 
@@ -164,11 +203,14 @@ def _block_tasks(
     lengths: list[int],
     blocks: dict[int, np.ndarray],
     penalty_factor: float,
+    kernel: str,
 ) -> list[tuple]:
     """Independent work items: one per length pair (including li == lj)."""
     tasks = []
     for li, length_a in enumerate(lengths):
-        tasks.append(("same", length_a, length_a, blocks[length_a], None, penalty_factor))
+        tasks.append(
+            ("same", length_a, length_a, blocks[length_a], None, penalty_factor, kernel)
+        )
         for length_b in lengths[li + 1 :]:
             tasks.append(
                 (
@@ -178,24 +220,46 @@ def _block_tasks(
                     blocks[length_a],
                     blocks[length_b],
                     penalty_factor,
+                    kernel,
                 )
             )
     return tasks
+
+
+def _task_pair_count(task: tuple) -> int:
+    """Unique segment pairs one block task covers."""
+    kind, _, _, block_a, block_b = task[:5]
+    if kind == "same":
+        count = block_a.shape[0]
+        return count * (count - 1) // 2
+    return block_a.shape[0] * block_b.shape[0]
 
 
 def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
     """Worker entry point: compute one same-/cross-length block.
 
     Module-level so it pickles for :class:`ProcessPoolExecutor`; also the
-    serial path's unit of work, keeping both paths bit-identical.
+    serial path's unit of work, keeping both paths bit-identical.  The
+    task's trailing element selects the kernel: the vectorized binned
+    batch functions, or their per-pair reference oracles.
     """
-    kind, length_a, length_b, block_a, block_b, penalty_factor = task
+    kind, length_a, length_b, block_a, block_b, penalty_factor, kernel = task
     if kind == "same":
-        return length_a, length_b, pairwise_equal_length(block_a)
+        compute = (
+            pairwise_equal_length_reference
+            if kernel == KERNEL_PAIRWISE
+            else pairwise_equal_length
+        )
+        return length_a, length_b, compute(block_a)
+    compute = (
+        cross_length_block_reference
+        if kernel == KERNEL_PAIRWISE
+        else cross_length_block
+    )
     return (
         length_a,
         length_b,
-        cross_length_block(block_a, block_b, penalty_factor=penalty_factor),
+        compute(block_a, block_b, penalty_factor=penalty_factor),
     )
 
 
@@ -343,12 +407,14 @@ class DissimilarityMatrix:
             "matrix.build", unique_segments=len(segments)
         ) as span:
             started = time.perf_counter()
-            stats = BuildStats(unique_count=len(segments))
+            stats = BuildStats(unique_count=len(segments), kernel=options.kernel)
 
             if options.use_cache:
                 order = sorted(range(len(segments)), key=lambda i: segments[i].data)
                 stats.cache_key = matrixcache.matrix_cache_key(
-                    (segments[i].data for i in order), penalty_factor
+                    (segments[i].data for i in order),
+                    penalty_factor,
+                    kernel=options.kernel,
                 )
                 load_started = time.perf_counter()
                 canonical = matrixcache.load_matrix(stats.cache_key, options.cache_dir)
@@ -383,6 +449,7 @@ class DissimilarityMatrix:
         """Mirror one build's :class:`BuildStats` into span + metrics."""
         span.set(
             backend=stats.backend,
+            kernel=stats.kernel,
             workers=stats.workers,
             tasks=stats.task_count,
             cache_hit=stats.cache_hit,
@@ -414,7 +481,7 @@ class DissimilarityMatrix:
             by_length.setdefault(segment.length, []).append(index)
         blocks = _segment_blocks(segments, by_length)
         lengths = sorted(by_length)
-        tasks = _block_tasks(lengths, blocks, penalty_factor)
+        tasks = _block_tasks(lengths, blocks, penalty_factor, options.kernel)
         stats.seconds["blocks"] = time.perf_counter() - blocks_started
         stats.task_count = len(tasks)
 
@@ -433,8 +500,26 @@ class DissimilarityMatrix:
                 stats.workers = workers
         if results is None:
             # Restricted environments (no fork, no semaphores) fall
-            # back to the serial reference rather than failing.
-            results = [_compute_block_task(task) for task in tasks]
+            # back to the serial reference rather than failing.  Each
+            # bin gets a child span here (parallel bins run in worker
+            # processes, outside the parent tracer's reach).
+            tracer = get_tracer()
+            results = []
+            for task in tasks:
+                with tracer.span(
+                    "matrix.bin",
+                    kind=task[0],
+                    len_a=task[1],
+                    len_b=task[2],
+                    pairs=_task_pair_count(task),
+                    kernel=options.kernel,
+                ):
+                    results.append(_compute_block_task(task))
+        if options.kernel == KERNEL_BINNED:
+            stats.pairs_vectorized = sum(_task_pair_count(task) for task in tasks)
+            get_metrics().counter(PAIRS_VECTORIZED_METRIC, help=_PAIRS_HELP).inc(
+                stats.pairs_vectorized
+            )
         for length_a, length_b, block_values in results:
             indices_a = by_length[length_a]
             if length_a == length_b:

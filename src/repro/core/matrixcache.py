@@ -3,13 +3,13 @@
 Every benchmark and repeated pipeline run recomputes the identical
 O(n²) Canberra matrix for the same trace.  This module keys a finished
 matrix by a SHA-256 over the *sorted* unique-segment byte values plus
-the penalty factor and a format version, and stores it as a compressed
-``.npz`` next to nothing else the pipeline owns:
+the penalty factor, the compute kernel, and a format version, and stores
+it as a compressed ``.npz`` next to nothing else the pipeline owns:
 
 - location: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``;
-- key: ``sha256(version || penalty || len(data)||data ...)`` over the
-  values in sorted order, so the key is independent of segment order
-  (the caller permutes rows back to its own order);
+- key: ``sha256(version || kernel || penalty || len(data)||data ...)``
+  over the values in sorted order, so the key is independent of segment
+  order (the caller permutes rows back to its own order);
 - invalidation: bump :data:`CACHE_FORMAT_VERSION` whenever the matrix
   semantics change — old entries simply stop being addressed;
 - integrity: every entry embeds a SHA-256 checksum over its payload
@@ -39,8 +39,11 @@ from repro.errors import CacheError
 from repro.obs.metrics import Counter, get_metrics
 
 #: Bump to invalidate every existing cache entry (schema or semantics
-#: changes in the matrix computation).  v2 added the payload checksum.
-CACHE_FORMAT_VERSION = 2
+#: changes in the matrix computation).  v2 added the payload checksum;
+#: v3 keys the compute kernel (binned vs pairwise) after the kernel
+#: rewrite, so entries produced by one kernel are never served to a
+#: build requesting the other.
+CACHE_FORMAT_VERSION = 3
 
 HITS_METRIC = "repro_matrix_cache_hits_total"
 MISSES_METRIC = "repro_matrix_cache_misses_total"
@@ -95,14 +98,20 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def matrix_cache_key(sorted_datas: Iterable[bytes], penalty_factor: float) -> str:
-    """SHA-256 key over sorted segment values + penalty + format version.
+def matrix_cache_key(
+    sorted_datas: Iterable[bytes], penalty_factor: float, kernel: str = "binned"
+) -> str:
+    """SHA-256 key over sorted segment values + penalty + kernel + version.
 
     *sorted_datas* must already be in canonical (byte-sorted) order; each
-    value is length-prefixed so concatenation is unambiguous.
+    value is length-prefixed so concatenation is unambiguous.  *kernel*
+    names the compute kernel that produced (or will produce) the values;
+    the two kernels agree within 1e-12 but are cached separately so a
+    reference-oracle run never reads fast-kernel output.
     """
     digest = hashlib.sha256()
     digest.update(f"repro-matrix-v{CACHE_FORMAT_VERSION}\0".encode())
+    digest.update(kernel.encode() + b"\0")
     digest.update(struct.pack("<d", float(penalty_factor)))
     for data in sorted_datas:
         digest.update(struct.pack("<Q", len(data)))

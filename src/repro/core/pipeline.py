@@ -73,14 +73,16 @@ class ClusteringConfig:
         """Build a config from the shared CLI flags (:mod:`repro.cliopts`).
 
         Reads ``args.workers`` / ``args.no_cache`` / ``args.cache_dir``
-        into explicit :attr:`matrix_options`, so CLI runs configure the
-        matrix backend per-config instead of mutating the process-wide
-        defaults.  *overrides* are forwarded to the constructor.
+        / ``args.kernel`` into explicit :attr:`matrix_options`, so CLI
+        runs configure the matrix backend per-config instead of mutating
+        the process-wide defaults.  *overrides* are forwarded to the
+        constructor.
         """
         options = MatrixBuildOptions(
             workers=getattr(args, "workers", None),
             use_cache=not getattr(args, "no_cache", False),
             cache_dir=getattr(args, "cache_dir", None),
+            kernel=getattr(args, "kernel", None) or "binned",
         )
         return cls(matrix_options=options, **overrides)
 

@@ -1,0 +1,18 @@
+"""Suite-wide pytest plumbing.
+
+Owns the ``--regen-golden`` flag used by the golden-trace regression
+corpus (``tests/golden/``): when passed, the expected artifacts are
+rewritten from the current code instead of being asserted against, so a
+*deliberate* numerics change is a one-command regeneration plus a
+reviewable diff of the checked-in fingerprints.
+"""
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro golden corpus")
+    group.addoption(
+        "--regen-golden",
+        action="store_true",
+        help="rewrite tests/golden/expected/*.json from the current code "
+        "instead of asserting against the checked-in artifacts",
+    )

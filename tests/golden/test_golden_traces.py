@@ -1,0 +1,117 @@
+"""Golden-trace regression corpus: end-to-end fingerprints per protocol.
+
+One deterministic seeded synthetic trace per bundled protocol model,
+pushed through ground-truth segmentation and the full clustering
+pipeline with the default (binned) kernel, then compared against
+checked-in expected artifacts:
+
+- the SHA-256 fingerprint of the dissimilarity matrix (pins the
+  Canberra kernel bit-for-bit),
+- the auto-configured ``(epsilon, min_samples)`` (pins Algorithm 1 and
+  the Section III-E fallback),
+- the cluster-label multiset — sorted cluster sizes plus the noise
+  count (pins DBSCAN and refinement).
+
+Any drift in the kernel, the autoconf, or the clustering fails loudly
+here, file-by-file.  A deliberate change regenerates the corpus with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+and ships the JSON diff for review.  The traces themselves are not
+checked in — the protocol generators are seeded and deterministic, so
+the corpus stores only the compact expected artifacts.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import cluster_segments
+from repro.core.matrix import MatrixBuildOptions
+from repro.core.matrixcache import CACHE_FORMAT_VERSION, matrix_checksum
+from repro.core.pipeline import ClusteringConfig
+from repro.protocols import get_model
+from repro.segmenters.groundtruth import GroundTruthSegmenter
+
+pytestmark = pytest.mark.golden
+
+EXPECTED_DIR = Path(__file__).parent / "expected"
+
+#: The corpus: every bundled protocol model, one seeded trace each.
+GOLDEN_PROTOCOLS = ("dhcp", "dns", "ntp", "nbns", "smb", "awdl")
+GOLDEN_MESSAGES = 120
+GOLDEN_SEED = 1202
+
+
+def golden_run(protocol: str) -> dict:
+    """One deterministic pipeline run, reduced to its golden artifacts."""
+    model = get_model(protocol)
+    trace = model.generate(GOLDEN_MESSAGES, seed=GOLDEN_SEED).preprocess()
+    segments = GroundTruthSegmenter(model).segment(trace)
+    config = ClusteringConfig(
+        matrix_options=MatrixBuildOptions(workers=1, use_cache=False)
+    )
+    result = cluster_segments(segments, config)
+    epsilon = float(result.epsilon)
+    return {
+        "protocol": protocol,
+        "messages": GOLDEN_MESSAGES,
+        "seed": GOLDEN_SEED,
+        "segmenter": "groundtruth",
+        "kernel": "binned",
+        "cache_format_version": CACHE_FORMAT_VERSION,
+        "unique_segments": len(result.segments),
+        "matrix_sha256": matrix_checksum(result.matrix.values),
+        "epsilon": epsilon,
+        "epsilon_hex": epsilon.hex(),
+        "min_samples": int(result.autoconfig.min_samples),
+        "cluster_sizes": sorted(
+            (len(members) for members in result.clusters), reverse=True
+        ),
+        "noise": int(len(result.noise)),
+    }
+
+
+def expected_path(protocol: str) -> Path:
+    return EXPECTED_DIR / f"{protocol}.json"
+
+
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_golden_trace(protocol, request):
+    actual = golden_run(protocol)
+    path = expected_path(protocol)
+    if request.config.getoption("--regen-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden artifact {path}; run pytest tests/golden --regen-golden"
+    )
+    expected = json.loads(path.read_text())
+    # Compare field-by-field so a failure names the drifted stage.
+    assert actual["unique_segments"] == expected["unique_segments"], (
+        "segmentation drift: unique-segment count changed"
+    )
+    assert actual["matrix_sha256"] == expected["matrix_sha256"], (
+        "kernel drift: dissimilarity-matrix fingerprint changed"
+    )
+    assert actual["epsilon_hex"] == expected["epsilon_hex"], (
+        f"autoconf drift: epsilon {actual['epsilon']} != {expected['epsilon']}"
+    )
+    assert actual["min_samples"] == expected["min_samples"], (
+        "autoconf drift: min_samples changed"
+    )
+    assert actual["cluster_sizes"] == expected["cluster_sizes"], (
+        "clustering drift: cluster-label multiset changed"
+    )
+    assert actual["noise"] == expected["noise"], (
+        "clustering drift: noise count changed"
+    )
+    assert actual == expected
+
+
+def test_corpus_is_complete():
+    """Every bundled protocol has a checked-in artifact (and no strays)."""
+    present = {p.stem for p in EXPECTED_DIR.glob("*.json")}
+    assert present == set(GOLDEN_PROTOCOLS)
