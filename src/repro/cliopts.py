@@ -25,7 +25,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.matrix import KERNEL_BINNED, KERNELS, MatrixBuildOptions
+from repro.core.dbscan import NEIGHBORHOOD_MODES, NEIGHBORHOODS_CSR
+from repro.core.matrix import (
+    DTYPE_FLOAT64,
+    DTYPES,
+    KERNEL_BINNED,
+    KERNELS,
+    STORAGE_MEMMAP,
+    STORAGE_RAM,
+    MatrixBuildOptions,
+)
 from repro.core.matrixcache import cache_counters
 from repro.errors import ingest_counters
 from repro.obs.export import write_manifest, write_prometheus
@@ -59,6 +68,35 @@ def backend_parent() -> argparse.ArgumentParser:
         default=KERNEL_BINNED,
         help="per-bin compute kernel: 'binned' (vectorized, default) or "
         "'pairwise' (per-pair reference oracle, slow)",
+    )
+    backend.add_argument(
+        "--matrix-dtype",
+        choices=DTYPES,
+        default=DTYPE_FLOAT64,
+        help="dissimilarity value dtype: 'float64' (default) or 'float32' "
+        "(halves matrix memory; keys a separate cache entry)",
+    )
+    backend.add_argument(
+        "--matrix-memmap",
+        action="store_true",
+        help="back the dissimilarity matrix with an anonymous disk memmap "
+        "instead of RAM (for traces whose matrix exceeds memory)",
+    )
+    backend.add_argument(
+        "--neighborhoods",
+        choices=NEIGHBORHOOD_MODES,
+        default=NEIGHBORHOODS_CSR,
+        help="DBSCAN epsilon-neighborhood backend: 'csr' (blockwise, "
+        "memory-bounded, default) or 'dense' (n×n boolean reference); "
+        "labels are identical",
+    )
+    backend.add_argument(
+        "--memory-bound-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="working-set budget for the post-matrix blockwise scans "
+        "(k-NN extraction, CSR neighborhoods, refinement; default: 256)",
     )
     backend.add_argument(
         "--block-timeout",
@@ -113,6 +151,10 @@ def matrix_options_from_args(args) -> MatrixBuildOptions:
         block_timeout=args.block_timeout,
         max_retries=max(0, args.max_retries),
         kernel=getattr(args, "kernel", KERNEL_BINNED),
+        dtype=getattr(args, "matrix_dtype", DTYPE_FLOAT64),
+        storage=(
+            STORAGE_MEMMAP if getattr(args, "matrix_memmap", False) else STORAGE_RAM
+        ),
     )
 
 

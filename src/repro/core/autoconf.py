@@ -46,8 +46,13 @@ class AutoConfig:
 
 
 def min_samples_for(count: int) -> int:
-    """The paper's ``min_samples = ln n`` rule, floored at 2."""
-    return max(2, round(math.log(count))) if count > 1 else 1
+    """The paper's ``min_samples = max(2, round(ln n))`` rule.
+
+    The floor is unconditional: DBSCAN's density test is meaningless
+    with ``min_samples < 2`` (every point would be a core point), so
+    even degenerate one- or two-segment traces get the paper's floor.
+    """
+    return max(2, round(math.log(count))) if count > 1 else 2
 
 
 def configure(
@@ -83,9 +88,16 @@ def configure(
             fallback_used=True,
         )
     k_max = max(2, round(math.log(count)))
+    k_hi = min(k_max, count - 1)
+    # One partition pass yields every k-th-NN column at once (and the
+    # matrix caches it, so the Section III-E retrims that re-enter here
+    # with a trim_at reuse the columns instead of re-scanning O(n²)
+    # values per k).  Column k-1 is bit-identical to the per-k
+    # full-sort reference ``matrix.knn_distances(k)``.
+    knn_columns = matrix.knn_distances_all(k_hi)
     best: tuple[float, int, Ecdf, np.ndarray, np.ndarray] | None = None
-    for k in range(2, min(k_max, count - 1) + 1):
-        ecdf = Ecdf.from_samples(matrix.knn_distances(k))
+    for k in range(2, k_hi + 1):
+        ecdf = Ecdf.from_samples(knn_columns[:, k - 1])
         if trim_at is not None:
             try:
                 ecdf = ecdf.trim_below(trim_at)

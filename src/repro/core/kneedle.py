@@ -8,7 +8,11 @@ where the curve flattens after its steep rise.
 The algorithm: normalize the curve to the unit square, compute the
 difference curve ``d = y - x``, and report a knee at each local maximum
 of ``d`` whose difference value subsequently drops below the threshold
-``d_max - S * mean_spacing`` before the next local maximum rises.
+``d_max - S * mean_spacing`` before the next local maximum rises.  The
+*last* local maximum is additionally reported when the curve ends
+before the drop occurs — this is the offline variant of Kneedle, which
+has the whole curve in hand and therefore knows no later maximum can
+displace the trailing candidate.
 """
 
 from __future__ import annotations
@@ -74,12 +78,18 @@ def detect_knees(
     for c_index, i in enumerate(candidates):
         threshold = difference[i] - threshold_drop
         end = candidates[c_index + 1] if c_index + 1 < len(candidates) else difference.size
-        for j in range(i + 1, end):
-            if difference[j] < threshold:
-                knees.append(
-                    Knee(x=float(x[i]), y=float(y[i]), index=i, difference=float(difference[i]))
-                )
-                break
+        confirmed = any(difference[j] < threshold for j in range(i + 1, end))
+        if not confirmed and end == difference.size:
+            # Offline Kneedle: the data ended while the difference curve
+            # was still above the trailing candidate's threshold.  With
+            # the whole curve in hand there is no further local maximum
+            # to displace it, so the candidate is declared a knee at
+            # curve end rather than silently dropped.
+            confirmed = True
+        if confirmed:
+            knees.append(
+                Knee(x=float(x[i]), y=float(y[i]), index=i, difference=float(difference[i]))
+            )
     return knees
 
 

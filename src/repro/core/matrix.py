@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import logging
 import os
+import tempfile
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -58,6 +59,7 @@ from repro.core.canberra import (
     pairwise_equal_length,
     pairwise_equal_length_reference,
 )
+from repro.core.membound import rows_per_block
 from repro.core.segments import UniqueSegment
 from repro.errors import ComputeError
 from repro.obs.metrics import get_metrics
@@ -68,11 +70,31 @@ logger = logging.getLogger(__name__)
 BUILDS_METRIC = "repro_matrix_builds_total"
 FAULTS_METRIC = "repro_matrix_faults_total"
 PAIRS_VECTORIZED_METRIC = "repro_matrix_pairs_vectorized_total"
+KNN_PARTITION_METRIC = "repro_knn_partition_seconds"
 
 #: The per-bin compute kernels (see module docstring).
 KERNEL_BINNED = "binned"
 KERNEL_PAIRWISE = "pairwise"
 KERNELS = (KERNEL_BINNED, KERNEL_PAIRWISE)
+
+#: Matrix value dtypes (``MatrixBuildOptions.dtype``): float64 is the
+#: bit-exact reference; float32 halves resident memory for large n at
+#: ~1e-7 relative rounding on each value.
+DTYPE_FLOAT64 = "float64"
+DTYPE_FLOAT32 = "float32"
+DTYPES = (DTYPE_FLOAT64, DTYPE_FLOAT32)
+
+#: Matrix storage modes (``MatrixBuildOptions.storage``): "ram" is a
+#: plain in-heap array; "memmap" backs the values with an unlinked
+#: temporary file so the OS can evict cold pages under pressure.
+STORAGE_RAM = "ram"
+STORAGE_MEMMAP = "memmap"
+STORAGES = (STORAGE_RAM, STORAGE_MEMMAP)
+
+_KNN_HELP = (
+    "Seconds per all-k nearest-neighbor column extraction "
+    "(one np.partition pass over the dissimilarity matrix)."
+)
 
 _PAIRS_HELP = (
     "Unique segment pairs computed by the vectorized (binned) kernel."
@@ -117,11 +139,27 @@ class MatrixBuildOptions:
     #: "pairwise" (per-pair reference oracle; orders of magnitude
     #: slower, numerically equal within 1e-12).
     kernel: str = KERNEL_BINNED
+    #: Value dtype: "float64" (bit-exact reference, default) or
+    #: "float32" (half the resident matrix memory for large traces;
+    #: each value rounds once from the float64 block result).
+    dtype: str = DTYPE_FLOAT64
+    #: Value storage: "ram" (default) or "memmap" (values live in an
+    #: unlinked temporary file, so cold pages are reclaimable and the
+    #: matrix survives traces larger than physical memory).
+    storage: str = STORAGE_RAM
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNELS:
             raise ValueError(
                 f"unknown matrix kernel {self.kernel!r} (choices: {KERNELS})"
+            )
+        if self.dtype not in DTYPES:
+            raise ValueError(
+                f"unknown matrix dtype {self.dtype!r} (choices: {DTYPES})"
+            )
+        if self.storage not in STORAGES:
+            raise ValueError(
+                f"unknown matrix storage {self.storage!r} (choices: {STORAGES})"
             )
 
     def effective_workers(self) -> int:
@@ -162,6 +200,10 @@ class BuildStats:
     backend: str = "serial"
     #: "binned" or "pairwise" — the per-bin compute kernel.
     kernel: str = KERNEL_BINNED
+    #: "float64" or "float32" — the stored value dtype.
+    dtype: str = DTYPE_FLOAT64
+    #: "ram" or "memmap" — where the values live.
+    storage: str = STORAGE_RAM
     workers: int = 1
     #: Independent work items (same-length + cross-length blocks).
     task_count: int = 0
@@ -378,6 +420,36 @@ def _compute_tasks_parallel(
     return [results[i] for i in range(len(tasks))]
 
 
+def _allocate_values(count: int, dtype: str, storage: str) -> np.ndarray:
+    """Zero-filled (count, count) value storage per the requested mode.
+
+    The memmap mode backs the array with an unlinked temporary file
+    (``$TMPDIR``): the mapping stays valid after the unlink on POSIX, so
+    no cleanup handle is needed — the space is reclaimed when the array
+    is garbage-collected.  Falls back to RAM when the filesystem refuses
+    (read-only temp dir, exotic platforms).
+    """
+    if storage == STORAGE_MEMMAP:
+        try:
+            fd, name = tempfile.mkstemp(prefix="repro-matrix-", suffix=".values")
+            try:
+                size = count * count * np.dtype(dtype).itemsize
+                os.ftruncate(fd, max(1, size))
+                with os.fdopen(fd, "r+b") as handle:
+                    fd = None
+                    values = np.memmap(
+                        handle, dtype=dtype, mode="r+", shape=(count, count)
+                    )
+            finally:
+                if fd is not None:
+                    os.close(fd)
+                os.unlink(name)
+            return values
+        except OSError as error:
+            logger.warning("memmap storage unavailable (%s); using RAM", error)
+    return np.zeros((count, count), dtype=dtype)
+
+
 @dataclass
 class DissimilarityMatrix:
     """Symmetric matrix of Canberra dissimilarities between unique segments."""
@@ -385,6 +457,11 @@ class DissimilarityMatrix:
     segments: list[UniqueSegment]
     values: np.ndarray
     stats: BuildStats | None = None
+    #: Cached k-th-NN distance columns (one per k, widest request wins);
+    #: see :meth:`knn_distances_all`.
+    _knn_columns: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @classmethod
     def build(
@@ -407,7 +484,12 @@ class DissimilarityMatrix:
             "matrix.build", unique_segments=len(segments)
         ) as span:
             started = time.perf_counter()
-            stats = BuildStats(unique_count=len(segments), kernel=options.kernel)
+            stats = BuildStats(
+                unique_count=len(segments),
+                kernel=options.kernel,
+                dtype=options.dtype,
+                storage=options.storage,
+            )
 
             if options.use_cache:
                 order = sorted(range(len(segments)), key=lambda i: segments[i].data)
@@ -415,6 +497,7 @@ class DissimilarityMatrix:
                     (segments[i].data for i in order),
                     penalty_factor,
                     kernel=options.kernel,
+                    dtype=options.dtype,
                 )
                 load_started = time.perf_counter()
                 canonical = matrixcache.load_matrix(stats.cache_key, options.cache_dir)
@@ -450,6 +533,8 @@ class DissimilarityMatrix:
         span.set(
             backend=stats.backend,
             kernel=stats.kernel,
+            dtype=stats.dtype,
+            storage=stats.storage,
             workers=stats.workers,
             tasks=stats.task_count,
             cache_hit=stats.cache_hit,
@@ -474,7 +559,7 @@ class DissimilarityMatrix:
         stats: BuildStats,
     ) -> tuple[np.ndarray, BuildStats]:
         count = len(segments)
-        values = np.zeros((count, count), dtype=np.float64)
+        values = _allocate_values(count, options.dtype, options.storage)
         blocks_started = time.perf_counter()
         by_length: dict[int, list[int]] = {}
         for index, segment in enumerate(segments):
@@ -542,6 +627,10 @@ class DissimilarityMatrix:
 
         Neighbors exclude the segment itself (k=1 is the closest other
         segment).  Requires ``k < len(self)``.
+
+        This is the full-sort reference implementation; hot paths that
+        need several k values at once use :meth:`knn_distances_all`,
+        which returns the identical columns from one partition pass.
         """
         count = len(self)
         if not 1 <= k < count:
@@ -551,6 +640,56 @@ class DissimilarityMatrix:
         # k-th nearest other segment.  Duplicate zero distances cannot
         # occur because segments are unique values.
         return ordered[:, k]
+
+    def knn_distances_all(
+        self, k_max: int, memory_bound_bytes: int | None = None
+    ) -> np.ndarray:
+        """Every k-th-NN distance column for k in [1, k_max], at once.
+
+        Returns a ``(n, k_max)`` array whose column ``k - 1`` equals
+        ``knn_distances(k)`` — the k-th order statistic of a row is the
+        same value whether it comes from a full sort or a partial
+        partition, so the columns are bit-identical to the reference.
+        One ``np.partition`` pass costs O(n²) per row block instead of
+        the reference's O(n² log n) full sort per k, and the scan is
+        blocked under *memory_bound_bytes* (partition copies its input
+        block, so a full-matrix pass would transiently double the
+        resident matrix).
+
+        The widest computed result is cached on the matrix: Algorithm 1
+        retrims and repeated ``configure()`` calls reuse the columns
+        instead of re-scanning the matrix.
+        """
+        count = len(self)
+        if not 1 <= k_max < count:
+            raise ValueError(f"k_max must be in [1, {count - 1}], got {k_max}")
+        cached = self._knn_columns
+        if cached is not None and cached.shape[1] >= k_max:
+            return cached[:, :k_max]
+        with get_tracer().span(
+            "matrix.knn", k_max=k_max, rows=count
+        ) as span:
+            started = time.perf_counter()
+            kth = np.arange(1, k_max + 1)
+            columns = np.empty((count, k_max), dtype=self.values.dtype)
+            # One row costs its matrix row plus the partition's copy of it.
+            block = rows_per_block(
+                count * self.values.dtype.itemsize,
+                memory_bound_bytes,
+                copies=2,
+            )
+            for start in range(0, count, block):
+                stop = min(count, start + block)
+                part = np.partition(self.values[start:stop], kth, axis=1)
+                # Column 0 of the sorted row would be the self-distance
+                # (diagonal zero); columns 1..k_max are the k nearest
+                # other segments, exactly as in :meth:`knn_distances`.
+                columns[start:stop] = part[:, 1 : k_max + 1]
+            elapsed = time.perf_counter() - started
+            span.set(seconds=round(elapsed, 6), block_rows=block)
+        get_metrics().histogram(KNN_PARTITION_METRIC, help=_KNN_HELP).observe(elapsed)
+        self._knn_columns = columns
+        return columns
 
     def neighborhoods(self, epsilon: float) -> list[np.ndarray]:
         """Indices within *epsilon* of each segment (excluding itself)."""

@@ -3,11 +3,12 @@
 Every benchmark and repeated pipeline run recomputes the identical
 O(n²) Canberra matrix for the same trace.  This module keys a finished
 matrix by a SHA-256 over the *sorted* unique-segment byte values plus
-the penalty factor, the compute kernel, and a format version, and stores
+the penalty factor, the compute kernel, the value dtype, and a format
+version, and stores
 it as a compressed ``.npz`` next to nothing else the pipeline owns:
 
 - location: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``;
-- key: ``sha256(version || kernel || penalty || len(data)||data ...)``
+- key: ``sha256(version || kernel || dtype || penalty || len(data)||data ...)``
   over the values in sorted order, so the key is independent of segment
   order (the caller permutes rows back to its own order);
 - invalidation: bump :data:`CACHE_FORMAT_VERSION` whenever the matrix
@@ -42,8 +43,11 @@ from repro.obs.metrics import Counter, get_metrics
 #: changes in the matrix computation).  v2 added the payload checksum;
 #: v3 keys the compute kernel (binned vs pairwise) after the kernel
 #: rewrite, so entries produced by one kernel are never served to a
-#: build requesting the other.
-CACHE_FORMAT_VERSION = 3
+#: build requesting the other; v4 keys the value dtype (float64 vs
+#: float32 storage mode) so a half-precision matrix is never served to
+#: a build expecting the bit-exact reference, and entries preserve
+#: their stored dtype on load.
+CACHE_FORMAT_VERSION = 4
 
 HITS_METRIC = "repro_matrix_cache_hits_total"
 MISSES_METRIC = "repro_matrix_cache_misses_total"
@@ -99,19 +103,25 @@ def default_cache_dir() -> Path:
 
 
 def matrix_cache_key(
-    sorted_datas: Iterable[bytes], penalty_factor: float, kernel: str = "binned"
+    sorted_datas: Iterable[bytes],
+    penalty_factor: float,
+    kernel: str = "binned",
+    dtype: str = "float64",
 ) -> str:
-    """SHA-256 key over sorted segment values + penalty + kernel + version.
+    """SHA-256 key over sorted values + penalty + kernel + dtype + version.
 
     *sorted_datas* must already be in canonical (byte-sorted) order; each
     value is length-prefixed so concatenation is unambiguous.  *kernel*
     names the compute kernel that produced (or will produce) the values;
     the two kernels agree within 1e-12 but are cached separately so a
-    reference-oracle run never reads fast-kernel output.
+    reference-oracle run never reads fast-kernel output.  *dtype* names
+    the stored value precision for the same reason: a float32 entry must
+    never satisfy a float64 build.
     """
     digest = hashlib.sha256()
     digest.update(f"repro-matrix-v{CACHE_FORMAT_VERSION}\0".encode())
     digest.update(kernel.encode() + b"\0")
+    digest.update(dtype.encode() + b"\0")
     digest.update(struct.pack("<d", float(penalty_factor)))
     for data in sorted_datas:
         digest.update(struct.pack("<Q", len(data)))
@@ -137,7 +147,9 @@ def _load_verified(path: Path) -> np.ndarray:
     """Read and checksum-verify one entry; raises CacheError if invalid."""
     try:
         with np.load(path) as archive:
-            values = np.asarray(archive["values"], dtype=np.float64)
+            # Preserve the stored dtype: the cache key names it, so a
+            # float32 entry only ever answers a float32 build.
+            values = np.asarray(archive["values"])
             stored = str(archive["checksum"])
     except FileNotFoundError:
         raise

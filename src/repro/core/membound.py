@@ -1,0 +1,40 @@
+"""Shared memory-bound plumbing for the post-matrix pipeline stages.
+
+The dissimilarity-matrix kernel already tiles its temporaries to a fixed
+budget; the stages *after* the matrix (k-NN extraction for Algorithm 1,
+DBSCAN's epsilon-neighborhoods, refinement's cross-cluster scans) used
+to materialize their own n×n intermediates instead.  This module owns
+the one knob they now share: a byte budget that each blockwise scan
+stays under, so peak memory beyond the matrix itself is bounded and
+configurable (``--memory-bound-mb`` on the CLIs,
+:attr:`repro.core.pipeline.ClusteringConfig.memory_bound_bytes` in the
+library).
+
+The bound is a *working-set* budget for per-block temporaries, not a
+cap on outputs whose size is data-dependent (e.g. a CSR adjacency over
+a dense epsilon-graph is as large as the graph).
+"""
+
+from __future__ import annotations
+
+#: Default per-stage working-set budget: 256 MiB of block temporaries.
+DEFAULT_MEMORY_BOUND_BYTES = 256 * 1024 * 1024
+
+
+def resolve_bound(bound_bytes: int | None) -> int:
+    """The effective byte budget (None means the default bound)."""
+    return DEFAULT_MEMORY_BOUND_BYTES if bound_bytes is None else int(bound_bytes)
+
+
+def rows_per_block(
+    row_bytes: int, bound_bytes: int | None = None, copies: int = 1
+) -> int:
+    """Rows of a row-major scan that fit the bound (always >= 1).
+
+    *row_bytes* is the footprint of one row across every simultaneous
+    temporary; *copies* multiplies it for operations that hold several
+    block-sized arrays at once (e.g. ``np.partition`` working on a
+    copy of its input block).
+    """
+    bound_bytes = resolve_bound(bound_bytes)
+    return max(1, bound_bytes // max(1, int(row_bytes) * max(1, int(copies))))

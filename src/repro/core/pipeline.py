@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.autoconf import AutoConfig, configure
 from repro.core.canberra import DEFAULT_PENALTY_FACTOR
-from repro.core.dbscan import DbscanResult, dbscan
+from repro.core.dbscan import NEIGHBORHOODS_CSR, DbscanResult, dbscan
 from repro.core.kneedle import DEFAULT_SENSITIVITY
 from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
 from repro.core.refinement import (
@@ -67,24 +67,49 @@ class ClusteringConfig:
     #: process-wide defaults (see
     #: :func:`repro.core.matrix.set_default_build_options`).
     matrix_options: MatrixBuildOptions | None = None
+    #: DBSCAN epsilon-neighborhood backend ("csr" blockwise scan or the
+    #: "dense" n×n boolean reference); both yield identical labels.
+    neighborhoods: str = NEIGHBORHOODS_CSR
+    #: Working-set byte budget for the post-matrix blockwise scans
+    #: (k-NN extraction, CSR neighborhoods, refinement); None uses
+    #: :data:`repro.core.membound.DEFAULT_MEMORY_BOUND_BYTES`.
+    memory_bound_bytes: int | None = None
 
     @classmethod
     def from_args(cls, args, **overrides) -> "ClusteringConfig":
         """Build a config from the shared CLI flags (:mod:`repro.cliopts`).
 
         Reads ``args.workers`` / ``args.no_cache`` / ``args.cache_dir``
-        / ``args.kernel`` into explicit :attr:`matrix_options`, so CLI
-        runs configure the matrix backend per-config instead of mutating
-        the process-wide defaults.  *overrides* are forwarded to the
+        / ``args.kernel`` / ``args.matrix_dtype`` / ``args.matrix_memmap``
+        into explicit :attr:`matrix_options`, plus ``args.neighborhoods``
+        and ``args.memory_bound_mb`` into the post-matrix stage knobs, so
+        CLI runs configure the backend per-config instead of mutating the
+        process-wide defaults.  *overrides* are forwarded to the
         constructor.
         """
+        from repro.core.matrix import STORAGE_MEMMAP, STORAGE_RAM
+
         options = MatrixBuildOptions(
             workers=getattr(args, "workers", None),
             use_cache=not getattr(args, "no_cache", False),
             cache_dir=getattr(args, "cache_dir", None),
             kernel=getattr(args, "kernel", None) or "binned",
+            dtype=getattr(args, "matrix_dtype", None) or "float64",
+            storage=(
+                STORAGE_MEMMAP
+                if getattr(args, "matrix_memmap", False)
+                else STORAGE_RAM
+            ),
         )
-        return cls(matrix_options=options, **overrides)
+        bound_mb = getattr(args, "memory_bound_mb", None)
+        return cls(
+            matrix_options=options,
+            neighborhoods=getattr(args, "neighborhoods", None) or NEIGHBORHOODS_CSR,
+            memory_bound_bytes=(
+                int(bound_mb) * 1024 * 1024 if bound_mb is not None else None
+            ),
+            **overrides,
+        )
 
 
 @dataclass
@@ -190,9 +215,18 @@ class FieldTypeClusterer:
                     knees=len(auto.knees),
                 )
             with tracer.span("dbscan") as dbscan_span:
-                result = dbscan(
-                    matrix.values, auto.epsilon, auto.min_samples, weights=weights
-                )
+
+                def run_dbscan(epsilon: float, min_samples: int) -> DbscanResult:
+                    return dbscan(
+                        matrix.values,
+                        epsilon,
+                        min_samples,
+                        weights=weights,
+                        neighborhoods=config.neighborhoods,
+                        memory_bound_bytes=config.memory_bound_bytes,
+                    )
+
+                result = run_dbscan(auto.epsilon, auto.min_samples)
                 retrims = 0
                 # Section III-E fallback, step 1: with multiple detected
                 # knees and a giant cluster, "instead select the next
@@ -202,9 +236,7 @@ class FieldTypeClusterer:
                 # below walks down via ECDF trimming).
                 if len(auto.knees) >= 2 and self._has_giant_cluster(result):
                     smaller_knee = auto.knees[-2]
-                    candidate = dbscan(
-                        matrix.values, smaller_knee.x, auto.min_samples, weights=weights
-                    )
+                    candidate = run_dbscan(smaller_knee.x, auto.min_samples)
                     if candidate.cluster_count and not self._has_giant_cluster(candidate):
                         auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
                         result = candidate
@@ -225,12 +257,18 @@ class FieldTypeClusterer:
                         )
                     )
                 ):
-                    retry = self._configure(matrix, trim_at=trim_at)
+                    try:
+                        retry = self._configure(matrix, trim_at=trim_at)
+                    except ValueError:
+                        # Trimming below the knee emptied every k-NN
+                        # distribution (near-constant dissimilarities
+                        # collapse the grid to the knee itself): there is
+                        # no smaller density level to walk down to, so
+                        # keep the previous clustering.
+                        break
                     if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
                         break
-                    candidate = dbscan(
-                        matrix.values, retry.epsilon, retry.min_samples, weights=weights
-                    )
+                    candidate = run_dbscan(retry.epsilon, retry.min_samples)
                     # A smaller epsilon that mostly manufactures noise did
                     # not find a better density level — keep the previous
                     # clustering.
@@ -259,6 +297,7 @@ class FieldTypeClusterer:
                     merge=config.merge,
                     split=config.split,
                     link_cap=config.link_cap_factor * auto.epsilon,
+                    memory_bound_bytes=config.memory_bound_bytes,
                 )
                 refine_span.set(clusters_in=len(clusters), clusters_out=len(refined))
             clustered = (

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.membound import resolve_bound, rows_per_block
 from repro.core.segments import UniqueSegment
 
 EPSILON_RHO_THRESHOLD = 0.01
@@ -50,32 +51,83 @@ class ClusterStats:
     minmed: float  # median of each member's 1-NN distance within the cluster
 
 
-def cluster_stats(values: np.ndarray, indices: np.ndarray) -> ClusterStats:
-    sub = values[np.ix_(indices, indices)]
+def cluster_stats(
+    values: np.ndarray,
+    indices: np.ndarray,
+    memory_bound_bytes: int | None = None,
+) -> ClusterStats:
     size = len(indices)
     if size < 2:
         return ClusterStats(
             indices=indices, mean_dissimilarity=0.0, max_extent=0.0, minmed=0.0
         )
-    iu = np.triu_indices(size, k=1)
-    pairwise = sub[iu]
-    nearest = np.where(np.eye(size, dtype=bool), np.inf, sub).min(axis=1)
+    # Under the memory bound the exact single-block path runs (its
+    # floating-point reduction order is pinned by the golden corpus);
+    # oversized clusters switch to a blockwise scan that accumulates
+    # sum/max/row-min without materializing the size×size sub-matrix.
+    if size * size * values.dtype.itemsize <= resolve_bound(memory_bound_bytes):
+        sub = values[np.ix_(indices, indices)]
+        iu = np.triu_indices(size, k=1)
+        pairwise = sub[iu]
+        nearest = np.where(np.eye(size, dtype=bool), np.inf, sub).min(axis=1)
+        return ClusterStats(
+            indices=indices,
+            mean_dissimilarity=float(pairwise.mean()),
+            max_extent=float(pairwise.max()),
+            minmed=float(np.median(nearest)),
+        )
+    block = rows_per_block(size * values.dtype.itemsize, memory_bound_bytes)
+    total = 0.0
+    max_extent = 0.0
+    nearest = np.empty(size, dtype=np.float64)
+    for start in range(0, size, block):
+        stop = min(size, start + block)
+        sub = np.asarray(
+            values[np.ix_(indices[start:stop], indices)], dtype=np.float64
+        )
+        local = np.arange(stop - start)
+        # The diagonal (self-distance zero) contributes nothing to the
+        # off-diagonal sum and max; mask it to +inf only for the
+        # per-row nearest-neighbor minimum.
+        total += float(sub.sum())
+        max_extent = max(max_extent, float(sub.max()))
+        sub[local, start + local] = np.inf
+        nearest[start:stop] = sub.min(axis=1)
+    # Every unordered pair appears twice in the off-diagonal sum.
+    mean = total / (size * (size - 1))
     return ClusterStats(
         indices=indices,
-        mean_dissimilarity=float(pairwise.mean()),
-        max_extent=float(pairwise.max()),
+        mean_dissimilarity=mean,
+        max_extent=max_extent,
         minmed=float(np.median(nearest)),
     )
 
 
 def link_segments(
-    values: np.ndarray, a: np.ndarray, b: np.ndarray
+    values: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    memory_bound_bytes: int | None = None,
 ) -> tuple[int, int, float]:
-    """Closest pair between clusters *a* and *b*: (index_a, index_b, d)."""
-    cross = values[np.ix_(a, b)]
-    flat = int(np.argmin(cross))
-    row, col = divmod(flat, cross.shape[1])
-    return int(a[row]), int(b[col]), float(cross[row, col])
+    """Closest pair between clusters *a* and *b*: (index_a, index_b, d).
+
+    The cross-block is scanned one row block at a time under the memory
+    bound; strict ``<`` comparison between blocks preserves np.argmin's
+    first-occurrence (row-major) tie-breaking, so the result is
+    identical to a dense ``values[np.ix_(a, b)]`` argmin at any bound.
+    """
+    block = rows_per_block(len(b) * values.dtype.itemsize, memory_bound_bytes)
+    best_d = math.inf
+    best_row = best_col = 0
+    for start in range(0, len(a), block):
+        cross = values[np.ix_(a[start : start + block], b)]
+        flat = int(np.argmin(cross))
+        row, col = divmod(flat, cross.shape[1])
+        d = float(cross[row, col])
+        if d < best_d:
+            best_d = d
+            best_row, best_col = start + row, col
+    return int(a[best_row]), int(b[best_col]), best_d
 
 
 def _local_density(
@@ -103,9 +155,12 @@ def should_merge(
     eps_rho_threshold: float = EPSILON_RHO_THRESHOLD,
     neighbor_density_threshold: float = NEIGHBOR_DENSITY_THRESHOLD,
     link_cap: float = float("inf"),
+    memory_bound_bytes: int | None = None,
 ) -> bool:
     """Evaluate merge Conditions 1 and 2 for one cluster pair."""
-    link_a, link_b, d_link = link_segments(values, stats_a.indices, stats_b.indices)
+    link_a, link_b, d_link = link_segments(
+        values, stats_a.indices, stats_b.indices, memory_bound_bytes
+    )
 
     # Condition 1: very close by + similar local epsilon-density.
     if d_link <= link_cap and d_link < max(
@@ -141,12 +196,13 @@ def merge_clusters(
     eps_rho_threshold: float = EPSILON_RHO_THRESHOLD,
     neighbor_density_threshold: float = NEIGHBOR_DENSITY_THRESHOLD,
     link_cap: float = float("inf"),
+    memory_bound_bytes: int | None = None,
 ) -> list[np.ndarray]:
     """Merge all cluster pairs satisfying Condition 1 or 2 (transitively)."""
     count = len(clusters)
     if count < 2:
         return clusters
-    stats = [cluster_stats(values, c) for c in clusters]
+    stats = [cluster_stats(values, c, memory_bound_bytes) for c in clusters]
     parent = list(range(count))
 
     def find(i: int) -> int:
@@ -166,6 +222,7 @@ def merge_clusters(
                 eps_rho_threshold=eps_rho_threshold,
                 neighbor_density_threshold=neighbor_density_threshold,
                 link_cap=link_cap,
+                memory_bound_bytes=memory_bound_bytes,
             ):
                 parent[find(j)] = find(i)
     merged: dict[int, list[np.ndarray]] = {}
@@ -217,6 +274,7 @@ def refine(
     merge: bool = True,
     split: bool = True,
     link_cap: float = float("inf"),
+    memory_bound_bytes: int | None = None,
 ) -> list[np.ndarray]:
     """Full refinement: merge pass, then split pass (paper order)."""
     refined = clusters
@@ -227,6 +285,7 @@ def refine(
             eps_rho_threshold=eps_rho_threshold,
             neighbor_density_threshold=neighbor_density_threshold,
             link_cap=link_cap,
+            memory_bound_bytes=memory_bound_bytes,
         )
     if split:
         refined = split_polarized(refined, segments)

@@ -31,8 +31,17 @@ class TestMinSamples:
         assert min_samples_for(3) == 2
         assert min_samples_for(2) == 2
 
-    def test_single_segment(self):
-        assert min_samples_for(1) == 1
+    def test_floor_is_unconditional_at_every_degenerate_size(self):
+        # The paper's rule is max(2, round(ln n)); round(ln 1) == 0 used
+        # to leak through as min_samples == 1, under which DBSCAN's
+        # density test is vacuous (every point is its own core).
+        for n in (1, 2, 3):
+            assert min_samples_for(n) == 2
+
+    def test_monotone_nondecreasing_over_small_counts(self):
+        values = [min_samples_for(n) for n in range(1, 100)]
+        assert values == sorted(values)
+        assert min(values) == 2
 
 
 class TestConfigure:

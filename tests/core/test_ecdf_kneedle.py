@@ -100,6 +100,31 @@ class TestKneedle:
         with pytest.raises(ValueError):
             detect_knees([0, 1, 2], [0, 1])
 
+    def test_trailing_shallow_knee_reported_at_curve_end(self):
+        # A slight concave bump on an otherwise straight curve: the
+        # difference curve's only local maximum is so shallow that its
+        # confirmation threshold is negative, and the difference (which
+        # ends at exactly 0 on any normalized curve) never re-drops
+        # below it.  Offline Kneedle still reports it — the whole curve
+        # is in hand, so no later maximum can displace the candidate.
+        x = np.linspace(0, 1, 101)
+        y = x + 0.004 * np.sin(np.pi * x)
+        knees = detect_knees(x, y)
+        assert len(knees) == 1
+        assert knees[0].x == pytest.approx(0.5, abs=0.02)
+
+    def test_trailing_grace_does_not_resurrect_displaced_candidates(self):
+        # Two equally shallow bumps (difference maxima at 0.25 and 0.75,
+        # valley at 0): neither drops below its negative threshold, but
+        # the first candidate is followed by another local maximum before
+        # the curve ends, so it must still pass the ordinary drop test —
+        # only the final candidate gets the end-of-curve grace.
+        x = np.linspace(0, 1, 201)
+        y = x + 0.004 * np.sin(2 * np.pi * x) ** 2
+        knees = detect_knees(x, y)
+        assert len(knees) == 1
+        assert knees[0].x == pytest.approx(0.75, abs=0.02)
+
     def test_sensitivity_zero_finds_more_knees(self):
         x = np.linspace(0, 1, 101)
         y = np.where(x <= 0.2, x * 4.5, 0.9 + (x - 0.2) * 0.125)

@@ -1,6 +1,7 @@
 import numpy as np
 import pytest
 
+from repro.core.ecdf import Ecdf
 from repro.core.pipeline import ClusteringConfig, FieldTypeClusterer
 from repro.core.segments import Segment, segments_from_fields
 from repro.metrics import score_result
@@ -67,6 +68,40 @@ class TestFieldTypeClusterer:
             result.segments[i].covered_bytes for c in result.clusters for i in c
         )
         assert result.covered_bytes() == expected
+
+    def test_degenerate_retrim_keeps_previous_clustering(self, monkeypatch):
+        # Regression: when every k-NN distribution empties under the
+        # Section III-E trim (the near-constant-dissimilarity degenerate
+        # case, where the ECDF grid collapses to the knee itself),
+        # ``configure`` raises ValueError from inside the retrim loop.
+        # That used to escape ``cluster()``; it must instead end the
+        # fallback and keep the clustering found before the retrim.
+        rng = np.random.default_rng(5)
+        segments = []
+        base = bytes([40, 80, 120, 160])
+        for i in range(120):
+            data = bytes((b + rng.integers(0, 6)) % 256 for b in base)
+            segments.append(Segment(message_index=i, offset=0, data=data))
+        for i in range(30):
+            data = bytes(rng.integers(0, 256, size=4).tolist())
+            segments.append(Segment(message_index=120 + i, offset=0, data=data))
+
+        baseline = FieldTypeClusterer().cluster(segments)
+        assert baseline.retrims >= 1  # the trace really exercises the fallback
+
+        trim_calls = []
+
+        def degenerate_trim(self, threshold):
+            trim_calls.append(threshold)
+            raise ValueError(f"no samples below {threshold}")
+
+        monkeypatch.setattr(Ecdf, "trim_below", degenerate_trim)
+        result = FieldTypeClusterer().cluster(segments)
+        assert trim_calls, "the retrim path was never reached"
+        # The fallback was abandoned, not crashed: the pre-retrim
+        # clustering survives and no retrim is counted.
+        assert result.retrims == 0
+        assert result.cluster_count >= 1
 
     def test_deterministic(self):
         rng1 = np.random.default_rng(9)
