@@ -91,6 +91,24 @@ def test_dbscan(benchmark, ntp_matrix):
     assert result.labels.shape == (len(ntp_matrix),)
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+#: Parallel worker count the kernel grid requests explicitly, so the
+#: grid measures the same configuration on every machine.
+GRID_WORKERS = 4
+
+#: Scaling floor for the threaded binned build at n=1000 on a box with
+#: at least GRID_WORKERS usable cores; relaxed floor from 2 cores up.
+MIN_PARALLEL_SPEEDUP_4CORE = 2.0
+MIN_PARALLEL_SPEEDUP_2CORE = 1.2
+
+
 def test_matrix_kernel_grid(benchmark):
     """pairwise vs binned × serial vs parallel at n ∈ {200, 1000}.
 
@@ -98,9 +116,19 @@ def test_matrix_kernel_grid(benchmark):
     interchangeable), the binned kernel must beat the per-pair oracle by
     ≥5× single-core, and the measured grid is written to
     ``BENCH_matrix.json`` so future PRs have a perf trajectory.
+
+    Honesty contract of the baseline: parallel rows request
+    ``workers=4`` explicitly and record the backend that *actually*
+    ran, ``cpus`` records both ``os.cpu_count()`` and the scheduler
+    affinity, and a parallel row silently degrading to serial fails the
+    bench outright — a baseline that says "parallel" must have run
+    parallel.  The threaded binned build additionally has a scaling
+    floor at n=1000 (≥2× on ≥4 usable cores, ≥1.2× on 2–3), so a
+    scheduler regression cannot hide behind a green parity run.
     """
     cases = []
     speedups = {}
+    cpus = available_cpus()
     for n in KERNEL_GRID_SIZES:
         segments = synthetic_unique_segments(n, seed=3)
         seconds = {}
@@ -114,7 +142,10 @@ def test_matrix_kernel_grid(benchmark):
                 (
                     "parallel",
                     MatrixBuildOptions(
-                        use_cache=False, parallel_threshold=0, kernel=kernel
+                        workers=GRID_WORKERS,
+                        use_cache=False,
+                        parallel_threshold=0,
+                        kernel=kernel,
                     ),
                 ),
             ):
@@ -129,37 +160,65 @@ def test_matrix_kernel_grid(benchmark):
                     assert drift <= 1e-12, (
                         f"kernel grid drift {drift} at n={n} {kernel}/{backend}"
                     )
+                if backend == "parallel":
+                    # The baseline must not lie: a row labelled
+                    # "parallel" that ran serially (pool unavailable,
+                    # gate regression) fails the bench instead of
+                    # being committed as a fake speedup.
+                    assert matrix.stats.backend == "parallel", (
+                        f"requested parallel build degraded to "
+                        f"{matrix.stats.backend!r} at n={n} kernel={kernel} "
+                        f"(workers={GRID_WORKERS}, {cpus} usable cores)"
+                    )
                 cases.append(
                     {
                         "n": n,
                         "kernel": kernel,
                         "requested_backend": backend,
                         "backend": matrix.stats.backend,
+                        "parallel_backend": matrix.stats.parallel_backend,
                         "workers": matrix.stats.workers,
+                        "tiles": matrix.stats.tile_count,
                         "pairs_vectorized": matrix.stats.pairs_vectorized,
                         "seconds": round(elapsed, 4),
                     }
                 )
         single_core = seconds[("pairwise", "serial")] / seconds[("binned", "serial")]
+        parallel_scaling = (
+            seconds[("binned", "serial")] / seconds[("binned", "parallel")]
+        )
         speedups[str(n)] = {
             "binned_vs_pairwise_serial": round(single_core, 1),
             "binned_vs_pairwise_parallel": round(
                 seconds[("pairwise", "parallel")] / seconds[("binned", "parallel")], 1
             ),
-            "binned_parallel_vs_serial": round(
-                seconds[("binned", "serial")] / seconds[("binned", "parallel")], 2
-            ),
+            "binned_parallel_vs_serial": round(parallel_scaling, 2),
         }
         assert single_core >= MIN_SINGLE_CORE_SPEEDUP, (
             f"binned kernel only {single_core:.1f}x faster than the per-pair "
             f"oracle at n={n} (floor: {MIN_SINGLE_CORE_SPEEDUP}x single-core)"
         )
+        if n >= 1000:
+            floor = (
+                MIN_PARALLEL_SPEEDUP_4CORE
+                if cpus >= GRID_WORKERS
+                else MIN_PARALLEL_SPEEDUP_2CORE if cpus >= 2 else None
+            )
+            if floor is not None:
+                assert parallel_scaling >= floor, (
+                    f"threaded binned build only {parallel_scaling:.2f}x faster "
+                    f"than serial at n={n} on {cpus} usable cores "
+                    f"(floor: {floor}x)"
+                )
         benchmark.extra_info[f"speedup_serial_n{n}"] = round(single_core, 1)
+        benchmark.extra_info[f"scaling_parallel_n{n}"] = round(parallel_scaling, 2)
     payload = {
-        "schema": "repro.bench-matrix/v1",
+        "schema": "repro.bench-matrix/v2",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpus": os.cpu_count(),
+        "cpus_available": cpus,
+        "grid_workers": GRID_WORKERS,
         "cases": cases,
         "speedups": speedups,
     }
@@ -207,8 +266,10 @@ def test_matrix_build_parallel(benchmark):
     benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
     benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["backend"] = parallel.stats.backend
+    benchmark.extra_info["parallel_backend"] = parallel.stats.parallel_backend
     attach_matrix_stats(benchmark, parallel)
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     if cpus >= 4:
         assert parallel.stats.backend == "parallel"
         assert speedup >= 2.0, f"parallel speedup {speedup:.2f}x < 2x on {cpus} cores"

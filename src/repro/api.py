@@ -16,14 +16,27 @@ state.  :func:`run_analysis` is the richer variant behind
 segments, :class:`~repro.core.pipeline.ClusteringResult`, semantics) —
 the ``repro-analyze`` CLI is a thin wrapper over it.
 
+Execution knobs (worker count, parallel backend, kernel, dtype,
+storage, cache) ride along on
+:attr:`~repro.core.pipeline.ClusteringConfig.matrix_options` — the same
+:class:`~repro.core.matrix.MatrixBuildOptions` the CLIs fill from
+``--workers`` (``0`` = serial, unset = all cores) and
+``--parallel-backend`` (``threads`` shares blocks and the output matrix
+zero-copy across a thread pool; ``processes`` keeps the self-healing
+per-block pool; ``auto`` picks by kernel).
+
 Example::
 
     from repro import analyze
+    from repro.core import ClusteringConfig, MatrixBuildOptions
     from repro.obs import Tracer
 
     tracer = Tracer()
-    report = analyze("capture.pcap", protocol="mystery", port=9999,
-                     tracer=tracer)
+    config = ClusteringConfig(
+        matrix_options=MatrixBuildOptions(workers=8, parallel_backend="auto")
+    )
+    report = analyze("capture.pcap", config, protocol="mystery",
+                     port=9999, tracer=tracer)
     print(report.render())
     print(tracer.stage_timings())
 """

@@ -5,9 +5,11 @@ module owns them once, as an :mod:`argparse` *parent parser*
 (:func:`backend_parent`), plus the helpers that turn parsed flags into
 options and emit the observability artefacts after a run:
 
-- ``--workers`` / ``--no-cache`` / ``--cache-dir`` / ``--kernel`` — the
-  matrix execution backend and per-bin compute kernel (see
-  :class:`repro.core.matrix.MatrixBuildOptions`);
+- ``--workers`` / ``--no-cache`` / ``--cache-dir`` / ``--kernel`` /
+  ``--parallel-backend`` — the matrix execution backend (worker count:
+  ``0`` = serial, ``N`` = exactly N, unset = all cores), per-bin
+  compute kernel, and parallel backend (threads / processes / auto);
+  see :class:`repro.core.matrix.MatrixBuildOptions`;
 - ``--block-timeout`` / ``--max-retries`` — the self-healing knobs of
   the parallel backend (per-block timeout, pool rebuild budget);
 - ``--lenient`` — quarantine malformed capture records instead of
@@ -31,6 +33,8 @@ from repro.core.matrix import (
     DTYPES,
     KERNEL_BINNED,
     KERNELS,
+    PARALLEL_AUTO,
+    PARALLEL_BACKENDS,
     STORAGE_MEMMAP,
     STORAGE_RAM,
     MatrixBuildOptions,
@@ -50,7 +54,17 @@ def backend_parent() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="dissimilarity-matrix worker processes (default: all CPU cores)",
+        help="dissimilarity-matrix workers: 0 forces the serial path, "
+        "N>=1 uses exactly N workers (default: all CPU cores)",
+    )
+    backend.add_argument(
+        "--parallel-backend",
+        choices=PARALLEL_BACKENDS,
+        default=PARALLEL_AUTO,
+        help="matrix parallel backend: 'auto' (default; threads for the "
+        "binned kernel, processes for the pairwise oracle), 'threads' "
+        "(bin tile scheduler, shared-memory output), or 'processes' "
+        "(self-healing per-block pool)",
     )
     backend.add_argument(
         "--no-cache",
@@ -151,6 +165,7 @@ def matrix_options_from_args(args) -> MatrixBuildOptions:
         block_timeout=args.block_timeout,
         max_retries=max(0, args.max_retries),
         kernel=getattr(args, "kernel", KERNEL_BINNED),
+        parallel_backend=getattr(args, "parallel_backend", PARALLEL_AUTO),
         dtype=getattr(args, "matrix_dtype", DTYPE_FLOAT64),
         storage=(
             STORAGE_MEMMAP if getattr(args, "matrix_memmap", False) else STORAGE_RAM
@@ -172,13 +187,15 @@ def print_timings(tracer: Tracer, metrics: MetricsRegistry) -> None:
         print(f"timings: {stages}", file=sys.stderr)
     for span in tracer.find("matrix.build"):
         attributes = span.attributes
-        print(
+        line = (
             f"matrix: backend={attributes.get('backend')} "
             f"kernel={attributes.get('kernel')} "
             f"workers={attributes.get('workers')} "
-            f"cache_hit={attributes.get('cache_hit')}",
-            file=sys.stderr,
+            f"cache_hit={attributes.get('cache_hit')}"
         )
+        if attributes.get("parallel_backend") is not None:
+            line += f" parallel_backend={attributes['parallel_backend']}"
+        print(line, file=sys.stderr)
     with use_metrics(metrics):
         counters = cache_counters()
         ingest = ingest_counters()

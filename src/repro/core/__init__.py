@@ -24,6 +24,10 @@ from repro.core.matrix import (
     KERNEL_BINNED,
     KERNEL_PAIRWISE,
     KERNELS,
+    PARALLEL_AUTO,
+    PARALLEL_BACKENDS,
+    PARALLEL_PROCESSES,
+    PARALLEL_THREADS,
     BuildStats,
     DissimilarityMatrix,
     MatrixBuildOptions,
@@ -56,6 +60,10 @@ __all__ = [
     "Knee",
     "MatrixBuildOptions",
     "NOISE",
+    "PARALLEL_AUTO",
+    "PARALLEL_BACKENDS",
+    "PARALLEL_PROCESSES",
+    "PARALLEL_THREADS",
     "Segment",
     "UniqueSegment",
     "cache_counters",

@@ -107,14 +107,25 @@ def _as_vector(data) -> np.ndarray:
     return np.asarray(data, dtype=np.float64)
 
 
-#: Cap on temporary broadcast cells (float64) per chunk: ~160 MB.
-_CHUNK_CELL_BUDGET = 20_000_000
+#: Cap on temporary broadcast cells (float64) per chunk: ~160 MB.  Also
+#: the tile-size target of the threaded matrix scheduler — one work item
+#: covers about one chunk's worth of gather cells, so tile boundaries
+#: are deterministic (worker-count independent) and per-tile temporaries
+#: stay inside the same budget the serial kernel always used.
+CHUNK_CELL_BUDGET = 20_000_000
+
+#: Private runtime knob (and the pre-threading name): the chunked
+#: kernels read this one when no explicit ``cells_budget`` is passed, so
+#: tests can monkeypatch it to force tiny chunks without touching the
+#: public constant the scheduler derives its tile sizes from.
+_CHUNK_CELL_BUDGET = CHUNK_CELL_BUDGET
 
 _BYTE_TERM_LUT: np.ndarray | None = None
 
 
-def _chunk_rows_for(cells_per_row: int) -> int:
-    return max(1, _CHUNK_CELL_BUDGET // max(1, cells_per_row))
+def _chunk_rows_for(cells_per_row: int, cells_budget: int | None = None) -> int:
+    budget = _CHUNK_CELL_BUDGET if cells_budget is None else cells_budget
+    return max(1, budget // max(1, cells_per_row))
 
 
 def byte_term_lut() -> np.ndarray:
@@ -219,6 +230,119 @@ def cross_length_block(
         d_min[start:stop, :] = means.min(axis=2)
     penalty = penalty_factor + (1.0 - penalty_factor) * d_min
     return (m * d_min + (n - m) * penalty) / n
+
+
+def pairwise_equal_length_rows(
+    block: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    *,
+    out: np.ndarray | None = None,
+    cells_budget: int | None = None,
+) -> np.ndarray:
+    """Rows ``[row_start, row_stop)`` of one equal-length bin, upper band.
+
+    Tile-level entry point for the threaded matrix scheduler: returns
+    (or fills *out* with) a ``(row_stop - row_start, count - row_start)``
+    float64 array whose cell ``(i - row_start, j - row_start)`` is the
+    dissimilarity of segments *i* and *j* for ``j >= row_start`` — the
+    same upper-band cells :func:`pairwise_equal_length` computes before
+    mirroring.  Every cell is the mean of the same gathered terms no
+    matter how rows are tiled or chunked, so tiled builds stay
+    bit-identical to the whole-bin kernel.  *cells_budget* caps the
+    per-chunk temporary (default: the whole :data:`CHUNK_CELL_BUDGET`);
+    the threaded scheduler divides it across workers so aggregate peak
+    memory is worker-count independent.
+    """
+    block = np.asarray(block)
+    binned = block.dtype == np.uint8
+    if not binned:
+        block = np.asarray(block, dtype=np.float64)
+    count, length = block.shape
+    if not 0 <= row_start <= row_stop <= count:
+        raise ValueError(
+            f"tile rows [{row_start}, {row_stop}) outside block of {count} rows"
+        )
+    rows = row_stop - row_start
+    columns = count - row_start
+    if out is None:
+        out = np.empty((rows, columns), dtype=np.float64)
+    elif out.shape != (rows, columns):
+        raise ValueError(f"out shape {out.shape} != {(rows, columns)}")
+    if length == 0:
+        out[...] = 0.0
+        return out
+    chunk_rows = _chunk_rows_for(columns * length, cells_budget)
+    lut = byte_term_lut() if binned else None
+    for start in range(row_start, row_stop, chunk_rows):
+        stop = min(start + chunk_rows, row_stop)
+        left = block[start:stop, np.newaxis, :]
+        right = block[np.newaxis, row_start:, :]
+        if binned:
+            means = lut[left, right].mean(axis=2)
+        else:
+            means = _terms_mean_float(left, right)
+        out[start - row_start : stop - row_start] = means
+    return out
+
+
+def cross_length_block_rows(
+    short_block: np.ndarray,
+    long_block: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+    *,
+    out: np.ndarray | None = None,
+    cells_budget: int | None = None,
+) -> np.ndarray:
+    """Rows ``[row_start, row_stop)`` of one cross-length bin.
+
+    Tile-level entry point for the threaded matrix scheduler: returns
+    (or fills *out* with) the ``(row_stop - row_start, b)`` slice of
+    :func:`cross_length_block`'s result covering the given rows of the
+    short block.  The sliding minimum of each pair only reads that
+    pair's own windows, so the tiled values are bit-identical to the
+    whole-bin kernel.  *cells_budget* bounds the per-chunk temporary
+    exactly as in :func:`pairwise_equal_length_rows`.
+    """
+    short_block = np.asarray(short_block)
+    long_block = np.asarray(long_block)
+    binned = short_block.dtype == np.uint8 and long_block.dtype == np.uint8
+    if not binned:
+        short_block = np.asarray(short_block, dtype=np.float64)
+        long_block = np.asarray(long_block, dtype=np.float64)
+    a, m = short_block.shape
+    b, n = long_block.shape
+    if m >= n:
+        raise ValueError(f"short block must be shorter: {m} >= {n}")
+    if not 0 <= row_start <= row_stop <= a:
+        raise ValueError(
+            f"tile rows [{row_start}, {row_stop}) outside block of {a} rows"
+        )
+    rows = row_stop - row_start
+    if out is None:
+        out = np.empty((rows, b), dtype=np.float64)
+    elif out.shape != (rows, b):
+        raise ValueError(f"out shape {out.shape} != {(rows, b)}")
+    windows = np.lib.stride_tricks.sliding_window_view(long_block, m, axis=1)
+    offsets = windows.shape[1]
+    chunk_rows = _chunk_rows_for(b * offsets * m, cells_budget)
+    lut = byte_term_lut() if binned else None
+    for start in range(row_start, row_stop, chunk_rows):
+        stop = min(start + chunk_rows, row_stop)
+        left = short_block[start:stop, np.newaxis, np.newaxis, :]
+        right = windows[np.newaxis, :, :, :]
+        if binned:
+            means = lut[left, right].mean(axis=3)
+        else:
+            means = _terms_mean_float(left, right)
+        d_min = means.min(axis=2)
+        penalty = penalty_factor + (1.0 - penalty_factor) * d_min
+        out[start - row_start : stop - row_start] = (
+            m * d_min + (n - m) * penalty
+        ) / n
+    return out
 
 
 def pairwise_equal_length_reference(block: np.ndarray) -> np.ndarray:

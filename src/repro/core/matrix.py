@@ -18,12 +18,23 @@ Two interchangeable **kernels** fill each per-length-pair bin
   golden-trace tests can pin the fast kernel's numerics (agreement
   within 1e-12 absolute, in practice bit-identical).
 
-Three interchangeable execution paths produce bit-identical values:
+Four interchangeable execution paths produce bit-identical values:
 
 - **serial** — one process walks the per-length-pair blocks in order
   (the reference implementation, and the automatic fallback when the
   segment count is below :attr:`MatrixBuildOptions.parallel_threshold`);
-- **parallel** — the independent blocks are dispatched as per-block
+- **threads** (the default parallel backend for the binned kernel) —
+  the length bins, sub-tiled to the kernel's ~160 MB temporary budget,
+  form a work queue scheduled longest-processing-time-first onto a
+  :class:`concurrent.futures.ThreadPoolExecutor`.  The numpy LUT
+  gathers release the GIL, so worker threads share the uint8 blocks
+  and the output matrix (RAM or memmap) zero-copy: each worker writes
+  its disjoint tile straight into the output — no result shipping, no
+  pickling.  Tile boundaries are deterministic (worker-count
+  independent) and every cell is the same reduction either way, so the
+  bytes are identical regardless of worker count or completion order;
+- **processes** (the parallel backend the ``pairwise`` reference
+  oracle keeps) — the independent blocks are dispatched as per-block
   futures on a :class:`concurrent.futures.ProcessPoolExecutor`
   (:attr:`MatrixBuildOptions.workers`, default ``os.cpu_count()``),
   with block-level fault tolerance: a failed or timed-out block is
@@ -43,8 +54,14 @@ from __future__ import annotations
 import logging
 import os
 import tempfile
+import threading
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,13 +70,16 @@ import numpy as np
 
 from repro.core import matrixcache
 from repro.core.canberra import (
+    CHUNK_CELL_BUDGET,
     DEFAULT_PENALTY_FACTOR,
     cross_length_block,
     cross_length_block_reference,
+    cross_length_block_rows,
     pairwise_equal_length,
     pairwise_equal_length_reference,
+    pairwise_equal_length_rows,
 )
-from repro.core.membound import rows_per_block
+from repro.core.membound import divide_bound, rows_per_block
 from repro.core.segments import UniqueSegment
 from repro.errors import ComputeError
 from repro.obs.metrics import get_metrics
@@ -71,11 +91,22 @@ BUILDS_METRIC = "repro_matrix_builds_total"
 FAULTS_METRIC = "repro_matrix_faults_total"
 PAIRS_VECTORIZED_METRIC = "repro_matrix_pairs_vectorized_total"
 KNN_PARTITION_METRIC = "repro_knn_partition_seconds"
+BIN_QUEUE_METRIC = "repro_matrix_bin_queue_seconds"
+BINS_SCHEDULED_METRIC = "repro_matrix_bins_scheduled_total"
 
 #: The per-bin compute kernels (see module docstring).
 KERNEL_BINNED = "binned"
 KERNEL_PAIRWISE = "pairwise"
 KERNELS = (KERNEL_BINNED, KERNEL_PAIRWISE)
+
+#: Parallel backends (``MatrixBuildOptions.parallel_backend``): "auto"
+#: picks threads for the binned kernel (its numpy gathers release the
+#: GIL, so threads share blocks and output zero-copy) and processes for
+#: the per-pair oracle (pure Python, GIL-bound, needs real processes).
+PARALLEL_AUTO = "auto"
+PARALLEL_THREADS = "threads"
+PARALLEL_PROCESSES = "processes"
+PARALLEL_BACKENDS = (PARALLEL_AUTO, PARALLEL_THREADS, PARALLEL_PROCESSES)
 
 #: Matrix value dtypes (``MatrixBuildOptions.dtype``): float64 is the
 #: bit-exact reference; float32 halves resident memory for large n at
@@ -102,7 +133,18 @@ _PAIRS_HELP = (
 
 _FAULTS_HELP = (
     "Self-healing events during parallel matrix builds "
-    "(kind: block_retry/serial_fallback/pool_rebuild)."
+    "(kind: block_retry/serial_fallback/pool_rebuild for the process "
+    "pool; bin_error for a failed threaded bin — threads have no "
+    "retry ladder, a bin failure fails the build)."
+)
+
+_BIN_QUEUE_HELP = (
+    "Seconds a matrix tile waited in the threaded scheduler's queue "
+    "between submission and execution start."
+)
+
+_BINS_SCHEDULED_HELP = (
+    "Tiles enqueued by the threaded matrix scheduler (kind: same/cross)."
 )
 
 
@@ -120,7 +162,10 @@ class MatrixBuildOptions:
     cache.  The CLIs enable the cache and expose every knob as a flag.
     """
 
-    #: Process-pool size; None resolves to ``os.cpu_count()``.
+    #: Parallel worker count.  The convention is uniform across the
+    #: library and both CLIs: ``None`` ⇒ one worker per CPU core,
+    #: ``0`` ⇒ serial (an explicit opt-out, same as ``--workers 0``),
+    #: ``N >= 1`` ⇒ exactly N workers.  Negative values are rejected.
     workers: int | None = None
     #: Reuse/persist matrices in the content-addressed on-disk cache.
     use_cache: bool = False
@@ -139,6 +184,11 @@ class MatrixBuildOptions:
     #: "pairwise" (per-pair reference oracle; orders of magnitude
     #: slower, numerically equal within 1e-12).
     kernel: str = KERNEL_BINNED
+    #: Parallel backend: "auto" (default; threads for the binned
+    #: kernel, processes for the pairwise oracle), "threads" (the bin
+    #: tile scheduler — binned kernel only), or "processes" (the
+    #: self-healing per-block pool).
+    parallel_backend: str = PARALLEL_AUTO
     #: Value dtype: "float64" (bit-exact reference, default) or
     #: "float32" (half the resident matrix memory for large traces;
     #: each value rounds once from the float64 block result).
@@ -153,6 +203,21 @@ class MatrixBuildOptions:
             raise ValueError(
                 f"unknown matrix kernel {self.kernel!r} (choices: {KERNELS})"
             )
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {self.parallel_backend!r} "
+                f"(choices: {PARALLEL_BACKENDS})"
+            )
+        if (
+            self.parallel_backend == PARALLEL_THREADS
+            and self.kernel == KERNEL_PAIRWISE
+        ):
+            raise ValueError(
+                "the threaded backend requires the binned kernel: the "
+                "pairwise oracle is pure Python and holds the GIL, so it "
+                "parallelizes on processes only (parallel_backend="
+                "'processes' or 'auto')"
+            )
         if self.dtype not in DTYPES:
             raise ValueError(
                 f"unknown matrix dtype {self.dtype!r} (choices: {DTYPES})"
@@ -161,12 +226,36 @@ class MatrixBuildOptions:
             raise ValueError(
                 f"unknown matrix storage {self.storage!r} (choices: {STORAGES})"
             )
+        if self.workers is not None and int(self.workers) < 0:
+            raise ValueError(
+                f"workers must be >= 0 (0 = serial) or None (= all cores), "
+                f"got {self.workers}"
+            )
 
     def effective_workers(self) -> int:
-        """Resolved worker count (>= 1)."""
-        if self.workers is not None:
-            return max(1, int(self.workers))
-        return os.cpu_count() or 1
+        """Resolved worker count (>= 1).
+
+        ``None`` resolves to ``os.cpu_count()``; ``0`` resolves to 1 —
+        it *means* serial (the ``--workers 0`` convention shared by both
+        CLIs), and the build honors that because the parallel paths only
+        engage when the resolved count exceeds one.
+        """
+        if self.workers is None:
+            return os.cpu_count() or 1
+        return int(self.workers) or 1
+
+    def resolved_parallel_backend(self) -> str:
+        """The concrete parallel backend ("threads" or "processes").
+
+        "auto" resolves by kernel: the binned kernel's numpy gathers
+        release the GIL, so it threads; the per-pair oracle is
+        GIL-bound Python and keeps the process pool.
+        """
+        if self.parallel_backend != PARALLEL_AUTO:
+            return self.parallel_backend
+        return (
+            PARALLEL_THREADS if self.kernel == KERNEL_BINNED else PARALLEL_PROCESSES
+        )
 
 
 _DEFAULT_OPTIONS = MatrixBuildOptions()
@@ -198,6 +287,9 @@ class BuildStats:
     unique_count: int = 0
     #: "serial", "parallel", or "cache" — the path that produced values.
     backend: str = "serial"
+    #: "threads" or "processes" when the backend is "parallel"; None on
+    #: the serial and cache paths.
+    parallel_backend: str | None = None
     #: "binned" or "pairwise" — the per-bin compute kernel.
     kernel: str = KERNEL_BINNED
     #: "float64" or "float32" — the stored value dtype.
@@ -207,6 +299,9 @@ class BuildStats:
     workers: int = 1
     #: Independent work items (same-length + cross-length blocks).
     task_count: int = 0
+    #: Scheduled tiles on the threaded backend (bins sub-tiled to the
+    #: kernel's temporary budget); 0 elsewhere.
+    tile_count: int = 0
     #: Unique segment pairs computed by the vectorized (binned) kernel.
     pairs_vectorized: int = 0
     cache_hit: bool = False
@@ -275,6 +370,222 @@ def _task_pair_count(task: tuple) -> int:
         count = block_a.shape[0]
         return count * (count - 1) // 2
     return block_a.shape[0] * block_b.shape[0]
+
+
+def _task_tiles(tasks: list[tuple]) -> list[tuple[int, int, int, int]]:
+    """The threaded scheduler's work queue: ``(task, row_start, row_stop, cost)``.
+
+    Each length bin is sub-tiled along its rows so one tile's gather
+    stays inside the kernel's fixed temporary budget
+    (:data:`repro.core.canberra.CHUNK_CELL_BUDGET`, ~160 MB of float64
+    cells) — the same bound the serial kernel chunks under.  Boundaries
+    depend only on the bin shapes, never on the worker count, so the
+    queue is deterministic; *cost* estimates the tile's gather cells and
+    drives the longest-processing-time-first schedule.
+    """
+    tiles = []
+    for index, task in enumerate(tasks):
+        kind, length_a, _length_b, block_a, block_b = task[:5]
+        if kind == "same":
+            rows, length = block_a.shape
+            cells_per_row = max(1, rows * length)
+        else:
+            rows, m = block_a.shape
+            b, n = block_b.shape
+            cells_per_row = max(1, b * (n - m + 1) * m)
+        tile_rows = max(1, CHUNK_CELL_BUDGET // cells_per_row)
+        for start in range(0, rows, tile_rows):
+            stop = min(rows, start + tile_rows)
+            if kind == "same":
+                # The tile only gathers the upper band (columns start:).
+                cost = (stop - start) * (rows - start) * length
+            else:
+                cost = (stop - start) * cells_per_row
+            tiles.append((index, start, stop, cost))
+    return tiles
+
+
+def _tile_pair_count(task: tuple, row_start: int, row_stop: int) -> int:
+    """Unique segment pairs one tile covers."""
+    kind, _, _, block_a, block_b = task[:5]
+    if kind == "same":
+        count = block_a.shape[0]
+        return sum(count - 1 - i for i in range(row_start, row_stop))
+    return (row_stop - row_start) * block_b.shape[0]
+
+
+def _compute_tile_into(
+    values: np.ndarray,
+    by_length: dict[int, list[int]],
+    task: tuple,
+    row_start: int,
+    row_stop: int,
+    cells_budget: int,
+) -> None:
+    """Compute one tile and write it (plus its mirror) into *values*.
+
+    The thread worker's unit of work.  Tiles of one build cover
+    disjoint cells of *values* (an equal-length tile owns its upper
+    band rows and their transposes; a cross-length tile owns its short
+    rows and their transposes), so concurrent workers never write the
+    same cell — except the symmetric diagonal band *within* one tile,
+    which the same thread overwrites with bit-identical values.
+    """
+    kind, length_a, length_b, block_a, block_b, penalty_factor, _kernel = task
+    if kind == "same":
+        tile = pairwise_equal_length_rows(
+            block_a, row_start, row_stop, cells_budget=cells_budget
+        )
+        indices = by_length[length_a]
+        rows = indices[row_start:row_stop]
+        cols = indices[row_start:]
+    else:
+        tile = cross_length_block_rows(
+            block_a,
+            block_b,
+            row_start,
+            row_stop,
+            penalty_factor=penalty_factor,
+            cells_budget=cells_budget,
+        )
+        rows = by_length[length_a][row_start:row_stop]
+        cols = by_length[length_b]
+    values[np.ix_(rows, cols)] = tile
+    values[np.ix_(cols, rows)] = tile.T
+
+
+def _run_tile(
+    values: np.ndarray,
+    by_length: dict[int, list[int]],
+    task: tuple,
+    tile: tuple[int, int, int, int],
+    cells_budget: int,
+    enqueued: float,
+) -> dict:
+    """Thread worker wrapper: compute + measure one tile.
+
+    Returns the observability record the main thread turns into a
+    ``matrix.bin`` span and queue-wait histogram sample — workers never
+    touch the tracer or metrics registry themselves (both are bound via
+    :mod:`contextvars`, which executor threads do not inherit, and
+    neither is thread-safe).
+    """
+    _, row_start, row_stop, _ = tile
+    started = time.perf_counter()
+    started_unix = time.time()
+    _compute_tile_into(values, by_length, task, row_start, row_stop, cells_budget)
+    return {
+        "worker": threading.current_thread().name,
+        "queue_seconds": started - enqueued,
+        "wall_seconds": time.perf_counter() - started,
+        "started_unix": started_unix,
+    }
+
+
+def _compute_tiles_threaded(
+    tasks: list[tuple],
+    values: np.ndarray,
+    by_length: dict[int, list[int]],
+    options: MatrixBuildOptions,
+    stats: BuildStats,
+) -> bool:
+    """Run the bin tile queue on a thread pool, writing into *values*.
+
+    Tiles are submitted longest-processing-time-first (by estimated
+    gather cells), so the big bins start immediately and the small ones
+    backfill — the classic LPT bound keeps the makespan within 4/3 of
+    optimal.  Workers share the uint8 blocks and the output matrix
+    zero-copy; the kernel's temporary budget is divided across workers
+    (:func:`repro.core.membound.divide_bound`) so aggregate peak memory
+    matches the serial path's.
+
+    A tile that raises fails the whole build with a
+    :class:`ComputeError` naming its bin: threads cannot be killed, so
+    the scheduler cancels every not-yet-started tile, drains the ones
+    already running, and only then raises.  Returns False when the
+    executor cannot be created, so the caller falls back to the serial
+    loop.
+    """
+    workers = options.effective_workers()
+    try:
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-matrix"
+        )
+    except (OSError, ValueError, RuntimeError) as error:
+        logger.debug("threaded build unavailable (%s); serial", error)
+        return False
+    tiles = _task_tiles(tasks)
+    # LPT: largest estimated tile first, index as deterministic tie-break.
+    order = sorted(range(len(tiles)), key=lambda i: (-tiles[i][3], i))
+    cells_budget = divide_bound(CHUNK_CELL_BUDGET, workers)
+    stats.tile_count = len(tiles)
+    tracer = get_tracer()
+    metrics = get_metrics()
+    queue_histogram = metrics.histogram(BIN_QUEUE_METRIC, help=_BIN_QUEUE_HELP)
+    scheduled = metrics.counter(BINS_SCHEDULED_METRIC, help=_BINS_SCHEDULED_HELP)
+    futures = {}
+    failure: tuple[tuple[int, int, int, int], BaseException] | None = None
+    drained = 0
+    try:
+        for i in order:
+            tile = tiles[i]
+            task = tasks[tile[0]]
+            futures[
+                executor.submit(
+                    _run_tile,
+                    values,
+                    by_length,
+                    task,
+                    tile,
+                    cells_budget,
+                    time.perf_counter(),
+                )
+            ] = tile
+            scheduled.inc(kind=task[0])
+        for future in as_completed(futures):
+            tile = futures[future]
+            task = tasks[tile[0]]
+            if future.cancelled():
+                # CancelledError is a BaseException; count the tile as
+                # drained instead of letting result() raise it.
+                drained += 1
+                continue
+            try:
+                record = future.result()
+            except Exception as error:
+                _count_fault("bin_error")
+                if failure is None:
+                    failure = (tile, error)
+                    # Threads cannot be killed: cancel everything still
+                    # queued, let in-flight tiles finish, then raise.
+                    for pending in futures:
+                        pending.cancel()
+                continue
+            queue_histogram.observe(record["queue_seconds"])
+            tracer.record(
+                "matrix.bin",
+                wall_seconds=record["wall_seconds"],
+                started_unix=record["started_unix"],
+                kind=task[0],
+                len_a=task[1],
+                len_b=task[2],
+                pairs=_tile_pair_count(task, tile[1], tile[2]),
+                kernel=options.kernel,
+                worker=record["worker"],
+                tile=f"{tile[1]}:{tile[2]}",
+                queue_seconds=round(record["queue_seconds"], 6),
+            )
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    if failure is not None:
+        tile, error = failure
+        task = tasks[tile[0]]
+        raise ComputeError(
+            f"matrix bin ({task[1]}, {task[2]}) failed in the threaded build "
+            f"(tile rows [{tile[1]}, {tile[2]}), {drained} queued tiles "
+            f"drained): {error}"
+        ) from error
+    return True
 
 
 def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
@@ -540,6 +851,10 @@ class DissimilarityMatrix:
             cache_hit=stats.cache_hit,
             cache_key=stats.cache_key,
         )
+        if stats.parallel_backend is not None:
+            span.set(parallel_backend=stats.parallel_backend)
+        if stats.tile_count:
+            span.set(tiles=stats.tile_count)
         if stats.block_retries or stats.serial_fallback_blocks or stats.pool_rebuilds:
             span.set(
                 block_retries=stats.block_retries,
@@ -571,23 +886,37 @@ class DissimilarityMatrix:
         stats.task_count = len(tasks)
 
         workers = options.effective_workers()
-        parallel = (
-            workers > 1
-            and count >= options.parallel_threshold
-            and len(tasks) > 1
-        )
+        parallel = workers > 1 and count >= options.parallel_threshold
         compute_started = time.perf_counter()
         results = None
-        if parallel:
+        in_place = False
+        if (
+            parallel
+            and tasks
+            and options.resolved_parallel_backend() == PARALLEL_THREADS
+        ):
+            # Threaded bin scheduler: workers write their disjoint
+            # tiles straight into ``values`` — nothing to scatter.
+            in_place = _compute_tiles_threaded(
+                tasks, values, by_length, options, stats
+            )
+            if in_place:
+                stats.backend = "parallel"
+                stats.parallel_backend = PARALLEL_THREADS
+                stats.workers = workers
+        elif parallel and len(tasks) > 1:
+            # The process pool's unit of work is a whole block, so a
+            # single-bin build has nothing to distribute.
             results = _compute_tasks_parallel(tasks, options, stats)
             if results is not None:
                 stats.backend = "parallel"
+                stats.parallel_backend = PARALLEL_PROCESSES
                 stats.workers = workers
-        if results is None:
+        if not in_place and results is None:
             # Restricted environments (no fork, no semaphores) fall
             # back to the serial reference rather than failing.  Each
-            # bin gets a child span here (parallel bins run in worker
-            # processes, outside the parent tracer's reach).
+            # bin gets a child span here (process-pool bins run in
+            # worker processes, outside the parent tracer's reach).
             tracer = get_tracer()
             results = []
             for task in tasks:
@@ -605,14 +934,15 @@ class DissimilarityMatrix:
             get_metrics().counter(PAIRS_VECTORIZED_METRIC, help=_PAIRS_HELP).inc(
                 stats.pairs_vectorized
             )
-        for length_a, length_b, block_values in results:
-            indices_a = by_length[length_a]
-            if length_a == length_b:
-                values[np.ix_(indices_a, indices_a)] = block_values
-            else:
-                indices_b = by_length[length_b]
-                values[np.ix_(indices_a, indices_b)] = block_values
-                values[np.ix_(indices_b, indices_a)] = block_values.T
+        if results is not None:
+            for length_a, length_b, block_values in results:
+                indices_a = by_length[length_a]
+                if length_a == length_b:
+                    values[np.ix_(indices_a, indices_a)] = block_values
+                else:
+                    indices_b = by_length[length_b]
+                    values[np.ix_(indices_a, indices_b)] = block_values
+                    values[np.ix_(indices_b, indices_a)] = block_values.T
         stats.seconds["compute"] = time.perf_counter() - compute_started
         return values, stats
 

@@ -26,6 +26,18 @@ def resolve_bound(bound_bytes: int | None) -> int:
     return DEFAULT_MEMORY_BOUND_BYTES if bound_bytes is None else int(bound_bytes)
 
 
+def divide_bound(bound: int, workers: int) -> int:
+    """Split a working-set budget evenly across parallel workers.
+
+    The threaded matrix scheduler divides the kernel's temporary budget
+    (:data:`repro.core.canberra.CHUNK_CELL_BUDGET`) by the worker count
+    so that N concurrent tiles together stay inside the same bound one
+    serial chunk used to.  Generic over the budget's unit (bytes,
+    cells); every worker gets at least 1.
+    """
+    return max(1, int(bound) // max(1, int(workers)))
+
+
 def rows_per_block(
     row_bytes: int, bound_bytes: int | None = None, copies: int = 1
 ) -> int:

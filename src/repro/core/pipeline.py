@@ -80,7 +80,8 @@ class ClusteringConfig:
         """Build a config from the shared CLI flags (:mod:`repro.cliopts`).
 
         Reads ``args.workers`` / ``args.no_cache`` / ``args.cache_dir``
-        / ``args.kernel`` / ``args.matrix_dtype`` / ``args.matrix_memmap``
+        / ``args.kernel`` / ``args.parallel_backend`` /
+        ``args.matrix_dtype`` / ``args.matrix_memmap``
         into explicit :attr:`matrix_options`, plus ``args.neighborhoods``
         and ``args.memory_bound_mb`` into the post-matrix stage knobs, so
         CLI runs configure the backend per-config instead of mutating the
@@ -94,6 +95,7 @@ class ClusteringConfig:
             use_cache=not getattr(args, "no_cache", False),
             cache_dir=getattr(args, "cache_dir", None),
             kernel=getattr(args, "kernel", None) or "binned",
+            parallel_backend=getattr(args, "parallel_backend", None) or "auto",
             dtype=getattr(args, "matrix_dtype", None) or "float64",
             storage=(
                 STORAGE_MEMMAP

@@ -136,6 +136,35 @@ class Tracer:
             span.end()
             self._stack.pop()
 
+    def record(
+        self,
+        name: str,
+        *,
+        wall_seconds: float = 0.0,
+        started_unix: float | None = None,
+        **attributes,
+    ) -> Span:
+        """Attach one already-measured, closed span to the active span.
+
+        The threaded matrix scheduler uses this: worker threads run in
+        their own :mod:`contextvars` context (so ``get_tracer()`` there
+        would miss the caller's binding) and the tracer itself is not
+        thread-safe, so workers only *measure* their tiles and the main
+        thread records them after each completion.  The span is created
+        closed, with the caller-supplied wall clock; CPU seconds and
+        peak RSS are process-wide quantities that per-thread tiles
+        cannot attribute, so they stay zero/None.
+        """
+        span = Span(name=name, attributes=dict(attributes))
+        span.started_unix = time.time() if started_unix is None else started_unix
+        span.wall_seconds = float(wall_seconds)
+        if self.enabled:
+            if self._stack:
+                self._stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+        return span
+
     def walk(self) -> Iterator[Span]:
         """Depth-first iteration over every retained span."""
         for root in self.roots:

@@ -1,0 +1,308 @@
+"""Parallelism parity: the threaded bin scheduler is a pure optimization.
+
+The threaded backend writes disjoint tiles of the shared output matrix
+from a thread pool.  Its contract is *bit identity*: for any segment
+set, worker count, value dtype, and storage mode, the produced bytes
+are exactly the serial reference's — not close, identical.  The tests
+here pin that contract:
+
+- hypothesis property tests over ragged/equal/duplicate-length segment
+  sets, workers in {1, 2, 4};
+- a dtype × storage × workers grid on a fixed ragged corpus;
+- a determinism run (same trace, three worker counts, raw-byte compare);
+- tiny-tile runs (budget monkeypatched down) so one bin spans many
+  tiles and the cross-tile mirror writes are exercised;
+- the workers convention shared by the library and both CLIs
+  (``None`` ⇒ all cores, ``0`` ⇒ serial, ``N >= 1`` ⇒ exactly N,
+  negative ⇒ rejected);
+- the threaded build's observability surface (``matrix.bin`` spans
+  with worker/tile tags, queue-wait histogram, scheduled-tiles
+  counter).
+
+The golden-trace corpus rides through the threaded backend in
+``tests/golden/test_golden_traces.py::test_golden_trace_threaded``.
+"""
+
+import argparse
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliopts import backend_parent, matrix_options_from_args
+from repro.core import matrix as matrix_mod
+from repro.core.matrix import (
+    DTYPE_FLOAT32,
+    DTYPE_FLOAT64,
+    KERNEL_PAIRWISE,
+    PARALLEL_AUTO,
+    PARALLEL_PROCESSES,
+    PARALLEL_THREADS,
+    STORAGE_MEMMAP,
+    STORAGE_RAM,
+    DissimilarityMatrix,
+    MatrixBuildOptions,
+)
+from repro.core.pipeline import ClusteringConfig
+from repro.core.segments import Segment, unique_segments
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.tracer import Tracer, use_tracer
+
+
+def as_unique_segments(datas):
+    return unique_segments(
+        [Segment(message_index=i, offset=0, data=d) for i, d in enumerate(datas)],
+        min_length=1,
+    )
+
+
+def serial_build(datas, **kwargs):
+    built = DissimilarityMatrix.build(
+        as_unique_segments(datas),
+        options=MatrixBuildOptions(workers=0, use_cache=False, **kwargs),
+    )
+    assert built.stats.backend == "serial"
+    return built
+
+
+def threaded_build(datas, workers, **kwargs):
+    options = MatrixBuildOptions(
+        workers=workers,
+        use_cache=False,
+        parallel_threshold=0,
+        parallel_backend=PARALLEL_THREADS,
+        **kwargs,
+    )
+    return DissimilarityMatrix.build(as_unique_segments(datas), options=options)
+
+
+def make_ragged_datas(count=60, seed=17, max_length=12):
+    """Deterministic unique segments spread over many lengths."""
+    rng = np.random.default_rng(seed)
+    datas, seen = [], set()
+    while len(datas) < count:
+        length = int(rng.integers(1, max_length + 1))
+        data = bytes(rng.integers(0, 256, size=length, dtype=np.uint8))
+        if data not in seen:
+            seen.add(data)
+            datas.append(data)
+    return datas
+
+
+#: Ragged, equal, and duplicate-length sets all fall out of this one
+#: strategy: lengths repeat freely, only the byte values are unique.
+segment_sets = st.lists(
+    st.binary(min_size=1, max_size=24), min_size=2, max_size=14, unique=True
+)
+
+
+class TestThreadedParity:
+    @settings(max_examples=30, deadline=None)
+    @given(datas=segment_sets, workers=st.sampled_from([1, 2, 4]))
+    def test_bit_identical_to_serial(self, datas, workers):
+        reference = serial_build(datas)
+        built = threaded_build(datas, workers)
+        assert built.values.dtype == reference.values.dtype
+        assert built.values.tobytes() == reference.values.tobytes()
+
+    @settings(max_examples=15, deadline=None)
+    @given(datas=segment_sets)
+    def test_float32_bit_identical_to_serial(self, datas):
+        reference = serial_build(datas, dtype=DTYPE_FLOAT32)
+        built = threaded_build(datas, 4, dtype=DTYPE_FLOAT32)
+        assert built.values.dtype == np.float32
+        assert built.values.tobytes() == reference.values.tobytes()
+
+    @pytest.mark.parametrize("dtype", [DTYPE_FLOAT64, DTYPE_FLOAT32])
+    @pytest.mark.parametrize("storage", [STORAGE_RAM, STORAGE_MEMMAP])
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_dtype_storage_workers_grid(self, dtype, storage, workers):
+        datas = make_ragged_datas(count=50, seed=23)
+        reference = serial_build(datas, dtype=dtype)
+        built = threaded_build(datas, workers, dtype=dtype, storage=storage)
+        assert built.stats.backend == "parallel"
+        assert built.stats.parallel_backend == PARALLEL_THREADS
+        assert built.stats.workers == workers
+        assert np.asarray(built.values).tobytes() == reference.values.tobytes()
+
+    def test_equal_length_only_set(self):
+        rng = np.random.default_rng(3)
+        datas = list({bytes(rng.integers(0, 256, size=6, dtype=np.uint8)): None
+                      for _ in range(40)})
+        reference = serial_build(datas)
+        built = threaded_build(datas, 4)
+        # A single equal-length bin still threads (tiles, not blocks,
+        # are the unit of work).
+        assert built.stats.backend == "parallel"
+        assert built.values.tobytes() == reference.values.tobytes()
+
+    def test_many_tiles_per_bin(self, monkeypatch):
+        # Shrink the tile budget so single bins split into many tiles
+        # and the scheduler's cross-tile band mirroring is exercised.
+        monkeypatch.setattr(matrix_mod, "CHUNK_CELL_BUDGET", 64)
+        datas = make_ragged_datas(count=70, seed=29, max_length=8)
+        reference = serial_build(datas)
+        built = threaded_build(datas, 4)
+        assert built.stats.tile_count > built.stats.task_count
+        assert built.values.tobytes() == reference.values.tobytes()
+
+    def test_determinism_across_worker_counts(self):
+        datas = make_ragged_datas(count=80, seed=31)
+        reference = serial_build(datas)
+        fingerprints = set()
+        for workers in (2, 3, 4):
+            built = threaded_build(datas, workers)
+            assert built.stats.backend == "parallel"
+            fingerprints.add(built.values.tobytes())
+        assert fingerprints == {reference.values.tobytes()}
+
+    def test_auto_backend_resolves_to_threads_for_binned(self):
+        datas = make_ragged_datas(count=40, seed=37)
+        built = DissimilarityMatrix.build(
+            as_unique_segments(datas),
+            options=MatrixBuildOptions(
+                workers=2, use_cache=False, parallel_threshold=0
+            ),
+        )
+        assert built.stats.backend == "parallel"
+        assert built.stats.parallel_backend == PARALLEL_THREADS
+
+    def test_processes_backend_still_available_and_identical(self):
+        datas = make_ragged_datas(count=40, seed=41)
+        reference = serial_build(datas)
+        built = DissimilarityMatrix.build(
+            as_unique_segments(datas),
+            options=MatrixBuildOptions(
+                workers=2,
+                use_cache=False,
+                parallel_threshold=0,
+                parallel_backend=PARALLEL_PROCESSES,
+            ),
+        )
+        if built.stats.backend == "parallel":  # pool may be unavailable
+            assert built.stats.parallel_backend == PARALLEL_PROCESSES
+        assert built.values.tobytes() == reference.values.tobytes()
+
+
+class TestWorkersConvention:
+    """None ⇒ all cores, 0 ⇒ serial, N ⇒ exactly N — everywhere."""
+
+    def test_effective_workers_resolution(self):
+        assert MatrixBuildOptions(workers=None).effective_workers() == (
+            os.cpu_count() or 1
+        )
+        assert MatrixBuildOptions(workers=0).effective_workers() == 1
+        assert MatrixBuildOptions(workers=1).effective_workers() == 1
+        assert MatrixBuildOptions(workers=5).effective_workers() == 5
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            MatrixBuildOptions(workers=-1)
+
+    def test_workers_zero_forces_serial_past_the_threshold(self):
+        datas = make_ragged_datas(count=40, seed=43)
+        built = DissimilarityMatrix.build(
+            as_unique_segments(datas),
+            options=MatrixBuildOptions(
+                workers=0, use_cache=False, parallel_threshold=0
+            ),
+        )
+        assert built.stats.backend == "serial"
+        assert built.stats.parallel_backend is None
+
+    def test_threads_plus_pairwise_rejected(self):
+        with pytest.raises(ValueError, match="binned kernel"):
+            MatrixBuildOptions(
+                kernel=KERNEL_PAIRWISE, parallel_backend=PARALLEL_THREADS
+            )
+
+    def test_auto_resolution_by_kernel(self):
+        assert (
+            MatrixBuildOptions().resolved_parallel_backend() == PARALLEL_THREADS
+        )
+        assert (
+            MatrixBuildOptions(kernel=KERNEL_PAIRWISE).resolved_parallel_backend()
+            == PARALLEL_PROCESSES
+        )
+        assert (
+            MatrixBuildOptions(
+                parallel_backend=PARALLEL_PROCESSES
+            ).resolved_parallel_backend()
+            == PARALLEL_PROCESSES
+        )
+
+    def _parse(self, *argv):
+        parser = argparse.ArgumentParser(parents=[backend_parent()])
+        return parser.parse_args(list(argv))
+
+    def test_cli_workers_zero_means_serial(self):
+        args = self._parse("--workers", "0")
+        options = matrix_options_from_args(args)
+        assert options.workers == 0
+        assert options.effective_workers() == 1
+        config = ClusteringConfig.from_args(args)
+        assert config.matrix_options.workers == 0
+        assert config.matrix_options.effective_workers() == 1
+
+    def test_cli_workers_default_means_all_cores(self):
+        args = self._parse()
+        options = matrix_options_from_args(args)
+        assert options.workers is None
+        assert options.effective_workers() == (os.cpu_count() or 1)
+        assert options.parallel_backend == PARALLEL_AUTO
+
+    def test_cli_parallel_backend_flag(self):
+        args = self._parse("--parallel-backend", "processes")
+        assert matrix_options_from_args(args).parallel_backend == PARALLEL_PROCESSES
+        config = ClusteringConfig.from_args(args)
+        assert config.matrix_options.parallel_backend == PARALLEL_PROCESSES
+
+
+class TestThreadedObservability:
+    def test_bin_spans_and_queue_metrics(self):
+        datas = make_ragged_datas(count=50, seed=47)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            built = threaded_build(datas, 2)
+        assert built.stats.backend == "parallel"
+        assert built.stats.tile_count > 0
+
+        bins = tracer.find("matrix.bin")
+        assert len(bins) == built.stats.tile_count
+        for span in bins:
+            assert span.attributes["worker"].startswith("repro-matrix")
+            start, _, stop = span.attributes["tile"].partition(":")
+            assert int(start) < int(stop)
+            assert span.attributes["queue_seconds"] >= 0.0
+            assert span.attributes["kind"] in ("same", "cross")
+
+        queue = registry.histogram(matrix_mod.BIN_QUEUE_METRIC)
+        assert queue.snapshot()["count"] == built.stats.tile_count
+        scheduled = registry.counter(matrix_mod.BINS_SCHEDULED_METRIC)
+        total = sum(
+            scheduled.value(**dict(labels)) for labels in scheduled.label_sets()
+        )
+        assert total == built.stats.tile_count
+
+        builds = tracer.find("matrix.build")
+        assert len(builds) == 1
+        attributes = builds[0].attributes
+        assert attributes["parallel_backend"] == PARALLEL_THREADS
+        assert attributes["tiles"] == built.stats.tile_count
+        assert attributes["backend"] == "parallel"
+
+    def test_serial_build_has_no_threaded_artifacts(self):
+        datas = make_ragged_datas(count=20, seed=53)
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with use_tracer(tracer), use_metrics(registry):
+            built = serial_build(datas)
+        assert built.stats.tile_count == 0
+        for span in tracer.find("matrix.bin"):
+            assert "worker" not in span.attributes
+        assert registry.histogram(matrix_mod.BIN_QUEUE_METRIC).snapshot()[
+            "count"
+        ] == 0

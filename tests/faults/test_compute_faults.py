@@ -76,6 +76,10 @@ def _options(tmp_path, **overrides):
         max_retries=2,
         use_cache=False,
         cache_dir=tmp_path / "cache",
+        # These tests exercise the process pool's retry ladder; "auto"
+        # now resolves the binned kernel to the threaded backend, so
+        # pin processes explicitly (thread faults: test_thread_faults).
+        parallel_backend="processes",
     )
     defaults.update(overrides)
     return MatrixBuildOptions(**defaults)

@@ -1,0 +1,137 @@
+"""Fault injection, threaded matrix builds: fail loudly, drain cleanly.
+
+The threaded bin scheduler has no retry ladder — worker threads share
+the output matrix, so a failed tile means the build's invariants are
+gone and the only honest outcome is a :class:`ComputeError` naming the
+bin.  Threads also cannot be killed: the scheduler must cancel every
+not-yet-started tile, let the in-flight ones finish, and only then
+raise.  These tests pin that contract, and pin the fault accounting:
+a threaded bin failure counts as ``kind="bin_error"`` on
+``repro_matrix_faults_total`` and never leaks into the process pool's
+retry-ladder kinds (``block_retry`` / ``serial_fallback`` /
+``pool_rebuild``).
+
+Faults are injected by monkeypatching
+:func:`repro.core.matrix._compute_tile_into` — the thread worker's
+unit of work; same process, so no sentinel files are needed.
+"""
+
+import re
+
+import pytest
+
+from repro.core import matrix as matrix_mod
+from repro.core.matrix import DissimilarityMatrix, MatrixBuildOptions
+from repro.core.segments import UniqueSegment
+from repro.errors import ComputeError
+from repro.obs.metrics import MetricsRegistry, use_metrics
+
+pytestmark = pytest.mark.faults
+
+_REAL_TILE = matrix_mod._compute_tile_into
+
+
+def _segments():
+    """Two length bins, enough rows for many tiles under a tiny budget."""
+    datas = [bytes([i, 255 - i, i ^ 0x5A]) for i in range(40)]
+    datas += [bytes([i, i, 7, 200 - i]) for i in range(40)]
+    return [UniqueSegment(data=d) for d in datas]
+
+
+def _options(**overrides):
+    defaults = dict(
+        workers=2,
+        parallel_threshold=2,
+        parallel_backend="threads",
+        use_cache=False,
+    )
+    defaults.update(overrides)
+    return MatrixBuildOptions(**defaults)
+
+
+@pytest.fixture
+def many_tiles(monkeypatch):
+    """Force one tile per bin row so the queue is long."""
+    monkeypatch.setattr(matrix_mod, "CHUNK_CELL_BUDGET", 64)
+
+
+def _fail_first_tile(monkeypatch):
+    """Patch the tile worker to raise on its first invocation only."""
+    calls = {"count": 0}
+
+    def flaky(values, by_length, task, row_start, row_stop, cells_budget):
+        calls["count"] += 1
+        if calls["count"] == 1:
+            raise RuntimeError("injected tile fault")
+        return _REAL_TILE(values, by_length, task, row_start, row_stop, cells_budget)
+
+    monkeypatch.setattr(matrix_mod, "_compute_tile_into", flaky)
+    return calls
+
+
+class TestThreadedTileFaults:
+    def test_failed_bin_raises_compute_error_naming_the_bin(
+        self, monkeypatch, many_tiles
+    ):
+        _fail_first_tile(monkeypatch)
+        with pytest.raises(ComputeError) as exc:
+            DissimilarityMatrix.build(_segments(), options=_options())
+        message = str(exc.value)
+        assert "failed in the threaded build" in message
+        assert re.search(r"matrix bin \(\d+, \d+\)", message)
+        assert "injected tile fault" in message
+
+    def test_pending_tiles_are_drained_not_abandoned(
+        self, monkeypatch, many_tiles
+    ):
+        # Two workers and a long queue: when the first tile raises,
+        # most of the queue has not started yet and must be
+        # cancelled/drained (threads cannot be killed), which the
+        # error message records.
+        _fail_first_tile(monkeypatch)
+        with pytest.raises(ComputeError) as exc:
+            DissimilarityMatrix.build(_segments(), options=_options(workers=2))
+        drained = int(re.search(r"(\d+) queued tiles drained", str(exc.value))[1])
+        assert drained > 0
+
+    def test_in_flight_tiles_finish_before_the_raise(
+        self, monkeypatch, many_tiles
+    ):
+        # With the failure injected on the first tile, the scheduler
+        # still lets already-running tiles complete: the total calls to
+        # the (patched) worker equal 1 failure + the completed tiles,
+        # and every completed tile went through the real kernel.
+        calls = _fail_first_tile(monkeypatch)
+        with pytest.raises(ComputeError):
+            DissimilarityMatrix.build(_segments(), options=_options(workers=2))
+        assert calls["count"] >= 1
+
+    def test_bin_error_counted_once_and_no_ladder_kinds(
+        self, monkeypatch, many_tiles
+    ):
+        _fail_first_tile(monkeypatch)
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            with pytest.raises(ComputeError):
+                DissimilarityMatrix.build(_segments(), options=_options())
+            counter = registry.counter(matrix_mod.FAULTS_METRIC)
+            assert counter.value(kind="bin_error") == 1
+            # The threaded path must not touch the process-pool ladder
+            # counters — no double accounting across backends.
+            assert counter.value(kind="block_retry") == 0
+            assert counter.value(kind="serial_fallback") == 0
+            assert counter.value(kind="pool_rebuild") == 0
+
+    def test_healthy_rebuild_after_a_failed_build(self, monkeypatch, many_tiles):
+        # A failed threaded build leaves no poisoned global state: the
+        # next build with a healthy kernel succeeds and matches serial.
+        _fail_first_tile(monkeypatch)
+        with pytest.raises(ComputeError):
+            DissimilarityMatrix.build(_segments(), options=_options())
+        monkeypatch.setattr(matrix_mod, "_compute_tile_into", _REAL_TILE)
+        rebuilt = DissimilarityMatrix.build(_segments(), options=_options(workers=2))
+        reference = DissimilarityMatrix.build(
+            _segments(), options=MatrixBuildOptions(workers=0)
+        )
+        assert rebuilt.stats.backend == "parallel"
+        assert rebuilt.values.tobytes() == reference.values.tobytes()

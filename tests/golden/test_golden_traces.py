@@ -44,13 +44,19 @@ GOLDEN_MESSAGES = 120
 GOLDEN_SEED = 1202
 
 
-def golden_run(protocol: str) -> dict:
-    """One deterministic pipeline run, reduced to its golden artifacts."""
+def golden_run(protocol: str, matrix_options: MatrixBuildOptions | None = None) -> dict:
+    """One deterministic pipeline run, reduced to its golden artifacts.
+
+    *matrix_options* overrides the build backend (default: serial, no
+    cache) — the parallelism parity suite re-runs the whole corpus
+    through the threaded backend and asserts the identical artifacts.
+    """
     model = get_model(protocol)
     trace = model.generate(GOLDEN_MESSAGES, seed=GOLDEN_SEED).preprocess()
     segments = GroundTruthSegmenter(model).segment(trace)
     config = ClusteringConfig(
-        matrix_options=MatrixBuildOptions(workers=1, use_cache=False)
+        matrix_options=matrix_options
+        or MatrixBuildOptions(workers=1, use_cache=False)
     )
     result = cluster_segments(segments, config)
     epsilon = float(result.epsilon)
@@ -107,6 +113,35 @@ def test_golden_trace(protocol, request):
     )
     assert actual["noise"] == expected["noise"], (
         "clustering drift: noise count changed"
+    )
+    assert actual == expected
+
+
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_golden_trace_threaded(protocol, request):
+    """The whole corpus again, through the threaded matrix backend.
+
+    workers=4 with the parallel threshold lowered to 0 so every build
+    actually runs on the thread pool; the artifacts — including the
+    bit-exact matrix fingerprint — must match the checked-in ones the
+    serial backend produced.  This is the end-to-end half of the
+    parallelism parity contract (tests/core/test_parallel_build.py has
+    the property-test half).
+    """
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("corpus regenerates from the serial reference")
+    actual = golden_run(
+        protocol,
+        matrix_options=MatrixBuildOptions(
+            workers=4,
+            parallel_threshold=0,
+            parallel_backend="threads",
+            use_cache=False,
+        ),
+    )
+    expected = json.loads(expected_path(protocol).read_text())
+    assert actual["matrix_sha256"] == expected["matrix_sha256"], (
+        "threaded backend drifted from the serial matrix fingerprint"
     )
     assert actual == expected
 
