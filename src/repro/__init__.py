@@ -36,7 +36,13 @@ Packages:
 - :mod:`repro.eval` — regeneration of every table and figure.
 """
 
-from repro.api import AnalysisRun, analyze, cluster_segments, run_analysis
+from repro.api import (
+    AnalysisRun,
+    AnalysisSession,
+    analyze,
+    cluster_segments,
+    run_analysis,
+)
 from repro.errors import (
     CacheError,
     ComputeError,
@@ -63,6 +69,8 @@ from repro.segmenters import (
     GroundTruthSegmenter,
     NemesysSegmenter,
     NetzobSegmenter,
+    available_segmenters,
+    register_segmenter,
 )
 from repro.semantics import deduce_semantics
 
@@ -71,6 +79,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AnalysisReport",
     "AnalysisRun",
+    "AnalysisSession",
     "CacheError",
     "ClusteringConfig",
     "ClusteringResult",
@@ -91,11 +100,13 @@ __all__ = [
     "UniqueSegment",
     "analyze",
     "available_protocols",
+    "available_segmenters",
     "canberra_dissimilarity",
     "cluster_segments",
     "deduce_semantics",
     "get_model",
     "infer_all_templates",
     "load_trace",
+    "register_segmenter",
     "run_analysis",
 ]

@@ -37,7 +37,7 @@ from repro.net.trace import load_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer
 from repro.protocols import available_protocols, get_model
-from repro.segmenters import SegmenterResourceError
+from repro.segmenters import SegmenterResourceError, available_segmenters
 
 
 def _cmd_protocols(_args) -> int:
@@ -166,7 +166,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="messages to synthesize with --model")
     analyze.add_argument("--name", default="unknown", help="protocol label")
     analyze.add_argument("--port", type=int, help="UDP/TCP port filter")
-    analyze.add_argument("--segmenter", choices=sorted(api.SEGMENTERS),
+    analyze.add_argument("--segmenter", choices=available_segmenters(),
                          default="nemesys")
     analyze.add_argument("--semantics", action="store_true",
                          help="run semantic deduction on the clusters")
@@ -174,10 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
     analyze.add_argument("--seed", type=int, default=42)
     analyze.set_defaults(handler=_cmd_analyze)
+
+    from repro.serve import build_parser as serve_parser
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve an incremental analysis session over TCP",
+        parents=[serve_parser()],
+        add_help=False,
+    )
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 
-_COMMANDS = ("protocols", "generate", "analyze")
+def _cmd_serve(args) -> int:
+    from repro.serve import run_server
+
+    return run_server(args)
+
+
+_COMMANDS = ("protocols", "generate", "analyze", "serve")
 
 
 def _default_to_analyze(argv: list[str]) -> list[str]:

@@ -1,13 +1,18 @@
 """Stable public facade: one entry point for library users and CLIs.
 
-The two calls every consumer needs:
+The calls every consumer needs:
 
 - :func:`analyze` — pcap/trace in, :class:`~repro.report.AnalysisReport`
   out (load → preprocess → segment → cluster → optional semantics);
 - :func:`cluster_segments` — the clustering stage alone, for callers
-  that bring their own field candidates.
+  that bring their own field candidates;
+- :class:`~repro.session.AnalysisSession` — the stateful incremental
+  variant: :meth:`~repro.session.AnalysisSession.append` message chunks
+  as they arrive, :meth:`~repro.session.AnalysisSession.snapshot` an
+  :class:`AnalysisRun` at any point (bit-identical to a batch
+  :func:`run_analysis` over the same messages).
 
-Both accept an optional :class:`~repro.obs.tracer.Tracer` and
+All of them accept an optional :class:`~repro.obs.tracer.Tracer` and
 :class:`~repro.obs.metrics.MetricsRegistry`; when given, they are bound
 as the active observability sinks for the duration of the call, so the
 caller gets the full span tree and metric snapshot without any global
@@ -15,6 +20,13 @@ state.  :func:`run_analysis` is the richer variant behind
 :func:`analyze` that also returns the intermediate artefacts (trace,
 segments, :class:`~repro.core.pipeline.ClusteringResult`, semantics) —
 the ``repro-analyze`` CLI is a thin wrapper over it.
+
+Third-party segmenters plug in through the registry:
+:func:`~repro.segmenters.register_segmenter` makes a
+:class:`~repro.segmenters.Segmenter` subclass selectable by name
+everywhere a ``segmenter=`` parameter or ``--segmenter`` flag is
+accepted; :func:`~repro.segmenters.available_segmenters` lists the
+names.
 
 Execution knobs (worker count, parallel backend, kernel, dtype,
 storage, cache) ride along on
@@ -54,21 +66,25 @@ from repro.net.trace import Trace, load_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer, use_tracer
 from repro.report import AnalysisReport
-from repro.segmenters import (
-    CspSegmenter,
-    NemesysSegmenter,
-    NetzobSegmenter,
-    Segmenter,
-)
+from repro.segmenters import Segmenter
+from repro.segmenters.registry import _SEGMENTERS, resolve_segmenter
 from repro.semantics import deduce_semantics
 from repro.semantics.engine import ClusterSemantics
+from repro.session import AnalysisSession
 
-#: Heuristic segmenters selectable by name (CLI ``--segmenter`` choices).
-SEGMENTERS: dict[str, type[Segmenter]] = {
-    "nemesys": NemesysSegmenter,
-    "netzob": NetzobSegmenter,
-    "csp": CspSegmenter,
-}
+__all__ = [
+    "AnalysisRun",
+    "AnalysisSession",
+    "SEGMENTERS",
+    "analyze",
+    "cluster_segments",
+    "run_analysis",
+]
+
+#: Heuristic segmenters selectable by name.  Alias of the live registry
+#: mapping — register via :func:`repro.segmenters.register_segmenter`,
+#: not by mutating this dict.
+SEGMENTERS: dict[str, type[Segmenter]] = _SEGMENTERS
 
 
 @dataclass
@@ -93,14 +109,7 @@ def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None
 
 
 def _resolve_segmenter(segmenter: str | Segmenter) -> Segmenter:
-    if isinstance(segmenter, Segmenter):
-        return segmenter
-    try:
-        return SEGMENTERS[segmenter]()
-    except KeyError:
-        raise ValueError(
-            f"unknown segmenter {segmenter!r} (choices: {sorted(SEGMENTERS)})"
-        ) from None
+    return resolve_segmenter(segmenter)
 
 
 def cluster_segments(
@@ -157,6 +166,10 @@ def run_analysis(
         quarantine = trace.quarantine
         if preprocess:
             trace = trace.preprocess()
+            # preprocess() returns a fresh Trace that does not carry the
+            # capture's quarantine report; re-attach it so the run's
+            # trace keeps describing the lenient load it came from.
+            trace.quarantine = quarantine
         if not len(trace):
             raise ValueError("no messages to analyze after preprocessing")
         segments = _resolve_segmenter(segmenter).segment(trace)
@@ -177,11 +190,31 @@ def run_analysis(
 def analyze(
     trace_or_path: Trace | str | Path,
     config: ClusteringConfig | None = None,
-    **kwargs,
+    *,
+    protocol: str = "unknown",
+    port: int | None = None,
+    segmenter: str | Segmenter = "nemesys",
+    semantics: bool = False,
+    preprocess: bool = True,
+    strict: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> AnalysisReport:
     """Analyze a trace or capture file; returns the analysis report.
 
-    Thin wrapper over :func:`run_analysis` (same keyword arguments)
-    returning only the serializable :class:`AnalysisReport`.
+    Thin wrapper over :func:`run_analysis` (same keyword arguments,
+    spelled out so the surface is introspectable) returning only the
+    serializable :class:`AnalysisReport`.
     """
-    return run_analysis(trace_or_path, config, **kwargs).report
+    return run_analysis(
+        trace_or_path,
+        config,
+        protocol=protocol,
+        port=port,
+        segmenter=segmenter,
+        semantics=semantics,
+        preprocess=preprocess,
+        strict=strict,
+        tracer=tracer,
+        metrics=metrics,
+    ).report

@@ -345,6 +345,108 @@ def cross_length_block_rows(
     return out
 
 
+def equal_length_cross_rows(
+    block_a: np.ndarray,
+    block_b: np.ndarray,
+    row_start: int,
+    row_stop: int,
+    *,
+    out: np.ndarray | None = None,
+    cells_budget: int | None = None,
+) -> np.ndarray:
+    """Rows ``[row_start, row_stop)`` of an equal-length *rectangular* bin.
+
+    The incremental (append) build needs dissimilarities between two
+    *disjoint* groups of segments of the same length — new rows against
+    old columns — which is neither the triangular within-bin kernel
+    (:func:`pairwise_equal_length_rows`) nor the sliding cross-length
+    kernel.  Returns (or fills *out* with) the
+    ``(row_stop - row_start, count_b)`` block of normalized Canberra
+    distances between rows of *block_a* and all rows of *block_b*
+    (both ``(count, length)`` with the same length).
+
+    Each cell is the mean of the same gathered terms
+    :func:`pairwise_equal_length` computes for that pair inside one
+    combined bin, reduced along the same axis — so an append build that
+    routes old-vs-new pairs through this kernel stays bit-identical to
+    a batch build over the union.  *cells_budget* bounds the per-chunk
+    temporary exactly as in :func:`pairwise_equal_length_rows`.
+    """
+    block_a = np.asarray(block_a)
+    block_b = np.asarray(block_b)
+    binned = block_a.dtype == np.uint8 and block_b.dtype == np.uint8
+    if not binned:
+        block_a = np.asarray(block_a, dtype=np.float64)
+        block_b = np.asarray(block_b, dtype=np.float64)
+    count_a, length_a = block_a.shape
+    count_b, length_b = block_b.shape
+    if length_a != length_b:
+        raise ValueError(
+            f"equal-length cross kernel needs equal lengths: "
+            f"{length_a} != {length_b}"
+        )
+    if not 0 <= row_start <= row_stop <= count_a:
+        raise ValueError(
+            f"tile rows [{row_start}, {row_stop}) outside block of {count_a} rows"
+        )
+    rows = row_stop - row_start
+    if out is None:
+        out = np.empty((rows, count_b), dtype=np.float64)
+    elif out.shape != (rows, count_b):
+        raise ValueError(f"out shape {out.shape} != {(rows, count_b)}")
+    if length_a == 0:
+        out[...] = 0.0
+        return out
+    chunk_rows = _chunk_rows_for(count_b * length_a, cells_budget)
+    lut = byte_term_lut() if binned else None
+    for start in range(row_start, row_stop, chunk_rows):
+        stop = min(start + chunk_rows, row_stop)
+        left = block_a[start:stop, np.newaxis, :]
+        right = block_b[np.newaxis, :, :]
+        if binned:
+            means = lut[left, right].mean(axis=2)
+        else:
+            means = _terms_mean_float(left, right)
+        out[start - row_start : stop - row_start] = means
+    return out
+
+
+def equal_length_cross_block(
+    block_a: np.ndarray, block_b: np.ndarray
+) -> np.ndarray:
+    """Full ``(count_a, count_b)`` equal-length rectangular bin.
+
+    Whole-block convenience over :func:`equal_length_cross_rows` — the
+    serial append path's unit of work, mirroring how
+    :func:`pairwise_equal_length` relates to its row-tile entry point.
+    """
+    block_a = np.asarray(block_a)
+    return equal_length_cross_rows(block_a, block_b, 0, block_a.shape[0])
+
+
+def equal_length_cross_block_reference(
+    block_a: np.ndarray, block_b: np.ndarray
+) -> np.ndarray:
+    """Per-pair oracle for :func:`equal_length_cross_block`.
+
+    One :func:`canberra_distance` call per (a, b) pair; pins the
+    vectorized rectangular kernel exactly as the other references pin
+    their batch counterparts.
+    """
+    block_a = np.asarray(block_a, dtype=np.float64)
+    block_b = np.asarray(block_b, dtype=np.float64)
+    if block_a.shape[1] != block_b.shape[1]:
+        raise ValueError(
+            f"equal-length cross kernel needs equal lengths: "
+            f"{block_a.shape[1]} != {block_b.shape[1]}"
+        )
+    result = np.empty((block_a.shape[0], block_b.shape[0]), dtype=np.float64)
+    for i, left in enumerate(block_a):
+        for j, right in enumerate(block_b):
+            result[i, j] = canberra_distance(left, right)
+    return result
+
+
 def pairwise_equal_length_reference(block: np.ndarray) -> np.ndarray:
     """Per-pair oracle for :func:`pairwise_equal_length`.
 

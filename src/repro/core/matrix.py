@@ -75,6 +75,9 @@ from repro.core.canberra import (
     cross_length_block,
     cross_length_block_reference,
     cross_length_block_rows,
+    equal_length_cross_block,
+    equal_length_cross_block_reference,
+    equal_length_cross_rows,
     pairwise_equal_length,
     pairwise_equal_length_reference,
     pairwise_equal_length_rows,
@@ -285,7 +288,9 @@ class BuildStats:
     """Observability record for one matrix build."""
 
     unique_count: int = 0
-    #: "serial", "parallel", or "cache" — the path that produced values.
+    #: "serial", "parallel", "cache", or "append" — the path that
+    #: produced values (append = incremental growth of an existing
+    #: matrix; only the new cells were computed).
     backend: str = "serial"
     #: "threads" or "processes" when the backend is "parallel"; None on
     #: the serial and cache paths.
@@ -341,12 +346,30 @@ def _block_tasks(
     blocks: dict[int, np.ndarray],
     penalty_factor: float,
     kernel: str,
+    by_length: dict[int, list[int]],
 ) -> list[tuple]:
-    """Independent work items: one per length pair (including li == lj)."""
+    """Independent work items: one per length pair (including li == lj).
+
+    Every task carries the global matrix indices its rows and columns
+    scatter to (elements 7 and 8), so the compute/scatter code never has
+    to reconstruct them from the length maps — which also lets the
+    append path emit rectangular tasks whose row and column index sets
+    come from *different* segment generations.
+    """
     tasks = []
     for li, length_a in enumerate(lengths):
         tasks.append(
-            ("same", length_a, length_a, blocks[length_a], None, penalty_factor, kernel)
+            (
+                "same",
+                length_a,
+                length_a,
+                blocks[length_a],
+                None,
+                penalty_factor,
+                kernel,
+                by_length[length_a],
+                by_length[length_a],
+            )
         )
         for length_b in lengths[li + 1 :]:
             tasks.append(
@@ -358,6 +381,8 @@ def _block_tasks(
                     blocks[length_b],
                     penalty_factor,
                     kernel,
+                    by_length[length_a],
+                    by_length[length_b],
                 )
             )
     return tasks
@@ -369,6 +394,9 @@ def _task_pair_count(task: tuple) -> int:
     if kind == "same":
         count = block_a.shape[0]
         return count * (count - 1) // 2
+    # "cross" (different lengths) and "eqcross" (equal lengths, disjoint
+    # row/column index sets — the append path's new-vs-old rectangles)
+    # both cover every (row, column) pair once.
     return block_a.shape[0] * block_b.shape[0]
 
 
@@ -389,6 +417,9 @@ def _task_tiles(tasks: list[tuple]) -> list[tuple[int, int, int, int]]:
         if kind == "same":
             rows, length = block_a.shape
             cells_per_row = max(1, rows * length)
+        elif kind == "eqcross":
+            rows, length = block_a.shape
+            cells_per_row = max(1, block_b.shape[0] * length)
         else:
             rows, m = block_a.shape
             b, n = block_b.shape
@@ -414,6 +445,11 @@ def _tile_pair_count(task: tuple, row_start: int, row_stop: int) -> int:
     return (row_stop - row_start) * block_b.shape[0]
 
 
+def _task_indices(task: tuple) -> tuple[list[int], list[int]]:
+    """The global (row, column) matrix indices a task scatters to."""
+    return task[7], task[8]
+
+
 def _compute_tile_into(
     values: np.ndarray,
     by_length: dict[int, list[int]],
@@ -426,19 +462,29 @@ def _compute_tile_into(
 
     The thread worker's unit of work.  Tiles of one build cover
     disjoint cells of *values* (an equal-length tile owns its upper
-    band rows and their transposes; a cross-length tile owns its short
-    rows and their transposes), so concurrent workers never write the
-    same cell — except the symmetric diagonal band *within* one tile,
-    which the same thread overwrites with bit-identical values.
+    band rows and their transposes; a cross-length or eqcross tile owns
+    its rows and their transposes), so concurrent workers never write
+    the same cell — except the symmetric diagonal band *within* one
+    tile, which the same thread overwrites with bit-identical values.
+
+    Scatter targets come from the task's own index arrays
+    (:func:`_task_indices`); *by_length* is kept in the signature for
+    wrapper compatibility but no longer consulted.
     """
-    kind, length_a, length_b, block_a, block_b, penalty_factor, _kernel = task
+    kind, _length_a, _length_b, block_a, block_b, penalty_factor, _kernel = task[:7]
+    task_rows, task_cols = _task_indices(task)
     if kind == "same":
         tile = pairwise_equal_length_rows(
             block_a, row_start, row_stop, cells_budget=cells_budget
         )
-        indices = by_length[length_a]
-        rows = indices[row_start:row_stop]
-        cols = indices[row_start:]
+        rows = task_rows[row_start:row_stop]
+        cols = task_cols[row_start:]
+    elif kind == "eqcross":
+        tile = equal_length_cross_rows(
+            block_a, block_b, row_start, row_stop, cells_budget=cells_budget
+        )
+        rows = task_rows[row_start:row_stop]
+        cols = task_cols
     else:
         tile = cross_length_block_rows(
             block_a,
@@ -448,8 +494,8 @@ def _compute_tile_into(
             penalty_factor=penalty_factor,
             cells_budget=cells_budget,
         )
-        rows = by_length[length_a][row_start:row_stop]
-        cols = by_length[length_b]
+        rows = task_rows[row_start:row_stop]
+        cols = task_cols
     values[np.ix_(rows, cols)] = tile
     values[np.ix_(cols, rows)] = tile.T
 
@@ -596,7 +642,7 @@ def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
     task's trailing element selects the kernel: the vectorized binned
     batch functions, or their per-pair reference oracles.
     """
-    kind, length_a, length_b, block_a, block_b, penalty_factor, kernel = task
+    kind, length_a, length_b, block_a, block_b, penalty_factor, kernel = task[:7]
     if kind == "same":
         compute = (
             pairwise_equal_length_reference
@@ -604,6 +650,13 @@ def _compute_block_task(task: tuple) -> tuple[int, int, np.ndarray]:
             else pairwise_equal_length
         )
         return length_a, length_b, compute(block_a)
+    if kind == "eqcross":
+        compute = (
+            equal_length_cross_block_reference
+            if kernel == KERNEL_PAIRWISE
+            else equal_length_cross_block
+        )
+        return length_a, length_b, compute(block_a, block_b)
     compute = (
         cross_length_block_reference
         if kernel == KERNEL_PAIRWISE
@@ -629,6 +682,24 @@ def _recover_serially(task: tuple) -> tuple[int, int, np.ndarray]:
         raise ComputeError(
             f"block ({task[1]}, {task[2]}) failed even in serial fallback: {error}"
         ) from error
+
+
+def _scatter_results(
+    values: np.ndarray,
+    tasks: list[tuple],
+    results: list[tuple[int, int, np.ndarray]],
+) -> None:
+    """Write block results into *values* at their tasks' global indices.
+
+    "same" blocks are symmetric squares over one index set (a single
+    write covers both triangles); "cross" and "eqcross" rectangles also
+    write their transpose into the mirrored cells.
+    """
+    for task, (_, _, block_values) in zip(tasks, results):
+        rows, cols = _task_indices(task)
+        values[np.ix_(rows, cols)] = block_values
+        if task[0] != "same":
+            values[np.ix_(cols, rows)] = block_values.T
 
 
 def _compute_tasks_parallel(
@@ -802,10 +873,10 @@ class DissimilarityMatrix:
                 storage=options.storage,
             )
 
+            order: list[int] | None = None
             if options.use_cache:
-                order = sorted(range(len(segments)), key=lambda i: segments[i].data)
-                stats.cache_key = matrixcache.matrix_cache_key(
-                    (segments[i].data for i in order),
+                stats.cache_key, order = matrixcache.canonical_order_key(
+                    [segment.data for segment in segments],
                     penalty_factor,
                     kernel=options.kernel,
                     dtype=options.dtype,
@@ -827,9 +898,8 @@ class DissimilarityMatrix:
 
             values, stats = cls._compute(segments, penalty_factor, options, stats)
 
-            if options.use_cache and stats.cache_key is not None:
+            if options.use_cache and stats.cache_key is not None and order is not None:
                 store_started = time.perf_counter()
-                order = sorted(range(len(segments)), key=lambda i: segments[i].data)
                 canonical = np.ascontiguousarray(values[np.ix_(order, order)])
                 matrixcache.store_matrix(stats.cache_key, canonical, options.cache_dir)
                 stats.seconds["cache_store"] = time.perf_counter() - store_started
@@ -881,7 +951,7 @@ class DissimilarityMatrix:
             by_length.setdefault(segment.length, []).append(index)
         blocks = _segment_blocks(segments, by_length)
         lengths = sorted(by_length)
-        tasks = _block_tasks(lengths, blocks, penalty_factor, options.kernel)
+        tasks = _block_tasks(lengths, blocks, penalty_factor, options.kernel, by_length)
         stats.seconds["blocks"] = time.perf_counter() - blocks_started
         stats.task_count = len(tasks)
 
@@ -935,14 +1005,7 @@ class DissimilarityMatrix:
                 stats.pairs_vectorized
             )
         if results is not None:
-            for length_a, length_b, block_values in results:
-                indices_a = by_length[length_a]
-                if length_a == length_b:
-                    values[np.ix_(indices_a, indices_a)] = block_values
-                else:
-                    indices_b = by_length[length_b]
-                    values[np.ix_(indices_a, indices_b)] = block_values
-                    values[np.ix_(indices_b, indices_a)] = block_values.T
+            _scatter_results(values, tasks, results)
         stats.seconds["compute"] = time.perf_counter() - compute_started
         return values, stats
 
@@ -1036,3 +1099,361 @@ class DissimilarityMatrix:
         """Upper-triangle distances as a flat vector (scipy convention)."""
         iu = np.triu_indices(len(self), k=1)
         return self.values[iu]
+
+
+def _append_tasks(
+    old_by_length: dict[int, list[int]],
+    new_by_length: dict[int, list[int]],
+    old_blocks: dict[int, np.ndarray],
+    new_blocks: dict[int, np.ndarray],
+    penalty_factor: float,
+    kernel: str,
+) -> list[tuple]:
+    """Work items covering exactly the cells an append adds.
+
+    For every length pair over the union of old and new lengths, emit
+    only the blocks with at least one *new* segment on a side: the
+    new-vs-new diagonal ("same" triangles per length plus "cross"
+    rectangles between new lengths) and the new-vs-old rectangles
+    ("eqcross" when the lengths are equal, "cross" otherwise).
+    Old-vs-old cells already hold their final values and are never
+    touched, which is what keeps concurrent tile writes disjoint from
+    the live matrix view.  Each cell goes through the same kernel
+    reduction as a batch build over the union, so the appended matrix
+    is bit-identical to a from-scratch build.
+    """
+    tasks = []
+    lengths = sorted(set(old_by_length) | set(new_by_length))
+    for li, length_a in enumerate(lengths):
+        old_a = old_by_length.get(length_a)
+        new_a = new_by_length.get(length_a)
+        if new_a and len(new_a) > 1:
+            tasks.append(
+                (
+                    "same",
+                    length_a,
+                    length_a,
+                    new_blocks[length_a],
+                    None,
+                    penalty_factor,
+                    kernel,
+                    new_a,
+                    new_a,
+                )
+            )
+        if new_a and old_a:
+            tasks.append(
+                (
+                    "eqcross",
+                    length_a,
+                    length_a,
+                    new_blocks[length_a],
+                    old_blocks[length_a],
+                    penalty_factor,
+                    kernel,
+                    new_a,
+                    old_a,
+                )
+            )
+        for length_b in lengths[li + 1 :]:
+            old_b = old_by_length.get(length_b)
+            new_b = new_by_length.get(length_b)
+            if old_a and new_b:
+                tasks.append(
+                    (
+                        "cross",
+                        length_a,
+                        length_b,
+                        old_blocks[length_a],
+                        new_blocks[length_b],
+                        penalty_factor,
+                        kernel,
+                        old_a,
+                        new_b,
+                    )
+                )
+            if new_a and old_b:
+                tasks.append(
+                    (
+                        "cross",
+                        length_a,
+                        length_b,
+                        new_blocks[length_a],
+                        old_blocks[length_b],
+                        penalty_factor,
+                        kernel,
+                        new_a,
+                        old_b,
+                    )
+                )
+            if new_a and new_b:
+                tasks.append(
+                    (
+                        "cross",
+                        length_a,
+                        length_b,
+                        new_blocks[length_a],
+                        new_blocks[length_b],
+                        penalty_factor,
+                        kernel,
+                        new_a,
+                        new_b,
+                    )
+                )
+    return tasks
+
+
+class AppendableMatrix:
+    """A dissimilarity matrix that grows in place as segments arrive.
+
+    Wraps :class:`DissimilarityMatrix` with capacity-managed backing
+    storage (geometric over-allocation, so repeated appends amortize
+    the O(n²) copy) and an :meth:`append` that computes only the
+    new-vs-old rectangles and the new-vs-new diagonal — through the
+    same binned kernel and threaded tile queue as a batch build, so the
+    grown matrix is bit-identical to ``DissimilarityMatrix.build`` over
+    the union of segments.  The cached k-NN columns are folded forward
+    with a rank-k merge instead of re-partitioning every old row.
+
+    The live view is :attr:`matrix`; views handed out before an append
+    stay valid (their old-vs-old cells are never rewritten), so a
+    snapshot taken at n segments keeps describing those n segments.
+    """
+
+    def __init__(
+        self,
+        segments: list[UniqueSegment],
+        penalty_factor: float = DEFAULT_PENALTY_FACTOR,
+        options: MatrixBuildOptions | None = None,
+        reserve_factor: float = 1.5,
+    ) -> None:
+        if options is None:
+            options = get_default_build_options()
+        if reserve_factor < 1.0:
+            raise ValueError(f"reserve_factor must be >= 1, got {reserve_factor}")
+        self.options = options
+        self.penalty_factor = penalty_factor
+        self._reserve_factor = float(reserve_factor)
+        segments = list(segments)
+        built = DissimilarityMatrix.build(segments, penalty_factor, options)
+        count = len(segments)
+        capacity = max(1, count, int(count * self._reserve_factor))
+        self._backing = _allocate_values(capacity, options.dtype, options.storage)
+        self._backing[:count, :count] = built.values
+        self._count = count
+        self._matrix = DissimilarityMatrix(
+            segments=segments,
+            values=self._backing[:count, :count],
+            stats=built.stats,
+        )
+        self._matrix._knn_columns = built._knn_columns
+
+    @property
+    def matrix(self) -> DissimilarityMatrix:
+        """The live matrix over every segment appended so far."""
+        return self._matrix
+
+    @property
+    def segments(self) -> list[UniqueSegment]:
+        return self._matrix.segments
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self._backing.shape[0]
+        if needed <= capacity:
+            return
+        new_capacity = max(needed, int(capacity * self._reserve_factor) + 1)
+        grown = _allocate_values(new_capacity, self.options.dtype, self.options.storage)
+        grown[: self._count, : self._count] = self._backing[
+            : self._count, : self._count
+        ]
+        # The previous backing stays alive as long as older matrix
+        # views reference it; their values are final, so nothing is lost.
+        self._backing = grown
+
+    def append(self, new_segments: list[UniqueSegment]) -> DissimilarityMatrix:
+        """Grow the matrix by *new_segments*; returns the new live view.
+
+        *new_segments* must be unique among themselves and against every
+        segment already in the matrix (the caller deduplicates — the
+        session does, via its payload registry).  Only the cells with a
+        new index on at least one side are computed; everything else is
+        carried forward untouched.
+        """
+        new_segments = list(new_segments)
+        added = len(new_segments)
+        if not added:
+            return self._matrix
+        old_count = self._count
+        count = old_count + added
+        options = self.options
+        with get_tracer().span(
+            "matrix.append", old_segments=old_count, new_segments=added
+        ) as span:
+            started = time.perf_counter()
+            self._ensure_capacity(count)
+            values = self._backing[:count, :count]
+            stats = BuildStats(
+                unique_count=count,
+                backend="append",
+                kernel=options.kernel,
+                dtype=options.dtype,
+                storage=options.storage,
+            )
+
+            blocks_started = time.perf_counter()
+            old_segments = self._matrix.segments
+            old_by_length: dict[int, list[int]] = {}
+            for index, segment in enumerate(old_segments):
+                old_by_length.setdefault(segment.length, []).append(index)
+            new_local: dict[int, list[int]] = {}
+            for offset, segment in enumerate(new_segments):
+                new_local.setdefault(segment.length, []).append(offset)
+            old_blocks = _segment_blocks(old_segments, old_by_length)
+            new_blocks = _segment_blocks(new_segments, new_local)
+            new_by_length = {
+                length: [old_count + offset for offset in offsets]
+                for length, offsets in new_local.items()
+            }
+            tasks = _append_tasks(
+                old_by_length,
+                new_by_length,
+                old_blocks,
+                new_blocks,
+                self.penalty_factor,
+                options.kernel,
+            )
+            stats.seconds["blocks"] = time.perf_counter() - blocks_started
+            stats.task_count = len(tasks)
+
+            compute_started = time.perf_counter()
+            workers = options.effective_workers()
+            in_place = False
+            if (
+                workers > 1
+                and tasks
+                and count >= options.parallel_threshold
+                and options.resolved_parallel_backend() == PARALLEL_THREADS
+            ):
+                in_place = _compute_tiles_threaded(tasks, values, {}, options, stats)
+                if in_place:
+                    stats.parallel_backend = PARALLEL_THREADS
+                    stats.workers = workers
+            if not in_place:
+                tracer = get_tracer()
+                results = []
+                for task in tasks:
+                    with tracer.span(
+                        "matrix.bin",
+                        kind=task[0],
+                        len_a=task[1],
+                        len_b=task[2],
+                        pairs=_task_pair_count(task),
+                        kernel=options.kernel,
+                    ):
+                        results.append(_compute_block_task(task))
+                _scatter_results(values, tasks, results)
+            if options.kernel == KERNEL_BINNED:
+                stats.pairs_vectorized = sum(_task_pair_count(task) for task in tasks)
+                get_metrics().counter(PAIRS_VECTORIZED_METRIC, help=_PAIRS_HELP).inc(
+                    stats.pairs_vectorized
+                )
+            stats.seconds["compute"] = time.perf_counter() - compute_started
+
+            merged_knn = self._merged_knn_columns(values, old_count, count)
+            stats.seconds["total"] = time.perf_counter() - started
+            DissimilarityMatrix._record_build(span, stats)
+            matrix = DissimilarityMatrix(
+                segments=old_segments + new_segments, values=values, stats=stats
+            )
+            matrix._knn_columns = merged_knn
+            self._matrix = matrix
+            self._count = count
+        return matrix
+
+    def _merged_knn_columns(
+        self, values: np.ndarray, old_count: int, count: int
+    ) -> np.ndarray | None:
+        """Rank-k merge of the cached k-NN columns with the new cells.
+
+        An old row's k nearest neighbors within the union are the k
+        smallest of (its cached k nearest among the old rows) ∪ (its
+        distances to the new rows) — the cached columns provably
+        contain every union minimum that is an old segment.  New rows
+        get one partition over their full rows, exactly as
+        :meth:`DissimilarityMatrix.knn_distances_all` would.  Both are
+        the same order statistics the batch path extracts, hence
+        bit-identical; only O(n·(k+m)) work instead of O(n²).
+        """
+        cached = self._matrix._knn_columns
+        if cached is None:
+            return None
+        k = min(cached.shape[1], count - 1)
+        if k < 1:
+            return None
+        with get_tracer().span("matrix.knn_merge", k_max=k, rows=count) as span:
+            started = time.perf_counter()
+            old_merged = np.partition(
+                np.concatenate(
+                    [cached[:, :k], values[:old_count, old_count:count]], axis=1
+                ),
+                np.arange(k),
+                axis=1,
+            )[:, :k]
+            # New rows include their own diagonal zero at sorted position
+            # 0, so columns 1..k are the k nearest other segments.
+            new_part = np.partition(
+                values[old_count:count, :count], np.arange(1, k + 1), axis=1
+            )
+            columns = np.concatenate([old_merged, new_part[:, 1 : k + 1]], axis=0)
+            elapsed = time.perf_counter() - started
+            span.set(seconds=round(elapsed, 6))
+        get_metrics().histogram(KNN_PARTITION_METRIC, help=_KNN_HELP).observe(elapsed)
+        return columns
+
+    def replace_segments(self, segments: list[UniqueSegment]) -> DissimilarityMatrix:
+        """Swap in refreshed segment objects without touching the values.
+
+        The session uses this after merging occurrence lists: the byte
+        values (and therefore every dissimilarity and the cache key)
+        must be unchanged, position by position — only metadata like
+        occurrence tuples may differ.
+        """
+        segments = list(segments)
+        if len(segments) != self._count:
+            raise ValueError(
+                f"expected {self._count} replacement segments, got {len(segments)}"
+            )
+        for position, (old, new) in enumerate(zip(self._matrix.segments, segments)):
+            if old.data != new.data:
+                raise ValueError(
+                    f"replacement segment {position} changes the byte value"
+                )
+        matrix = DissimilarityMatrix(
+            segments=segments,
+            values=self._matrix.values,
+            stats=self._matrix.stats,
+        )
+        matrix._knn_columns = self._matrix._knn_columns
+        self._matrix = matrix
+        return matrix
+
+    def persist(self, cache_dir: str | Path | None = None) -> None:
+        """Store the live matrix in the on-disk cache.
+
+        After this, a batch ``DissimilarityMatrix.build`` over the same
+        segment set (with ``use_cache=True``) hits instead of paying the
+        full O(n²) computation — e.g. a later offline re-analysis of a
+        capture a session already grew through.
+        """
+        datas = [segment.data for segment in self._matrix.segments]
+        key, order = matrixcache.canonical_order_key(
+            datas,
+            self.penalty_factor,
+            kernel=self.options.kernel,
+            dtype=self.options.dtype,
+        )
+        canonical = np.ascontiguousarray(self._matrix.values[np.ix_(order, order)])
+        matrixcache.store_matrix(key, canonical, cache_dir or self.options.cache_dir)

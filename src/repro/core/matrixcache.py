@@ -129,6 +129,26 @@ def matrix_cache_key(
     return digest.hexdigest()
 
 
+def canonical_order_key(
+    datas: list[bytes],
+    penalty_factor: float,
+    kernel: str = "binned",
+    dtype: str = "float64",
+) -> tuple[str, list[int]]:
+    """Cache key plus the byte-sorting permutation that canonicalizes it.
+
+    One call replaces the sort + :func:`matrix_cache_key` pair every
+    caller needs: *order* maps canonical position → caller position, so
+    ``values[np.ix_(order, order)]`` is the canonical-order matrix to
+    store and the inverse permutation restores a loaded one.
+    """
+    order = sorted(range(len(datas)), key=datas.__getitem__)
+    key = matrix_cache_key(
+        (datas[i] for i in order), penalty_factor, kernel=kernel, dtype=dtype
+    )
+    return key, order
+
+
 def cache_path(key: str, cache_dir: str | Path | None = None) -> Path:
     directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
     return directory / f"matrix-{key}.npz"

@@ -181,15 +181,7 @@ class FieldTypeClusterer:
         config = self.config
         tracer = get_tracer()
         with tracer.span("pipeline", segments=len(segments)) as pipeline_span:
-            all_unique = unique_segments(segments, min_length=1)
-            analyzable = [
-                u for u in all_unique if u.length >= config.min_segment_length
-            ]
-            excluded = [u for u in all_unique if u.length < config.min_segment_length]
-            if not analyzable:
-                raise ValueError(
-                    "no analyzable segments (all shorter than the minimum)"
-                )
+            analyzable, excluded = self._partition_unique(segments)
             pipeline_span.set(
                 unique_segments=len(analyzable), excluded=len(excluded)
             )
@@ -204,114 +196,15 @@ class FieldTypeClusterer:
                         backend=matrix.stats.backend,
                         cache_hit=matrix.stats.cache_hit,
                     )
-            weights = (
-                np.array([u.count for u in analyzable], dtype=np.float64)
-                if config.weighted_density
-                else None
+            auto, result, refined, noise, retrims, stage_spans = self._post_matrix(
+                matrix, analyzable, tracer
             )
-            with tracer.span("autoconf") as autoconf_span:
-                auto = self._configure(matrix, trim_at=None)
-                autoconf_span.set(
-                    epsilon=auto.epsilon,
-                    min_samples=auto.min_samples,
-                    knees=len(auto.knees),
-                )
-            with tracer.span("dbscan") as dbscan_span:
-
-                def run_dbscan(epsilon: float, min_samples: int) -> DbscanResult:
-                    return dbscan(
-                        matrix.values,
-                        epsilon,
-                        min_samples,
-                        weights=weights,
-                        neighborhoods=config.neighborhoods,
-                        memory_bound_bytes=config.memory_bound_bytes,
-                    )
-
-                result = run_dbscan(auto.epsilon, auto.min_samples)
-                retrims = 0
-                # Section III-E fallback, step 1: with multiple detected
-                # knees and a giant cluster, "instead select the next
-                # smaller knee for an epsilon".  Accepted only if it
-                # actually resolves the giant cluster (otherwise the
-                # smaller knee was not a density level either, and step 2
-                # below walks down via ECDF trimming).
-                if len(auto.knees) >= 2 and self._has_giant_cluster(result):
-                    smaller_knee = auto.knees[-2]
-                    candidate = run_dbscan(smaller_knee.x, auto.min_samples)
-                    if candidate.cluster_count and not self._has_giant_cluster(candidate):
-                        auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
-                        result = candidate
-                        retrims += 1
-                trim_at = auto.knee.x if auto.knee is not None else None
-                # Step 2: repeat the auto-configuration on the ECDF trimmed
-                # below the detected knee.  Only the multiple-knee situation
-                # makes the detected epsilon untrustworthy; a legitimately
-                # dominant data type (e.g. NTP timestamps) must not trigger
-                # a retrim.
-                while (
-                    retrims < config.max_retrims
-                    and trim_at is not None
-                    and (
-                        (len(auto.knees) >= 2 and self._has_giant_cluster(result))
-                        or self._has_giant_cluster(
-                            result, config.extreme_cluster_fraction
-                        )
-                    )
-                ):
-                    try:
-                        retry = self._configure(matrix, trim_at=trim_at)
-                    except ValueError:
-                        # Trimming below the knee emptied every k-NN
-                        # distribution (near-constant dissimilarities
-                        # collapse the grid to the knee itself): there is
-                        # no smaller density level to walk down to, so
-                        # keep the previous clustering.
-                        break
-                    if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
-                        break
-                    candidate = run_dbscan(retry.epsilon, retry.min_samples)
-                    # A smaller epsilon that mostly manufactures noise did
-                    # not find a better density level — keep the previous
-                    # clustering.
-                    previous_clustered = len(result.labels) - len(result.noise)
-                    candidate_clustered = len(candidate.labels) - len(candidate.noise)
-                    if candidate_clustered < 0.5 * previous_clustered:
-                        break
-                    auto = retry
-                    result = candidate
-                    trim_at = auto.knee.x if auto.knee is not None else None
-                    retrims += 1
-                dbscan_span.set(
-                    epsilon=auto.epsilon,
-                    clusters=result.cluster_count,
-                    noise=len(result.noise),
-                    retrims=retrims,
-                )
-            with tracer.span("refine") as refine_span:
-                clusters = result.clusters()
-                refined = refine(
-                    matrix.values,
-                    clusters,
-                    analyzable,
-                    eps_rho_threshold=config.eps_rho_threshold,
-                    neighbor_density_threshold=config.neighbor_density_threshold,
-                    merge=config.merge,
-                    split=config.split,
-                    link_cap=config.link_cap_factor * auto.epsilon,
-                    memory_bound_bytes=config.memory_bound_bytes,
-                )
-                refine_span.set(clusters_in=len(clusters), clusters_out=len(refined))
-            clustered = (
-                np.concatenate(refined) if refined else np.array([], dtype=np.int64)
-            )
-            noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
             pipeline_span.set(clusters=len(refined), noise=len(noise))
         timings = {
             "matrix": matrix_span.wall_seconds,
-            "autoconf": autoconf_span.wall_seconds,
-            "dbscan": dbscan_span.wall_seconds,
-            "refine": refine_span.wall_seconds,
+            "autoconf": stage_spans["autoconf"].wall_seconds,
+            "dbscan": stage_spans["dbscan"].wall_seconds,
+            "refine": stage_spans["refine"].wall_seconds,
             "total": pipeline_span.wall_seconds,
         }
         self._record_metrics(timings, analyzable, refined, noise, retrims)
@@ -326,6 +219,185 @@ class FieldTypeClusterer:
             excluded=excluded,
             timings=timings,
         )
+
+    def cluster_matrix(
+        self,
+        matrix: DissimilarityMatrix,
+        excluded: list[UniqueSegment] | None = None,
+    ) -> ClusteringResult:
+        """Run the post-matrix stages over a prebuilt dissimilarity matrix.
+
+        The entry point for callers that already own a matrix — above
+        all the incremental session, whose :class:`~repro.core.matrix.
+        AppendableMatrix` grows it across appends — so a recluster pays
+        for autoconf + DBSCAN + refinement but never for the O(n²)
+        matrix.  ``matrix.segments`` must be the analyzable unique
+        segments (deduplicated, at least ``min_segment_length`` long);
+        *excluded* carries the too-short uniques for reporting parity
+        with :meth:`cluster`.  Identical matrix + config produce a
+        result identical to the batch path, because the stages are the
+        same code.
+        """
+        analyzable = matrix.segments
+        if not analyzable:
+            raise ValueError("no analyzable segments (empty matrix)")
+        excluded = list(excluded) if excluded is not None else []
+        tracer = get_tracer()
+        with tracer.span("pipeline", segments=len(analyzable)) as pipeline_span:
+            pipeline_span.set(
+                unique_segments=len(analyzable), excluded=len(excluded)
+            )
+            auto, result, refined, noise, retrims, stage_spans = self._post_matrix(
+                matrix, analyzable, tracer
+            )
+            pipeline_span.set(clusters=len(refined), noise=len(noise))
+        timings = {
+            # The matrix came prebuilt; its cost lives on matrix.stats.
+            "matrix": 0.0,
+            "autoconf": stage_spans["autoconf"].wall_seconds,
+            "dbscan": stage_spans["dbscan"].wall_seconds,
+            "refine": stage_spans["refine"].wall_seconds,
+            "total": pipeline_span.wall_seconds,
+        }
+        self._record_metrics(timings, analyzable, refined, noise, retrims)
+        return ClusteringResult(
+            segments=analyzable,
+            clusters=refined,
+            noise=noise,
+            autoconfig=auto,
+            matrix=matrix,
+            dbscan_result=result,
+            retrims=retrims,
+            excluded=excluded,
+            timings=timings,
+        )
+
+    def _partition_unique(
+        self, segments: list[Segment]
+    ) -> tuple[list[UniqueSegment], list[UniqueSegment]]:
+        """Unique segments split into (analyzable, too-short excluded)."""
+        config = self.config
+        all_unique = unique_segments(segments, min_length=1)
+        analyzable = [
+            u for u in all_unique if u.length >= config.min_segment_length
+        ]
+        excluded = [u for u in all_unique if u.length < config.min_segment_length]
+        if not analyzable:
+            raise ValueError(
+                "no analyzable segments (all shorter than the minimum)"
+            )
+        return analyzable, excluded
+
+    def _post_matrix(self, matrix, analyzable, tracer):
+        """Autoconf → DBSCAN (+ fallback) → refinement over *matrix*."""
+        config = self.config
+        weights = (
+            np.array([u.count for u in analyzable], dtype=np.float64)
+            if config.weighted_density
+            else None
+        )
+        with tracer.span("autoconf") as autoconf_span:
+            auto = self._configure(matrix, trim_at=None)
+            autoconf_span.set(
+                epsilon=auto.epsilon,
+                min_samples=auto.min_samples,
+                knees=len(auto.knees),
+            )
+        with tracer.span("dbscan") as dbscan_span:
+
+            def run_dbscan(epsilon: float, min_samples: int) -> DbscanResult:
+                return dbscan(
+                    matrix.values,
+                    epsilon,
+                    min_samples,
+                    weights=weights,
+                    neighborhoods=config.neighborhoods,
+                    memory_bound_bytes=config.memory_bound_bytes,
+                )
+
+            result = run_dbscan(auto.epsilon, auto.min_samples)
+            retrims = 0
+            # Section III-E fallback, step 1: with multiple detected
+            # knees and a giant cluster, "instead select the next
+            # smaller knee for an epsilon".  Accepted only if it
+            # actually resolves the giant cluster (otherwise the
+            # smaller knee was not a density level either, and step 2
+            # below walks down via ECDF trimming).
+            if len(auto.knees) >= 2 and self._has_giant_cluster(result):
+                smaller_knee = auto.knees[-2]
+                candidate = run_dbscan(smaller_knee.x, auto.min_samples)
+                if candidate.cluster_count and not self._has_giant_cluster(candidate):
+                    auto = replace(auto, epsilon=smaller_knee.x, knee=smaller_knee)
+                    result = candidate
+                    retrims += 1
+            trim_at = auto.knee.x if auto.knee is not None else None
+            # Step 2: repeat the auto-configuration on the ECDF trimmed
+            # below the detected knee.  Only the multiple-knee situation
+            # makes the detected epsilon untrustworthy; a legitimately
+            # dominant data type (e.g. NTP timestamps) must not trigger
+            # a retrim.
+            while (
+                retrims < config.max_retrims
+                and trim_at is not None
+                and (
+                    (len(auto.knees) >= 2 and self._has_giant_cluster(result))
+                    or self._has_giant_cluster(
+                        result, config.extreme_cluster_fraction
+                    )
+                )
+            ):
+                try:
+                    retry = self._configure(matrix, trim_at=trim_at)
+                except ValueError:
+                    # Trimming below the knee emptied every k-NN
+                    # distribution (near-constant dissimilarities
+                    # collapse the grid to the knee itself): there is
+                    # no smaller density level to walk down to, so
+                    # keep the previous clustering.
+                    break
+                if retry.epsilon >= auto.epsilon or retry.epsilon <= 0:
+                    break
+                candidate = run_dbscan(retry.epsilon, retry.min_samples)
+                # A smaller epsilon that mostly manufactures noise did
+                # not find a better density level — keep the previous
+                # clustering.
+                previous_clustered = len(result.labels) - len(result.noise)
+                candidate_clustered = len(candidate.labels) - len(candidate.noise)
+                if candidate_clustered < 0.5 * previous_clustered:
+                    break
+                auto = retry
+                result = candidate
+                trim_at = auto.knee.x if auto.knee is not None else None
+                retrims += 1
+            dbscan_span.set(
+                epsilon=auto.epsilon,
+                clusters=result.cluster_count,
+                noise=len(result.noise),
+                retrims=retrims,
+            )
+        with tracer.span("refine") as refine_span:
+            clusters = result.clusters()
+            refined = refine(
+                matrix.values,
+                clusters,
+                analyzable,
+                eps_rho_threshold=config.eps_rho_threshold,
+                neighbor_density_threshold=config.neighbor_density_threshold,
+                merge=config.merge,
+                split=config.split,
+                link_cap=config.link_cap_factor * auto.epsilon,
+                memory_bound_bytes=config.memory_bound_bytes,
+            )
+            refine_span.set(clusters_in=len(clusters), clusters_out=len(refined))
+        clustered = (
+            np.concatenate(refined) if refined else np.array([], dtype=np.int64)
+        )
+        noise = np.setdiff1d(np.arange(len(analyzable)), clustered)
+        return auto, result, refined, noise, retrims, {
+            "autoconf": autoconf_span,
+            "dbscan": dbscan_span,
+            "refine": refine_span,
+        }
 
     @staticmethod
     def _record_metrics(timings, analyzable, refined, noise, retrims) -> None:

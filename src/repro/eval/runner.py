@@ -22,12 +22,10 @@ from repro.obs.tracer import get_tracer
 from repro.protocols import get_model
 from repro.protocols.base import ProtocolModel
 from repro.segmenters import (
-    CspSegmenter,
     GroundTruthSegmenter,
-    NemesysSegmenter,
-    NetzobSegmenter,
     Segmenter,
     SegmenterResourceError,
+    resolve_segmenter,
 )
 
 __all__ = [
@@ -58,17 +56,20 @@ def count_cell(status: str) -> None:
 
 
 def make_segmenter(name: str, model: ProtocolModel) -> Segmenter:
-    """Instantiate a segmenter by table name."""
+    """Instantiate a segmenter by table name.
+
+    "groundtruth" is special-cased — it wraps the protocol model's
+    dissector, which the name-only registry cannot construct; every
+    other name resolves through
+    :func:`repro.segmenters.resolve_segmenter`.
+    """
     name = name.lower()
     if name == "groundtruth":
         return GroundTruthSegmenter(model)
-    if name == "nemesys":
-        return NemesysSegmenter()
-    if name == "netzob":
-        return NetzobSegmenter()
-    if name == "csp":
-        return CspSegmenter()
-    raise KeyError(f"unknown segmenter {name!r}")
+    try:
+        return resolve_segmenter(name)
+    except ValueError:
+        raise KeyError(f"unknown segmenter {name!r}") from None
 
 
 @dataclass(frozen=True)

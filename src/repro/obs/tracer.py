@@ -108,12 +108,39 @@ class Span:
 
 
 class Tracer:
-    """Collects spans into trees; one instance per run (not thread-safe)."""
+    """Collects spans into trees; one instance per run (not thread-safe).
 
-    def __init__(self, enabled: bool = True):
+    *max_roots* bounds how many root span trees are retained: once
+    reached, further root spans still measure but are not kept (counted
+    in :attr:`dropped_roots`).  Long-running processes — the
+    ``repro-serve`` session service traces every append as its own root
+    — set a bound so the tracer cannot grow without limit; ``None``
+    (the default) retains everything, which is right for one-shot runs.
+    """
+
+    def __init__(self, enabled: bool = True, max_roots: int | None = None):
+        if max_roots is not None and max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
         self.enabled = enabled
+        self.max_roots = max_roots
         self.roots: list[Span] = []
+        self.dropped_roots = 0
         self._stack: list[Span] = []
+
+    def reset(self) -> None:
+        """Drop every retained root tree (e.g. after exporting them).
+
+        Spans currently open keep recording into their existing tree,
+        which is simply no longer retained; new roots are kept again.
+        """
+        self.roots = []
+        self.dropped_roots = 0
+
+    def _retain_root(self, span: Span) -> None:
+        if self.max_roots is not None and len(self.roots) >= self.max_roots:
+            self.dropped_roots += 1
+            return
+        self.roots.append(span)
 
     @contextmanager
     def span(self, name: str, **attributes):
@@ -123,7 +150,7 @@ class Tracer:
             if self._stack:
                 self._stack[-1].children.append(span)
             else:
-                self.roots.append(span)
+                self._retain_root(span)
         self._stack.append(span)
         span.begin()
         try:
@@ -162,7 +189,7 @@ class Tracer:
             if self._stack:
                 self._stack[-1].children.append(span)
             else:
-                self.roots.append(span)
+                self._retain_root(span)
         return span
 
     def walk(self) -> Iterator[Span]:

@@ -20,6 +20,18 @@ from repro.segmenters.csp import CspSegmenter, mine_patterns
 from repro.segmenters.groundtruth import GroundTruthSegmenter
 from repro.segmenters.nemesys import NemesysSegmenter, bit_congruence
 from repro.segmenters.netzob import NetzobSegmenter
+from repro.segmenters.registry import (
+    available_segmenters,
+    register_segmenter,
+    resolve_segmenter,
+)
+
+# The built-in heuristics the CLIs can construct from a bare name.  The
+# ground-truth segmenter is deliberately absent: it needs a protocol
+# model at construction time (see repro.eval.runner.make_segmenter).
+register_segmenter("nemesys", NemesysSegmenter)
+register_segmenter("netzob", NetzobSegmenter)
+register_segmenter("csp", CspSegmenter)
 
 __all__ = [
     "CspSegmenter",
@@ -28,8 +40,11 @@ __all__ = [
     "NetzobSegmenter",
     "Segmenter",
     "SegmenterResourceError",
+    "available_segmenters",
     "bit_congruence",
     "boundaries_to_segments",
     "mine_patterns",
+    "register_segmenter",
+    "resolve_segmenter",
     "segments_to_boundaries",
 ]

@@ -35,6 +35,14 @@ class Segmenter(abc.ABC):
     #: short identifier used in tables ("nemesys", "netzob", "csp", ...)
     name: str = "segmenter"
 
+    #: True when every message is segmented independently (the default
+    #: per-message loop), so segmenting a trace chunk by chunk yields
+    #: the same segments as one pass over the whole trace.  Segmenters
+    #: that override :meth:`segment_trace` with trace-global strategies
+    #: (alignment, corpus-wide pattern mining) set this False; the
+    #: incremental analysis session refuses them.
+    incremental: bool = True
+
     @abc.abstractmethod
     def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
         """Segment a single message."""

@@ -90,6 +90,9 @@ class CspSegmenter(Segmenter):
     """Frequency-analysis segmentation via contiguous sequential patterns."""
 
     name = "csp"
+    #: Pattern support is mined over the whole trace, so chunked
+    #: segmentation diverges from one pass.
+    incremental = False
 
     def __init__(
         self,

@@ -34,6 +34,9 @@ class NetzobSegmenter(Segmenter):
     """Alignment-based segmentation with static/dynamic column fields."""
 
     name = "netzob"
+    #: Alignment is trace-global: a chunk's columns depend on every
+    #: message seen, so chunked segmentation diverges from one pass.
+    incremental = False
 
     def __init__(
         self,

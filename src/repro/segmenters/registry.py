@@ -1,0 +1,67 @@
+"""Named segmenter registry: the one place heuristics are looked up.
+
+Historically the CLI choices and :func:`repro.api._resolve_segmenter`
+read a module-level dict that callers mutated directly to add their own
+segmenters.  The registry replaces that with a validated API —
+:func:`register_segmenter` rejects duplicate names and non-
+:class:`~repro.segmenters.base.Segmenter` classes up front, instead of
+failing later inside an analysis run — while
+:func:`available_segmenters` gives the CLIs a stable, sorted choice
+list.
+
+The built-in heuristics (nemesys, netzob, csp) are registered by
+:mod:`repro.segmenters` on import; the ground-truth segmenter is not —
+it needs a protocol model at construction time, so it cannot be built
+from a bare name.
+"""
+
+from __future__ import annotations
+
+from repro.segmenters.base import Segmenter
+
+#: The backing store.  :data:`repro.api.SEGMENTERS` aliases this dict
+#: for backwards compatibility; new code goes through the functions.
+_SEGMENTERS: dict[str, type[Segmenter]] = {}
+
+
+def register_segmenter(
+    name: str, cls: type[Segmenter], *, replace: bool = False
+) -> type[Segmenter]:
+    """Register a segmenter class under *name*; returns *cls*.
+
+    Validates eagerly: *cls* must be a :class:`Segmenter` subclass (an
+    instance or unrelated class is a bug at the registration site, not
+    something to discover mid-analysis), and duplicate names are
+    rejected unless ``replace=True`` is passed explicitly.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"segmenter name must be a non-empty string, got {name!r}")
+    if not (isinstance(cls, type) and issubclass(cls, Segmenter)):
+        raise TypeError(
+            f"register_segmenter expects a Segmenter subclass, got {cls!r}"
+        )
+    if not replace and name in _SEGMENTERS and _SEGMENTERS[name] is not cls:
+        raise ValueError(
+            f"segmenter {name!r} is already registered "
+            f"({_SEGMENTERS[name].__name__}); pass replace=True to override"
+        )
+    _SEGMENTERS[name] = cls
+    return cls
+
+
+def available_segmenters() -> tuple[str, ...]:
+    """Registered segmenter names, sorted (the CLI ``--segmenter`` choices)."""
+    return tuple(sorted(_SEGMENTERS))
+
+
+def resolve_segmenter(segmenter: str | Segmenter) -> Segmenter:
+    """An instance for *segmenter*: pass-through, or construct by name."""
+    if isinstance(segmenter, Segmenter):
+        return segmenter
+    try:
+        return _SEGMENTERS[segmenter]()
+    except KeyError:
+        raise ValueError(
+            f"unknown segmenter {segmenter!r} "
+            f"(choices: {list(available_segmenters())})"
+        ) from None

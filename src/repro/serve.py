@@ -1,0 +1,199 @@
+"""``repro-serve`` — a live analysis service over an incremental session.
+
+A thin asyncio JSON-lines TCP front-end for
+:class:`repro.session.AnalysisSession`: capture tooling streams message
+chunks in, analysts poll the evolving cluster state out.  One session,
+many clients; requests are applied strictly in arrival order.
+
+Protocol (one JSON object per line, response per request)::
+
+    -> {"op": "append", "messages": [{"data": "<hex>", ...}, ...]}
+    <- {"ok": true, "update": {"appended_messages": 12, ...}}
+
+    -> {"op": "state"}
+    <- {"ok": true, "state": {"messages": 512, "clusters": 4, ...}}
+
+    -> {"op": "digest"}
+    <- {"ok": true, "digest": {"matrix_sha256": "...", "clusters": ...}}
+
+    -> {"op": "shutdown"}
+    <- {"ok": true, "event": "closing"}
+
+On startup the service prints one ready line to stdout —
+``{"event": "listening", "host": ..., "port": N}`` — so callers binding
+port 0 learn the ephemeral port.
+
+Durability: with ``--checkpoint`` the session journals every chunk
+(fsync) *before* applying it, and an ``append`` is acked only after
+both.  Kill the process at any moment — SIGKILL included — and a
+restart with the same checkpoint path replays the journal to the exact
+same session state, so captures survive service crashes mid-stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import sys
+
+import numpy as np
+
+from repro.core.pipeline import ClusteringConfig
+from repro.session import AnalysisSession, _message_from_record
+
+MAX_LINE_BYTES = 64 * 1024 * 1024  # one chunk of hex-encoded messages
+
+
+def _digest(session: AnalysisSession) -> dict:
+    """Comparable fingerprint of the session's current cluster state.
+
+    Reconciles first (recluster if dirty), so two sessions that
+    absorbed the same messages — in any chunking, through any number of
+    restarts — report identical digests.
+    """
+    result = session.result
+    if session.state()["dirty"] or result is None:
+        session._recluster("snapshot")
+        result = session.result
+    matrix = result.matrix
+    matrix_sha = hashlib.sha256(
+        np.ascontiguousarray(matrix.values).tobytes()
+    ).hexdigest()
+    clusters = sorted(sorted(int(i) for i in members) for members in result.clusters)
+    cluster_sha = hashlib.sha256(
+        json.dumps(clusters, separators=(",", ":")).encode()
+    ).hexdigest()
+    return {
+        "messages": session.message_count,
+        "unique_segments": session.unique_segment_count,
+        "matrix_sha256": matrix_sha,
+        "clusters_sha256": cluster_sha,
+        "cluster_count": result.cluster_count,
+        "epsilon": float(result.epsilon),
+    }
+
+
+class SessionServer:
+    """One analysis session behind a JSON-lines TCP endpoint."""
+
+    def __init__(self, session: AnalysisSession):
+        self.session = session
+        # The session is synchronous and stateful: requests run one at
+        # a time in a worker thread so the event loop stays responsive
+        # while a recluster or matrix append is in flight.
+        self._lock = asyncio.Lock()
+        self._closing = asyncio.Event()
+
+    async def _call(self, fn, *args):
+        async with self._lock:
+            return await asyncio.get_running_loop().run_in_executor(None, fn, *args)
+
+    async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while not self._closing.is_set():
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized or torn line: drop the client
+                if not line:
+                    break
+                response = await self._respond(line)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+                if response.get("event") == "closing":
+                    break
+        finally:
+            writer.close()
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+            op = request["op"]
+        except (ValueError, KeyError, TypeError):
+            return {"ok": False, "error": "malformed request"}
+        try:
+            if op == "append":
+                messages = [
+                    _message_from_record(record) for record in request["messages"]
+                ]
+                update = await self._call(self.session.append, messages)
+                return {"ok": True, "update": vars(update).copy()}
+            if op == "state":
+                return {"ok": True, "state": self.session.state()}
+            if op == "digest":
+                return {"ok": True, "digest": await self._call(_digest, self.session)}
+            if op == "shutdown":
+                self._closing.set()
+                return {"ok": True, "event": "closing"}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as error:  # surface, don't kill the service
+            return {"ok": False, "error": f"{type(error).__name__}: {error}"}
+
+    async def serve(self, host: str, port: int) -> None:
+        server = await asyncio.start_server(
+            self.handle, host, port, limit=MAX_LINE_BYTES
+        )
+        bound = server.sockets[0].getsockname()
+        print(
+            json.dumps({"event": "listening", "host": bound[0], "port": bound[1]}),
+            flush=True,
+        )
+        async with server:
+            await self._closing.wait()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve an incremental analysis session over TCP (JSON lines)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, reported on stdout)")
+    parser.add_argument("--protocol", default="unknown", help="protocol label")
+    parser.add_argument("--segmenter", default="nemesys",
+                        help="per-message segmenter name")
+    parser.add_argument("--checkpoint",
+                        help="journal chunks here; restart resumes mid-capture")
+    parser.add_argument("--recluster-fraction", type=float, default=None,
+                        help="appended fraction that forces a reclustering")
+    parser.add_argument("--epsilon-tolerance", type=float, default=None,
+                        help="relative epsilon drift that forces a reclustering")
+    return parser
+
+
+def make_session(args, config: ClusteringConfig | None = None) -> AnalysisSession:
+    kwargs: dict = {}
+    if args.recluster_fraction is not None:
+        kwargs["recluster_fraction"] = args.recluster_fraction
+    if args.epsilon_tolerance is not None:
+        kwargs["epsilon_tolerance"] = args.epsilon_tolerance
+    return AnalysisSession(
+        config,
+        segmenter=args.segmenter,
+        protocol=args.protocol,
+        checkpoint_path=args.checkpoint,
+        **kwargs,
+    )
+
+
+def run_server(args, config: ClusteringConfig | None = None) -> int:
+    session = make_session(args, config)
+    try:
+        asyncio.run(SessionServer(session).serve(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        session.close()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(sys.argv[1:] if argv is None else argv)
+    return run_server(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

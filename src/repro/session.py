@@ -1,0 +1,712 @@
+"""Incremental analysis sessions: absorb messages without rebuilding the world.
+
+:class:`AnalysisSession` is the stateful counterpart of
+:func:`repro.api.run_analysis`: messages arrive in chunks via
+:meth:`~AnalysisSession.append`, and the session grows its dissimilarity
+matrix in place (:class:`~repro.core.matrix.AppendableMatrix` computes
+only the new-vs-old rectangles and the new-vs-new diagonal through the
+same binned kernel and threaded tile queue as a batch build), folds the
+new columns into the cached k-NN partition with a rank-k merge, and
+re-runs the post-matrix stages (autoconf → DBSCAN → refinement) only
+when a **drift gate** trips:
+
+- no clustering exists yet,
+- the fraction of matrix rows appended since the last reclustering
+  exceeds :attr:`~AnalysisSession.recluster_fraction`, or
+- a fresh epsilon estimate (cheap — the k-NN columns are cached)
+  deviates from the clustered epsilon by more than
+  :attr:`~AnalysisSession.epsilon_tolerance` relative.
+
+Between reclusterings, new unique segments carry **provisional**
+labels: the cluster of their nearest confirmed segment within the
+clustered epsilon, or noise.  Provisional labels are a cheap live view;
+:meth:`~AnalysisSession.snapshot` always reconciles (recluster over the
+grown matrix) before returning, so a snapshot is bit-identical — matrix
+bytes, epsilon, cluster membership — to a batch
+:func:`~repro.api.run_analysis` over the concatenation of everything
+appended.
+
+Sessions optionally journal every appended chunk to a
+:class:`SessionCheckpoint` (JSON-lines, the PR 3 checkpoint idiom:
+schema + config fingerprint per line, forgiving load).  The chunk is
+fsynced *before* it mutates session state, so a process killed mid-
+append replays to the same state — deduplication makes replay
+idempotent.  ``repro-serve`` (:mod:`repro.serve`) rides on this to
+survive SIGKILL mid-capture.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from contextlib import ExitStack
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.autoconf import configure
+from repro.core.matrix import AppendableMatrix
+from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
+from repro.core.segments import Segment, UniqueSegment
+from repro.errors import QuarantineReport
+from repro.net.trace import Trace, TraceMessage, load_trace
+from repro.obs.export import config_fingerprint
+from repro.obs.metrics import MetricsRegistry, get_metrics, use_metrics
+from repro.obs.tracer import Tracer, get_tracer, use_tracer
+from repro.segmenters.base import Segmenter
+from repro.segmenters.registry import resolve_segmenter
+from repro.semantics import deduce_semantics
+
+SESSION_APPENDS_METRIC = "repro_session_appends_total"
+SESSION_RECLUSTERS_METRIC = "repro_session_reclusters_total"
+
+_APPENDS_HELP = "Chunks appended to incremental analysis sessions."
+_RECLUSTERS_HELP = (
+    "Full post-matrix reclusterings run by analysis sessions "
+    "(reason: initial/appended_fraction/epsilon_drift/snapshot)."
+)
+
+CHECKPOINT_SCHEMA = "repro.session-checkpoint/v1"
+
+#: Extra k-NN columns primed beyond the current autoconf need
+#: (``k_hi = max(2, round(ln n))``), so the cached width keeps covering
+#: the logarithmically growing k across appends and the rank-k merge
+#: never falls back to a full re-partition.
+KNN_SLACK = 8
+
+#: Default drift-gate thresholds (see the module docstring).
+DEFAULT_RECLUSTER_FRACTION = 0.2
+DEFAULT_EPSILON_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class SessionUpdate:
+    """What one :meth:`AnalysisSession.append` call changed."""
+
+    #: Messages accepted (after dropping empties and duplicates).
+    appended_messages: int
+    #: Messages discarded as byte-identical to earlier ones (or empty).
+    dropped_messages: int
+    #: New unique analyzable segments (= matrix rows added).
+    new_unique_segments: int
+    #: Whether the drift gate tripped and a full reclustering ran.
+    reclustered: bool
+    #: Gate verdict: "initial", "appended_fraction", "epsilon_drift",
+    #: "stable" (provisional labels only), or "empty" (nothing to do).
+    reason: str
+    #: Unique segments currently carrying provisional labels.
+    provisional_segments: int
+    #: Clusters in the current (confirmed) clustering, if any.
+    cluster_count: int | None
+    #: Epsilon of the current (confirmed) clustering, if any.
+    epsilon: float | None
+
+
+def session_fingerprint(
+    config: ClusteringConfig, segmenter_name: str, protocol: str
+) -> str:
+    """Fingerprint identifying one session's analysis inputs.
+
+    A checkpoint line is only replayed into a session with the same
+    clustering config, segmenter, and protocol label — resuming with
+    different analysis parameters must not silently mix states.
+    """
+    return config_fingerprint(
+        {
+            "schema": CHECKPOINT_SCHEMA,
+            "config": config,
+            "segmenter": segmenter_name,
+            "protocol": protocol,
+        }
+    )
+
+
+def _message_to_record(message: TraceMessage) -> dict:
+    record: dict = {"data": message.data.hex()}
+    if message.timestamp:
+        record["timestamp"] = message.timestamp
+    if message.src_ip is not None:
+        record["src_ip"] = message.src_ip.hex()
+    if message.dst_ip is not None:
+        record["dst_ip"] = message.dst_ip.hex()
+    if message.src_port is not None:
+        record["src_port"] = message.src_port
+    if message.dst_port is not None:
+        record["dst_port"] = message.dst_port
+    if message.direction is not None:
+        record["direction"] = message.direction
+    return record
+
+
+def _message_from_record(record: dict) -> TraceMessage:
+    src_ip = record.get("src_ip")
+    dst_ip = record.get("dst_ip")
+    return TraceMessage(
+        data=bytes.fromhex(record["data"]),
+        timestamp=float(record.get("timestamp", 0.0)),
+        src_ip=bytes.fromhex(src_ip) if src_ip is not None else None,
+        dst_ip=bytes.fromhex(dst_ip) if dst_ip is not None else None,
+        src_port=record.get("src_port"),
+        dst_port=record.get("dst_port"),
+        direction=record.get("direction"),
+    )
+
+
+class SessionCheckpoint:
+    """Write-ahead journal of appended chunks (JSON lines).
+
+    One line per chunk, stamped with the session fingerprint::
+
+        {"schema": "repro.session-checkpoint/v1", "fingerprint": "…",
+         "chunk": 3, "messages": [{"data": "…hex…", …}, …]}
+
+    :meth:`record_chunk` appends, flushes, **and fsyncs** before
+    returning — the session journals a chunk before mutating any state,
+    so a SIGKILL at any point leaves a journal whose replay reproduces
+    the state (append is deterministic and deduplicating, hence
+    idempotent under replay of a chunk that was partially applied).
+    Loading is forgiving like every repro checkpoint: torn tail lines
+    and foreign content are skipped, not fatal.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+
+    def load_chunks(self) -> list[list[TraceMessage]]:
+        """Chunks recorded for this session's fingerprint, in order."""
+        chunks: list[list[TraceMessage]] = []
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return chunks
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                if (
+                    payload.get("schema") != CHECKPOINT_SCHEMA
+                    or payload.get("fingerprint") != self.fingerprint
+                ):
+                    continue
+                messages = [
+                    _message_from_record(record) for record in payload["messages"]
+                ]
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail line or foreign content
+            chunks.append(messages)
+        return chunks
+
+    def record_chunk(self, chunk_index: int, messages: list[TraceMessage]) -> None:
+        """Durably append one chunk (write + flush + fsync)."""
+        line = json.dumps(
+            {
+                "schema": CHECKPOINT_SCHEMA,
+                "fingerprint": self.fingerprint,
+                "chunk": chunk_index,
+                "messages": [_message_to_record(m) for m in messages],
+            },
+            sort_keys=True,
+        )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+class AnalysisSession:
+    """Stateful incremental analysis over an arriving message stream.
+
+    Example::
+
+        from repro import AnalysisSession
+
+        with AnalysisSession(protocol="mystery") as session:
+            for chunk in capture_chunks:
+                update = session.append(chunk)
+                if update.reclustered:
+                    print("reclustered:", update.reason)
+            run = session.snapshot()        # == batch run_analysis(...)
+            print(run.report.render())
+
+    Only per-message segmenters are supported
+    (``segmenter_cls.incremental`` — trace-global strategies like
+    netzob/csp would make chunked segmentation diverge from a batch
+    pass).  Pass ``checkpoint_path`` to journal every chunk and resume
+    after a crash; see :class:`SessionCheckpoint`.
+    """
+
+    def __init__(
+        self,
+        config: ClusteringConfig | None = None,
+        *,
+        segmenter: str | Segmenter = "nemesys",
+        protocol: str = "unknown",
+        port: int | None = None,
+        semantics: bool = False,
+        recluster_fraction: float = DEFAULT_RECLUSTER_FRACTION,
+        epsilon_tolerance: float = DEFAULT_EPSILON_TOLERANCE,
+        knn_slack: int = KNN_SLACK,
+        checkpoint_path: str | Path | None = None,
+        resume: bool = True,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ClusteringConfig()
+        self._segmenter = resolve_segmenter(segmenter)
+        if not getattr(self._segmenter, "incremental", False):
+            raise ValueError(
+                f"segmenter {self._segmenter.name!r} segments the trace "
+                "globally and cannot run incrementally; use a per-message "
+                "segmenter (e.g. 'nemesys')"
+            )
+        self.protocol = protocol
+        self.port = port
+        self.semantics = semantics
+        if recluster_fraction <= 0:
+            raise ValueError("recluster_fraction must be > 0")
+        if epsilon_tolerance < 0:
+            raise ValueError("epsilon_tolerance must be >= 0")
+        self.recluster_fraction = float(recluster_fraction)
+        self.epsilon_tolerance = float(epsilon_tolerance)
+        self._knn_slack = int(knn_slack)
+        self._tracer = tracer
+        self._metrics = metrics
+
+        #: Kept (non-empty, deduplicated) messages, in arrival order —
+        #: byte-for-byte what ``Trace.preprocess()`` would keep.
+        self._messages: list[TraceMessage] = []
+        self._seen: set[bytes] = set()
+        #: Every concrete segment emitted so far (AnalysisRun.segments).
+        self._segments: list[Segment] = []
+        #: data -> occurrences, insertion = global first-occurrence
+        #: order; mirrors ``unique_segments(segments, min_length=1)``.
+        self._registry: dict[bytes, list[Segment]] = {}
+        self._appendable: AppendableMatrix | None = None
+        self._result: ClusteringResult | None = None
+        #: Matrix rows covered by the confirmed clustering.
+        self._confirmed_rows = 0
+        self._rows_since_recluster = 0
+        self._dirty = False
+        self._provisional: dict[int, int] = {}
+        self._appends = 0
+        self._reclusters = 0
+        self._quarantines: list[QuarantineReport] = []
+        self._closed = False
+
+        self._checkpoint: SessionCheckpoint | None = None
+        if checkpoint_path is not None:
+            fingerprint = session_fingerprint(
+                self.config, self._segmenter.name, protocol
+            )
+            self._checkpoint = SessionCheckpoint(checkpoint_path, fingerprint)
+            if resume:
+                for messages in self._checkpoint.load_chunks():
+                    with self._scopes():
+                        self._ingest(messages)
+                        self._appends += 1
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Mark the session closed; further appends/snapshots raise."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("analysis session is closed")
+
+    def _scopes(self) -> ExitStack:
+        """Bind the session's tracer/metrics sinks (no-op when unset)."""
+        stack = ExitStack()
+        if self._tracer is not None:
+            stack.enter_context(use_tracer(self._tracer))
+        if self._metrics is not None:
+            stack.enter_context(use_metrics(self._metrics))
+        return stack
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def message_count(self) -> int:
+        """Kept (deduplicated, non-empty) messages so far."""
+        return len(self._messages)
+
+    @property
+    def unique_segment_count(self) -> int:
+        """Analyzable unique segments (= matrix rows) so far."""
+        return len(self._appendable) if self._appendable is not None else 0
+
+    @property
+    def appends(self) -> int:
+        return self._appends
+
+    @property
+    def reclusters(self) -> int:
+        return self._reclusters
+
+    @property
+    def result(self) -> ClusteringResult | None:
+        """The last confirmed clustering (None before the first one)."""
+        return self._result
+
+    def labels(self) -> np.ndarray:
+        """Per-matrix-row labels: confirmed where clustered, provisional
+        (nearest confirmed cluster within epsilon, else -1) for rows
+        appended since."""
+        count = self.unique_segment_count
+        labels = np.full(count, -1, dtype=np.int64)
+        if self._result is not None:
+            confirmed = self._result.labels()
+            labels[: len(confirmed)] = confirmed
+        for row, label in self._provisional.items():
+            labels[row] = label
+        return labels
+
+    def state(self) -> dict:
+        """JSON-ready summary of the live cluster state (service polls)."""
+        result = self._result
+        return {
+            "messages": self.message_count,
+            "unique_segments": self.unique_segment_count,
+            "appends": self._appends,
+            "reclusters": self._reclusters,
+            "clusters": result.cluster_count if result is not None else None,
+            "noise": int(len(result.noise)) if result is not None else None,
+            "epsilon": float(result.epsilon) if result is not None else None,
+            "provisional_segments": len(self._provisional),
+            "dirty": self._dirty,
+        }
+
+    # -- the incremental core -----------------------------------------
+
+    def append(
+        self,
+        messages_or_trace: Trace | str | Path | Iterable[TraceMessage | bytes],
+        *,
+        strict: bool = True,
+    ) -> SessionUpdate:
+        """Absorb a chunk of messages; returns what changed.
+
+        Accepts a :class:`Trace`, a pcap/pcapng path (loaded with the
+        session's protocol/port; ``strict=False`` quarantines malformed
+        records like :func:`repro.api.run_analysis`), or an iterable of
+        :class:`TraceMessage` / raw ``bytes`` payloads.
+        """
+        self._check_open()
+        messages = self._coerce(messages_or_trace, strict=strict)
+        with self._scopes():
+            if self._checkpoint is not None:
+                # WAL: the chunk is durable before any state changes, so
+                # a kill mid-append replays to the identical state.
+                self._checkpoint.record_chunk(self._appends, messages)
+            with get_tracer().span(
+                "session.append", messages=len(messages)
+            ) as span:
+                update = self._ingest(messages)
+                self._appends += 1
+                span.set(
+                    appended=update.appended_messages,
+                    new_rows=update.new_unique_segments,
+                    reclustered=update.reclustered,
+                    reason=update.reason,
+                )
+            get_metrics().counter(
+                SESSION_APPENDS_METRIC, help=_APPENDS_HELP
+            ).inc()
+        return update
+
+    def _coerce(
+        self,
+        messages_or_trace: Trace | str | Path | Iterable[TraceMessage | bytes],
+        strict: bool,
+    ) -> list[TraceMessage]:
+        if isinstance(messages_or_trace, (str, Path)):
+            messages_or_trace = load_trace(
+                messages_or_trace,
+                protocol=self.protocol,
+                port=self.port,
+                strict=strict,
+            )
+        if isinstance(messages_or_trace, Trace):
+            if messages_or_trace.quarantine:
+                self._quarantines.append(messages_or_trace.quarantine)
+            return list(messages_or_trace.messages)
+        coerced = []
+        for item in messages_or_trace:
+            if isinstance(item, TraceMessage):
+                coerced.append(item)
+            elif isinstance(item, (bytes, bytearray, memoryview)):
+                coerced.append(TraceMessage(data=bytes(item)))
+            else:
+                raise TypeError(
+                    f"cannot append {type(item).__name__}; expected "
+                    "TraceMessage or bytes"
+                )
+        return coerced
+
+    def _ingest(self, messages: list[TraceMessage]) -> SessionUpdate:
+        """Dedup → segment → grow matrix → drift gate.  No journaling."""
+        kept = []
+        for message in messages:
+            if not message.data or message.data in self._seen:
+                continue
+            self._seen.add(message.data)
+            kept.append(message)
+        offset = len(self._messages)
+        self._messages.extend(kept)
+        if not kept:
+            return self._update(0, len(messages), 0, False, "empty")
+
+        chunk = Trace(messages=kept, protocol=self.protocol)
+        segments = self._segmenter.segment(chunk)
+        if offset:
+            # Chunk-local message indices -> stream-global ones; with a
+            # per-message segmenter this is the only difference from
+            # segmenting the whole stream at once.
+            segments = [
+                replace(s, message_index=s.message_index + offset)
+                for s in segments
+            ]
+        self._segments.extend(segments)
+
+        min_length = self.config.min_segment_length
+        fresh: list[bytes] = []
+        for segment in segments:
+            if not segment.data:
+                continue
+            occurrences = self._registry.get(segment.data)
+            if occurrences is None:
+                self._registry[segment.data] = [segment]
+                fresh.append(segment.data)
+            else:
+                occurrences.append(segment)
+        new_uniques = [
+            UniqueSegment(data=data, occurrences=tuple(self._registry[data]))
+            for data in fresh
+            if len(data) >= min_length
+        ]
+
+        if new_uniques:
+            if self._appendable is None:
+                self._appendable = AppendableMatrix(
+                    new_uniques,
+                    penalty_factor=self.config.penalty_factor,
+                    options=self.config.matrix_options,
+                )
+            else:
+                self._appendable.append(new_uniques)
+            self._rows_since_recluster += len(new_uniques)
+            self._prime_knn()
+        self._dirty = True
+
+        if self._appendable is None:
+            return self._update(len(kept), len(messages) - len(kept), 0, False, "empty")
+        should, reason = self._drift_gate()
+        if should:
+            self._recluster(reason)
+            return self._update(
+                len(kept), len(messages) - len(kept), len(new_uniques), True, reason
+            )
+        self._label_provisional()
+        return self._update(
+            len(kept), len(messages) - len(kept), len(new_uniques), False, reason
+        )
+
+    def _update(
+        self,
+        appended: int,
+        dropped: int,
+        new_rows: int,
+        reclustered: bool,
+        reason: str,
+    ) -> SessionUpdate:
+        result = self._result
+        return SessionUpdate(
+            appended_messages=appended,
+            dropped_messages=dropped,
+            new_unique_segments=new_rows,
+            reclustered=reclustered,
+            reason=reason,
+            provisional_segments=len(self._provisional),
+            cluster_count=result.cluster_count if result is not None else None,
+            epsilon=float(result.epsilon) if result is not None else None,
+        )
+
+    def _prime_knn(self) -> None:
+        """Keep the k-NN column cache wide enough for merges + autoconf."""
+        count = len(self._appendable)
+        if count < 4:
+            return  # autoconf's degenerate path needs no columns
+        k_hi = min(max(2, round(math.log(count))), count - 1)
+        k_prime = min(count - 1, k_hi + self._knn_slack)
+        self._appendable.matrix.knn_distances_all(
+            k_prime, self.config.memory_bound_bytes
+        )
+
+    def _drift_gate(self) -> tuple[bool, str]:
+        """Should this append trigger a full reclustering, and why."""
+        if self._result is None or not self._confirmed_rows:
+            return True, "initial"
+        if not self._rows_since_recluster:
+            return False, "stable"
+        fraction = self._rows_since_recluster / self._confirmed_rows
+        if fraction > self.recluster_fraction:
+            return True, "appended_fraction"
+        base = self._result.autoconfig.epsilon
+        if base > 0 and len(self._appendable) >= 4:
+            estimate = configure(
+                self._appendable.matrix,
+                sensitivity=self.config.sensitivity,
+                smoothness=self.config.smoothness,
+            ).epsilon
+            if abs(estimate - base) > self.epsilon_tolerance * base:
+                return True, "epsilon_drift"
+        return False, "stable"
+
+    def _recluster(self, reason: str) -> None:
+        """Refresh occurrences and re-run the post-matrix stages."""
+        self._refresh_segments()
+        min_length = self.config.min_segment_length
+        excluded = [
+            UniqueSegment(data=data, occurrences=tuple(occurrences))
+            for data, occurrences in self._registry.items()
+            if len(data) < min_length
+        ]
+        with get_tracer().span(
+            "session.recluster", rows=len(self._appendable), reason=reason
+        ):
+            self._result = FieldTypeClusterer(self.config).cluster_matrix(
+                self._appendable.matrix, excluded=excluded
+            )
+        self._confirmed_rows = len(self._appendable)
+        self._rows_since_recluster = 0
+        self._provisional.clear()
+        self._dirty = False
+        self._reclusters += 1
+        get_metrics().counter(
+            SESSION_RECLUSTERS_METRIC, help=_RECLUSTERS_HELP
+        ).inc(reason=reason)
+
+    def _refresh_segments(self) -> None:
+        """Sync matrix segments' occurrence tuples with the registry.
+
+        Appends merge new occurrences of already-known values into the
+        registry only; the frozen ``UniqueSegment`` objects in the
+        matrix keep their construction-time tuples.  Refinement's split
+        heuristic weighs occurrence counts, so a recluster must see the
+        merged state — same byte values, so the matrix is untouched.
+        """
+        if self._appendable is None:
+            return
+        self._appendable.replace_segments(
+            [
+                UniqueSegment(
+                    data=segment.data,
+                    occurrences=tuple(self._registry[segment.data]),
+                )
+                for segment in self._appendable.segments
+            ]
+        )
+
+    def _label_provisional(self) -> None:
+        """Label unconfirmed rows against the confirmed clustering."""
+        count = len(self._appendable)
+        if count == self._confirmed_rows or self._result is None:
+            return
+        labels = self._result.labels()
+        clustered = np.flatnonzero(labels >= 0)
+        epsilon = self._result.autoconfig.epsilon
+        values = self._appendable.matrix.values
+        for row in range(self._confirmed_rows, count):
+            if row in self._provisional:
+                continue
+            label = -1
+            if clustered.size:
+                distances = np.asarray(values[row, : self._confirmed_rows])[clustered]
+                nearest = int(np.argmin(distances))
+                if distances[nearest] <= epsilon:
+                    label = int(labels[clustered[nearest]])
+            self._provisional[row] = label
+
+    # -- snapshots ----------------------------------------------------
+
+    def snapshot(self):
+        """A complete :class:`~repro.api.AnalysisRun` over everything
+        appended so far — bit-identical (matrix bytes, epsilon, cluster
+        membership) to batch :func:`~repro.api.run_analysis` over the
+        same messages.
+
+        Reconciles first: when anything was appended since the last
+        reclustering, the post-matrix stages re-run (the O(n²) matrix
+        is never rebuilt).  The session stays usable afterwards —
+        snapshots are cheap checkpoints, not terminal states.
+        """
+        from repro.api import AnalysisRun
+        from repro.report import AnalysisReport
+
+        self._check_open()
+        with self._scopes():
+            with get_tracer().span(
+                "session.snapshot", messages=self.message_count
+            ) as span:
+                if self._appendable is None:
+                    raise ValueError(
+                        "no analyzable segments appended yet"
+                        if self._messages
+                        else "no messages appended yet"
+                    )
+                if self._dirty or self._result is None:
+                    self._recluster("snapshot")
+                started = time.perf_counter()
+                result = self._result
+                trace = Trace(
+                    messages=list(self._messages), protocol=self.protocol
+                )
+                trace.quarantine = self._merged_quarantine()
+                deduced = (
+                    deduce_semantics(result, trace) if self.semantics else None
+                )
+                report = AnalysisReport.build(result, trace, deduced)
+                if self._appendable.options.use_cache:
+                    self._appendable.persist()
+                span.set(
+                    clusters=result.cluster_count,
+                    seconds=round(time.perf_counter() - started, 6),
+                )
+        return AnalysisRun(
+            trace=trace,
+            segments=list(self._segments),
+            result=result,
+            report=report,
+            semantics=deduced,
+            config=self.config,
+            quarantine=trace.quarantine,
+        )
+
+    def _merged_quarantine(self) -> QuarantineReport | None:
+        """One report over every lenient load this session absorbed."""
+        if not self._quarantines:
+            return None
+        if len(self._quarantines) == 1:
+            return self._quarantines[0]
+        merged = QuarantineReport(source="session")
+        for report in self._quarantines:
+            merged.ok_count += report.ok_count
+            merged.unparsed_frames += report.unparsed_frames
+            merged.truncated_tail = merged.truncated_tail or report.truncated_tail
+            merged.records.extend(report.records)
+        return merged

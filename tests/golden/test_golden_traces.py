@@ -146,6 +146,50 @@ def test_golden_trace_threaded(protocol, request):
     assert actual == expected
 
 
+@pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
+def test_golden_trace_session_replay(protocol, request):
+    """The corpus once more, replayed in 3 chunks through a session.
+
+    The incremental path promises batch equivalence: streaming the
+    golden trace through :class:`repro.AnalysisSession` in three append
+    batches must land on the identical checked-in artifacts — the
+    bit-exact matrix fingerprint included — as the one-shot batch runs
+    above.
+    """
+    from repro import AnalysisSession
+
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("corpus regenerates from the serial reference")
+    model = get_model(protocol)
+    trace = model.generate(GOLDEN_MESSAGES, seed=GOLDEN_SEED).preprocess()
+    messages = list(trace.messages)
+    session = AnalysisSession(
+        ClusteringConfig(matrix_options=MatrixBuildOptions(workers=1, use_cache=False)),
+        segmenter=GroundTruthSegmenter(model),
+        protocol=protocol,
+    )
+    third = (len(messages) + 2) // 3
+    for start in range(0, len(messages), third):
+        session.append(messages[start : start + third])
+    result = session.snapshot().result
+    epsilon = float(result.epsilon)
+    actual = {
+        "unique_segments": len(result.segments),
+        "matrix_sha256": matrix_checksum(result.matrix.values),
+        "epsilon_hex": epsilon.hex(),
+        "min_samples": int(result.autoconfig.min_samples),
+        "cluster_sizes": sorted(
+            (len(members) for members in result.clusters), reverse=True
+        ),
+        "noise": int(len(result.noise)),
+    }
+    expected = json.loads(expected_path(protocol).read_text())
+    assert actual["matrix_sha256"] == expected["matrix_sha256"], (
+        "incremental build drifted from the batch matrix fingerprint"
+    )
+    assert actual == {k: expected[k] for k in actual}
+
+
 def test_corpus_is_complete():
     """Every bundled protocol has a checked-in artifact (and no strays)."""
     present = {p.stem for p in EXPECTED_DIR.glob("*.json")}

@@ -82,6 +82,50 @@ class TestSpanNesting:
         assert outer.wall_seconds >= outer.children[0].wall_seconds
 
 
+class TestRootRetention:
+    def test_max_roots_caps_retention(self):
+        tracer = Tracer(max_roots=2)
+        spans = []
+        for i in range(5):
+            with tracer.span(f"root-{i}") as span:
+                spans.append(span)
+        assert tracer.roots == spans[:2]
+        assert tracer.dropped_roots == 3
+        # Dropped roots still measured for their caller.
+        assert all(s.wall_seconds >= 0.0 for s in spans)
+
+    def test_max_roots_applies_to_record(self):
+        tracer = Tracer(max_roots=1)
+        tracer.record("a", wall_seconds=0.1)
+        tracer.record("b", wall_seconds=0.2)
+        assert [s.name for s in tracer.roots] == ["a"]
+        assert tracer.dropped_roots == 1
+
+    def test_children_are_never_dropped(self):
+        tracer = Tracer(max_roots=1)
+        with tracer.span("kept"):
+            with tracer.span("child"):
+                pass
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["child"]
+
+    def test_reset_clears_and_resumes_retention(self):
+        tracer = Tracer(max_roots=1)
+        with tracer.span("first"):
+            pass
+        with tracer.span("dropped"):
+            pass
+        tracer.reset()
+        assert tracer.roots == [] and tracer.dropped_roots == 0
+        with tracer.span("second") as span:
+            pass
+        assert tracer.roots == [span]
+
+    def test_invalid_max_roots(self):
+        with pytest.raises(ValueError):
+            Tracer(max_roots=0)
+
+
 class TestExceptionSafety:
     def test_exception_marks_span_error_and_propagates(self):
         tracer = Tracer()

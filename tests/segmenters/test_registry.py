@@ -1,0 +1,82 @@
+"""Segmenter registry: validated registration replaces dict mutation."""
+
+import pytest
+
+from repro.api import SEGMENTERS
+from repro.core.segments import Segment
+from repro.segmenters import (
+    NemesysSegmenter,
+    Segmenter,
+    available_segmenters,
+    register_segmenter,
+    resolve_segmenter,
+)
+from repro.segmenters.registry import _SEGMENTERS
+
+
+class ToySegmenter(Segmenter):
+    name = "toy"
+
+    def segment_message(self, data: bytes, message_index: int = 0) -> list[Segment]:
+        return [Segment(message_index=message_index, offset=0, data=data)]
+
+
+@pytest.fixture
+def clean_registry():
+    snapshot = dict(_SEGMENTERS)
+    yield
+    _SEGMENTERS.clear()
+    _SEGMENTERS.update(snapshot)
+
+
+class TestRegistration:
+    def test_builtins_are_registered(self):
+        assert available_segmenters() == ("csp", "nemesys", "netzob")
+
+    def test_register_and_resolve(self, clean_registry):
+        register_segmenter("toy", ToySegmenter)
+        assert "toy" in available_segmenters()
+        assert isinstance(resolve_segmenter("toy"), ToySegmenter)
+
+    def test_duplicate_name_rejected(self, clean_registry):
+        register_segmenter("toy", ToySegmenter)
+        with pytest.raises(ValueError, match="already registered"):
+            register_segmenter("toy", NemesysSegmenter)
+        # Same class again is a no-op, replace=True overrides.
+        register_segmenter("toy", ToySegmenter)
+        register_segmenter("toy", NemesysSegmenter, replace=True)
+        assert isinstance(resolve_segmenter("toy"), NemesysSegmenter)
+
+    def test_non_segmenter_rejected(self, clean_registry):
+        with pytest.raises(TypeError, match="Segmenter subclass"):
+            register_segmenter("bad", dict)
+        with pytest.raises(TypeError, match="Segmenter subclass"):
+            register_segmenter("bad", ToySegmenter())
+        with pytest.raises(ValueError, match="name"):
+            register_segmenter("", ToySegmenter)
+
+    def test_api_segmenters_aliases_registry(self, clean_registry):
+        assert SEGMENTERS is _SEGMENTERS
+        register_segmenter("toy", ToySegmenter)
+        assert "toy" in SEGMENTERS
+
+
+class TestResolution:
+    def test_instance_passthrough(self):
+        instance = NemesysSegmenter()
+        assert resolve_segmenter(instance) is instance
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="csp"):
+            resolve_segmenter("nope")
+
+    def test_registered_segmenter_reaches_run_analysis(self, clean_registry):
+        from repro.api import run_analysis
+        from repro.net.trace import Trace, TraceMessage
+
+        register_segmenter("toy", ToySegmenter)
+        messages = [
+            TraceMessage(data=bytes([i, i + 1, i + 2, i + 3])) for i in range(30)
+        ]
+        run = run_analysis(Trace(messages=messages, protocol="p"), segmenter="toy")
+        assert all(s.offset == 0 for s in run.segments)

@@ -52,6 +52,97 @@ class TestExports:
         assert repro.__version__.count(".") == 2
 
 
+class TestSurfaceSnapshot:
+    """Pins of the stable facade: exported names and exact signatures.
+
+    docs/API.md documents these as the supported surface; changing any
+    of them is an API break that must be deliberate — update the pin,
+    the docs, and the deprecation note together.
+    """
+
+    def test_api_module_all(self):
+        import repro.api
+
+        assert repro.api.__all__ == [
+            "AnalysisRun",
+            "AnalysisSession",
+            "SEGMENTERS",
+            "analyze",
+            "cluster_segments",
+            "run_analysis",
+        ]
+
+    def test_top_level_additions(self):
+        for name in (
+            "AnalysisSession",
+            "available_segmenters",
+            "register_segmenter",
+        ):
+            assert name in repro.__all__
+
+    def test_analyze_signature(self):
+        assert str(inspect.signature(repro.analyze)) == (
+            "(trace_or_path: 'Trace | str | Path', "
+            "config: 'ClusteringConfig | None' = None, *, "
+            "protocol: 'str' = 'unknown', "
+            "port: 'int | None' = None, "
+            "segmenter: 'str | Segmenter' = 'nemesys', "
+            "semantics: 'bool' = False, "
+            "preprocess: 'bool' = True, "
+            "strict: 'bool' = True, "
+            "tracer: 'Tracer | None' = None, "
+            "metrics: 'MetricsRegistry | None' = None) -> 'AnalysisReport'"
+        )
+
+    def test_run_analysis_signature(self):
+        assert str(inspect.signature(repro.run_analysis)) == (
+            "(trace_or_path: 'Trace | str | Path', "
+            "config: 'ClusteringConfig | None' = None, *, "
+            "protocol: 'str' = 'unknown', "
+            "port: 'int | None' = None, "
+            "segmenter: 'str | Segmenter' = 'nemesys', "
+            "semantics: 'bool' = False, "
+            "preprocess: 'bool' = True, "
+            "strict: 'bool' = True, "
+            "tracer: 'Tracer | None' = None, "
+            "metrics: 'MetricsRegistry | None' = None) -> 'AnalysisRun'"
+        )
+
+    def test_analyze_takes_no_var_keyword(self):
+        # analyze() used to swallow typos through **kwargs; the explicit
+        # keyword surface keeps unknown arguments loud.
+        kinds = {
+            p.kind for p in inspect.signature(repro.analyze).parameters.values()
+        }
+        assert inspect.Parameter.VAR_KEYWORD not in kinds
+        with pytest.raises(TypeError):
+            repro.analyze("x.pcap", segmentr="nemesys")
+
+    def test_session_append_signature(self):
+        assert str(inspect.signature(repro.AnalysisSession.append)) == (
+            "(self, messages_or_trace: "
+            "'Trace | str | Path | Iterable[TraceMessage | bytes]', *, "
+            "strict: 'bool' = True) -> 'SessionUpdate'"
+        )
+
+    def test_session_constructor_keywords(self):
+        parameters = inspect.signature(repro.AnalysisSession).parameters
+        assert list(parameters) == [
+            "config",
+            "segmenter",
+            "protocol",
+            "port",
+            "semantics",
+            "recluster_fraction",
+            "epsilon_tolerance",
+            "knn_slack",
+            "checkpoint_path",
+            "resume",
+            "tracer",
+            "metrics",
+        ]
+
+
 class TestDocstrings:
     @pytest.mark.parametrize("package", PACKAGES)
     def test_public_classes_and_functions_documented(self, package):

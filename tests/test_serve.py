@@ -1,0 +1,144 @@
+"""``repro-serve`` service: live appends, polls, and SIGKILL durability.
+
+The service test that matters runs the real subprocess: stream a chunk,
+ack it, SIGKILL the process mid-capture, restart on the same checkpoint
+journal, stream the rest — the final cluster-state digest must equal a
+clean uninterrupted run's, byte for byte (the append is only acked
+after the journal fsync, so an acked chunk can never be lost).
+"""
+
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import build_parser, make_session
+
+pytestmark = pytest.mark.serve
+
+
+def make_chunk(rng: random.Random, count: int) -> dict:
+    return {
+        "op": "append",
+        "messages": [
+            {
+                "data": bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(4, 24))
+                ).hex()
+            }
+            for _ in range(count)
+        ],
+    }
+
+
+class ServeProcess:
+    def __init__(self, checkpoint):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--checkpoint",
+                str(checkpoint),
+                "--protocol",
+                "p",
+            ],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        ready = json.loads(self.proc.stdout.readline())
+        assert ready["event"] == "listening"
+        self.sock = socket.create_connection(("127.0.0.1", ready["port"]), timeout=60)
+        self.file = self.sock.makefile("rwb")
+
+    def rpc(self, request: dict) -> dict:
+        self.file.write((json.dumps(request) + "\n").encode())
+        self.file.flush()
+        return json.loads(self.file.readline())
+
+    def kill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+        self.sock.close()
+
+    def shutdown(self):
+        assert self.rpc({"op": "shutdown"})["event"] == "closing"
+        self.proc.wait(timeout=30)
+        self.sock.close()
+
+
+def stream_digest(checkpoint, chunks, kill_after=None):
+    """Stream *chunks*, optionally SIGKILLing after chunk *kill_after*."""
+    server = ServeProcess(checkpoint)
+    for index, chunk in enumerate(chunks):
+        response = server.rpc(chunk)
+        assert response["ok"], response
+        if kill_after is not None and index == kill_after:
+            server.kill()
+            server = ServeProcess(checkpoint)  # resumes from the journal
+    digest = server.rpc({"op": "digest"})
+    assert digest["ok"], digest
+    server.shutdown()
+    return digest["digest"]
+
+
+class TestServeDurability:
+    def test_sigkill_mid_capture_resumes_to_clean_state(self, tmp_path):
+        rng = random.Random(21)
+        chunks = [make_chunk(rng, 30) for _ in range(3)]
+        interrupted = stream_digest(tmp_path / "a.jsonl", chunks, kill_after=0)
+        clean = stream_digest(tmp_path / "b.jsonl", chunks)
+        assert interrupted == clean
+        assert interrupted["matrix_sha256"] == clean["matrix_sha256"]
+
+
+class TestServeProtocol:
+    def test_state_and_errors(self, tmp_path):
+        server = ServeProcess(tmp_path / "c.jsonl")
+        try:
+            rng = random.Random(5)
+            assert server.rpc(make_chunk(rng, 20))["update"]["reclustered"]
+            state = server.rpc({"op": "state"})["state"]
+            assert state["messages"] == 20 and state["appends"] == 1
+            assert not server.rpc({"op": "frobnicate"})["ok"]
+            assert not server.rpc({"no": "op"})["ok"]
+        finally:
+            server.shutdown()
+
+
+class TestServeArgs:
+    def test_parser_builds_session(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "--protocol",
+                "x",
+                "--checkpoint",
+                str(tmp_path / "d.jsonl"),
+                "--recluster-fraction",
+                "0.5",
+                "--epsilon-tolerance",
+                "0.2",
+            ]
+        )
+        session = make_session(args)
+        assert session.protocol == "x"
+        assert session.recluster_fraction == 0.5
+        assert session.epsilon_tolerance == 0.2
+        session.close()
+
+    def test_rejects_trace_global_segmenter(self):
+        args = build_parser().parse_args(["--segmenter", "netzob"])
+        with pytest.raises(ValueError, match="incrementally"):
+            make_session(args)
