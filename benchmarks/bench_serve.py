@@ -1,0 +1,206 @@
+"""Service-layer benchmark: wire overhead of the hardened repro-serve.
+
+The hardening layer (admission queue, per-op deadline plumbing, single
+worker executor, response pipeline) sits between every client and the
+session, so its fixed cost per request is worth pinning.  This bench
+drives the real subprocess over a real socket and measures:
+
+- ``health`` round trips — the inline path (admission + response
+  pipeline only, no queue, no executor);
+- ``state`` round trips — the full queued path (bounded queue →
+  worker → single-thread executor → response future);
+- ``append`` throughput with the journal fsync on every chunk — the
+  durability tax;
+- the admission fast path under overload: how quickly a full queue
+  turns requests into structured rejections.
+
+Usage::
+
+    python benchmarks/bench_serve.py             # run, rewrite JSON
+    python benchmarks/bench_serve.py --check     # compare vs baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).parent / "BENCH_serve.json"
+SCHEMA = "repro.bench-serve/v1"
+
+ROUND_TRIPS = 300
+APPEND_CHUNKS = 40
+APPEND_CHUNK_MESSAGES = 10
+#: --check fails when a timing regresses past this factor.
+CHECK_REGRESSION_FACTOR = 2.0
+
+
+class Server:
+    def __init__(self, *extra_args):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src, env.get("PYTHONPATH")])
+        )
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+            stdout=subprocess.PIPE,
+            env=env,
+        )
+        ready = json.loads(self.proc.stdout.readline())
+        self.sock = socket.create_connection(("127.0.0.1", ready["port"]), timeout=60)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, request: dict) -> None:
+        self.file.write((json.dumps(request) + "\n").encode())
+        self.file.flush()
+
+    def recv(self) -> dict:
+        return json.loads(self.file.readline())
+
+    def rpc(self, request: dict) -> dict:
+        self.send(request)
+        return self.recv()
+
+    def shutdown(self) -> None:
+        assert self.rpc({"op": "shutdown"})["ok"]
+        self.proc.wait(timeout=60)
+        self.sock.close()
+        self.proc.stdout.close()
+
+
+def chunk(index: int) -> dict:
+    return {
+        "op": "append",
+        "messages": [
+            {"data": bytes([index % 256, i, (index * i) % 256, 7]).hex()}
+            for i in range(APPEND_CHUNK_MESSAGES)
+        ],
+    }
+
+
+def timed_round_trips(server: Server, request: dict, count: int) -> float:
+    started = time.perf_counter()
+    for _ in range(count):
+        assert server.rpc(request)["ok"]
+    return time.perf_counter() - started
+
+
+def bench(tmp_dir: Path) -> dict:
+    server = Server("--protocol", "bench")
+    # Prime the session so `state` reflects a non-trivial analysis.
+    assert server.rpc(chunk(0))["ok"]
+    health_seconds = timed_round_trips(server, {"op": "health"}, ROUND_TRIPS)
+    state_seconds = timed_round_trips(server, {"op": "state"}, ROUND_TRIPS)
+    server.shutdown()
+
+    journaled = Server(
+        "--protocol", "bench", "--checkpoint", str(tmp_dir / "bench.jsonl")
+    )
+    started = time.perf_counter()
+    for index in range(APPEND_CHUNKS):
+        assert journaled.rpc(chunk(index))["ok"]
+    append_seconds = time.perf_counter() - started
+    journaled.shutdown()
+
+    # Overload fast path: a 1-deep queue and a busy worker turn the
+    # flood into immediate structured rejections.
+    flooded = Server(
+        "--protocol", "bench", "--queue-depth", "1", "--max-inflight", "2"
+    )
+    flood = 200
+    started = time.perf_counter()
+    for index in range(flood):
+        flooded.send(chunk(index))
+    responses = [flooded.recv() for _ in range(flood)]
+    flood_seconds = time.perf_counter() - started
+    rejected = sum(1 for r in responses if not r["ok"])
+    assert all(r["ok"] or r["error"] == "overloaded" for r in responses)
+    flooded.shutdown()
+
+    record = {
+        "seconds": {
+            "health_round_trips": round(health_seconds, 4),
+            "state_round_trips": round(state_seconds, 4),
+            "journaled_appends": round(append_seconds, 4),
+            "overload_flood": round(flood_seconds, 4),
+        },
+        "round_trips": ROUND_TRIPS,
+        "health_rps": round(ROUND_TRIPS / health_seconds, 1),
+        "state_rps": round(ROUND_TRIPS / state_seconds, 1),
+        "append_chunks": APPEND_CHUNKS,
+        "appends_per_second": round(APPEND_CHUNKS / append_seconds, 1),
+        "flood_requests": flood,
+        "flood_rejected": rejected,
+        "flood_rps": round(flood / flood_seconds, 1),
+    }
+    print(
+        f"[bench] health={record['health_rps']}rps state={record['state_rps']}rps "
+        f"journaled-append={record['appends_per_second']}cps "
+        f"flood={record['flood_rps']}rps ({rejected}/{flood} rejected)",
+        flush=True,
+    )
+    return record
+
+
+def run_check(record: dict) -> int:
+    if not BENCH_PATH.exists():
+        print(f"error: no baseline at {BENCH_PATH}", file=sys.stderr)
+        return 2
+    baseline = json.loads(BENCH_PATH.read_text())["record"]
+    failures = []
+    for stage, seconds in record["seconds"].items():
+        reference = baseline["seconds"].get(stage)
+        if reference is None or reference < 0.05:
+            continue  # below timer noise; not a meaningful gate
+        if seconds > CHECK_REGRESSION_FACTOR * reference:
+            failures.append(
+                f"{stage}: {seconds:.3f}s vs baseline {reference:.3f}s "
+                f"(> {CHECK_REGRESSION_FACTOR}x)"
+            )
+    if failures:
+        print("perf regression detected:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(
+        "perf check passed: all stages within "
+        f"{CHECK_REGRESSION_FACTOR}x of the committed baseline"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        record = bench(Path(tmp_dir))
+    if args.check:
+        return run_check(record)
+    payload = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "record": record,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {BENCH_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,97 @@ from repro.obs.export import write_manifest, write_prometheus
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer
 
+#: Longest request line ``repro-serve`` accepts by default (one chunk of
+#: hex-encoded messages); longer lines drop the offending client.
+DEFAULT_MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+def service_parent() -> argparse.ArgumentParser:
+    """Parent parser with the ``repro-serve`` hardening flags.
+
+    Owned here next to :func:`backend_parent` so every service knob is
+    declared in one place; :func:`repro.serve.service_options_from_args`
+    translates the parsed flags into
+    :class:`repro.serve.ServiceOptions`.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    admission = parent.add_argument_group("admission control")
+    admission.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded request-queue depth; further requests are rejected "
+        "with a structured 'overloaded' error (default: 64)",
+    )
+    admission.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-client concurrent-request cap before 'overloaded' "
+        "rejections (default: 8)",
+    )
+    admission.add_argument(
+        "--append-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per append op; on expiry the call is abandoned and "
+        "the client gets 'deadline_exceeded' (default: unbounded)",
+    )
+    admission.add_argument(
+        "--digest-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="deadline per digest op (reconciling can recluster; default: "
+        "unbounded)",
+    )
+    admission.add_argument(
+        "--max-line-bytes",
+        type=int,
+        default=DEFAULT_MAX_LINE_BYTES,
+        metavar="BYTES",
+        help="longest accepted request line; longer lines drop the client "
+        "(default: 64 MiB)",
+    )
+    lifecycle = parent.add_argument_group("lifecycle & durability")
+    lifecycle.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="hard cap on the SIGTERM/SIGINT/shutdown drain phase before "
+        "in-flight work is abandoned and the process exits (default: 10)",
+    )
+    lifecycle.add_argument(
+        "--wal-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="compact the checkpoint WAL into a checksummed snapshot once "
+        "it grows past this size; restart replays only the WAL tail "
+        "(default: never compact)",
+    )
+    lifecycle.add_argument(
+        "--max-rss-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="memory watchdog: refuse appends with 'resource_exhausted' "
+        "once process RSS exceeds this (state/digest/health still "
+        "served; default: no guard)",
+    )
+    observability = parent.add_argument_group("observability")
+    observability.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the service metrics in Prometheus text format on exit",
+    )
+    return parent
+
 
 def backend_parent() -> argparse.ArgumentParser:
     """Parent parser with the flags both CLIs share (``add_help=False``)."""

@@ -17,6 +17,15 @@ a dense epsilon-graph is as large as the graph).
 
 from __future__ import annotations
 
+import os
+import sys
+from dataclasses import dataclass
+
+try:  # pragma: no cover - absent only on non-unix platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
 #: Default per-stage working-set budget: 256 MiB of block temporaries.
 DEFAULT_MEMORY_BOUND_BYTES = 256 * 1024 * 1024
 
@@ -50,3 +59,49 @@ def rows_per_block(
     """
     bound_bytes = resolve_bound(bound_bytes)
     return max(1, bound_bytes // max(1, int(row_bytes) * max(1, int(copies))))
+
+
+def current_rss_bytes() -> int | None:
+    """The process's *current* resident set size in bytes, or None.
+
+    The working-set budgets above bound planned temporaries; the
+    long-running service additionally needs the observed footprint to
+    decide when to stop accepting work.  Linux reports it live via
+    ``/proc/self/statm``; elsewhere the peak RSS from ``getrusage`` is
+    the best available stand-in (monotone, so a guard built on it trips
+    conservatively and never untrips).
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    if _resource is None:  # pragma: no cover - non-unix
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS, KiB on Linux
+        return int(peak)
+    return int(peak) * 1024
+
+
+@dataclass
+class MemoryGuard:
+    """Trip-wire over process RSS for the service's degraded mode.
+
+    ``limit_bytes=None`` never trips.  The guard is stateless — each
+    :meth:`exceeded` call re-reads the current RSS — so a footprint
+    that shrinks back under the limit (matrix memmap storage, dropped
+    caches) automatically restores normal admission.
+    """
+
+    limit_bytes: int | None = None
+
+    def rss_bytes(self) -> int | None:
+        return current_rss_bytes()
+
+    def exceeded(self) -> bool:
+        if self.limit_bytes is None:
+            return False
+        rss = current_rss_bytes()
+        return rss is not None and rss > self.limit_bytes

@@ -33,10 +33,22 @@ fsynced *before* it mutates session state, so a process killed mid-
 append replays to the same state — deduplication makes replay
 idempotent.  ``repro-serve`` (:mod:`repro.serve`) rides on this to
 survive SIGKILL mid-capture.
+
+Long-lived sessions bound their journal with **compaction**: when the
+live WAL crosses ``wal_max_bytes`` the session archives the WAL
+segment, writes a checksummed snapshot of every kept message
+(``repro.session-snapshot/v1``, temp-file + atomic rename), and
+truncates the live WAL — in that order, so a crash at *any* point
+between the steps still recovers (replay is idempotent, so overlap
+between snapshot and un-truncated WAL is harmless).  A restart then
+loads the snapshot and replays only the WAL tail; a snapshot whose
+checksum or fingerprint fails validation is ignored and recovery falls
+back to the full journal (archive + live WAL).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
@@ -63,14 +75,30 @@ from repro.semantics import deduce_semantics
 
 SESSION_APPENDS_METRIC = "repro_session_appends_total"
 SESSION_RECLUSTERS_METRIC = "repro_session_reclusters_total"
+SESSION_REPLAYED_METRIC = "repro_session_replayed_chunks_total"
+SESSION_COMPACTIONS_METRIC = "repro_session_compactions_total"
+SESSION_COMPACTION_FAILURES_METRIC = "repro_session_compaction_failures_total"
+SESSION_SNAPSHOT_FALLBACKS_METRIC = "repro_session_snapshot_fallbacks_total"
+SESSION_WAL_BYTES_METRIC = "repro_session_wal_bytes"
 
 _APPENDS_HELP = "Chunks appended to incremental analysis sessions."
 _RECLUSTERS_HELP = (
     "Full post-matrix reclusterings run by analysis sessions "
     "(reason: initial/appended_fraction/epsilon_drift/snapshot)."
 )
+_REPLAYED_HELP = "Journal chunks replayed on session resume (source: wal/archive)."
+_COMPACTIONS_HELP = "WAL compactions (snapshot written, live WAL truncated)."
+_COMPACTION_FAILURES_HELP = (
+    "Compactions aborted by I/O errors (WAL kept; retried on the next append)."
+)
+_SNAPSHOT_FALLBACKS_HELP = (
+    "Resumes that ignored an unusable snapshot (status: corrupt/mismatch) "
+    "and fell back to full-journal replay."
+)
+_WAL_BYTES_HELP = "Live write-ahead-journal size in bytes."
 
 CHECKPOINT_SCHEMA = "repro.session-checkpoint/v1"
+SNAPSHOT_SCHEMA = "repro.session-snapshot/v1"
 
 #: Extra k-NN columns primed beyond the current autoconf need
 #: (``k_hi = max(2, round(ln n))``), so the cached width keeps covering
@@ -171,17 +199,52 @@ class SessionCheckpoint:
     idempotent under replay of a chunk that was partially applied).
     Loading is forgiving like every repro checkpoint: torn tail lines
     and foreign content are skipped, not fatal.
+
+    With *wal_max_bytes* set, the session compacts once the live WAL
+    grows past it (:meth:`rotate`): the WAL segment is appended to the
+    ``<path>.archive`` file, a checksummed snapshot of every kept
+    message is written to ``<path>.snapshot`` via temp-file + atomic
+    rename, and the live WAL is truncated — in that order, so every
+    crash window either leaves the snapshot + live WAL pair complete or
+    leaves the archive + live WAL pair complete (replay deduplicates,
+    so overlap is harmless).  The archive is cold storage: it is only
+    read when a snapshot fails validation.
     """
 
-    def __init__(self, path: str | Path, fingerprint: str):
+    def __init__(
+        self,
+        path: str | Path,
+        fingerprint: str,
+        *,
+        wal_max_bytes: int | None = None,
+    ):
+        if wal_max_bytes is not None and wal_max_bytes <= 0:
+            raise ValueError("wal_max_bytes must be > 0")
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self.wal_max_bytes = wal_max_bytes
+        self.snapshot_path = Path(str(path) + ".snapshot")
+        self.archive_path = Path(str(path) + ".archive")
+
+    def wal_bytes(self) -> int:
+        """Current size of the live WAL in bytes (0 when absent)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
 
     def load_chunks(self) -> list[list[TraceMessage]]:
-        """Chunks recorded for this session's fingerprint, in order."""
+        """Chunks recorded in the live WAL for this fingerprint, in order."""
+        return self._read_chunks(self.path)
+
+    def load_archive_chunks(self) -> list[list[TraceMessage]]:
+        """Chunks in the compaction archive (full-journal fallback)."""
+        return self._read_chunks(self.archive_path)
+
+    def _read_chunks(self, path: Path) -> list[list[TraceMessage]]:
         chunks: list[list[TraceMessage]] = []
         try:
-            text = self.path.read_text()
+            text = path.read_text(errors="replace")
         except (FileNotFoundError, OSError):
             return chunks
         for line in text.splitlines():
@@ -220,6 +283,114 @@ class SessionCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
 
+    # -- compaction ---------------------------------------------------
+
+    @staticmethod
+    def _payload_checksum(payload: dict) -> str:
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    def load_snapshot(self) -> tuple[str, list[TraceMessage] | None]:
+        """Validate and load the snapshot: ``(status, messages)``.
+
+        *status* is ``"ok"`` (messages returned), ``"missing"``,
+        ``"corrupt"`` (torn file, failed checksum, undecodable
+        records), or ``"mismatch"`` (a healthy snapshot from a session
+        with different analysis parameters).  Anything but ``"ok"``
+        means the caller must fall back to full-journal replay.
+        """
+        try:
+            text = self.snapshot_path.read_text()
+        except (FileNotFoundError, OSError):
+            return "missing", None
+        except UnicodeDecodeError:  # binary garbage where JSON should be
+            return "corrupt", None
+        try:
+            document = json.loads(text)
+            payload = document["payload"]
+            if document.get("checksum") != self._payload_checksum(payload):
+                return "corrupt", None
+            if payload.get("schema") != SNAPSHOT_SCHEMA:
+                return "corrupt", None
+            if payload.get("fingerprint") != self.fingerprint:
+                return "mismatch", None
+            messages = [
+                _message_from_record(record) for record in payload["messages"]
+            ]
+        except (ValueError, KeyError, TypeError):
+            return "corrupt", None
+        return "ok", messages
+
+    def write_snapshot(
+        self, messages: list[TraceMessage], meta: dict | None = None
+    ) -> None:
+        """Durably replace the snapshot (temp file + atomic rename)."""
+        payload = {
+            "schema": SNAPSHOT_SCHEMA,
+            "fingerprint": self.fingerprint,
+            "messages": [_message_to_record(m) for m in messages],
+            "meta": dict(meta or {}),
+        }
+        document = json.dumps(
+            {"checksum": self._payload_checksum(payload), "payload": payload},
+            sort_keys=True,
+        )
+        self.snapshot_path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = Path(str(self.snapshot_path) + ".tmp")
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(document + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.snapshot_path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        try:
+            fd = os.open(self.snapshot_path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - e.g. non-unix
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
+
+    def rotate(self, messages: list[TraceMessage], meta: dict | None = None) -> None:
+        """Compact: archive the live WAL, snapshot *messages*, truncate.
+
+        The order is what makes a crash at any point recoverable:
+
+        1. append the live WAL bytes to the archive (fsync) — from here
+           the full journal survives even if the snapshot write tears;
+        2. write the snapshot atomically — from here restarts take the
+           fast path (snapshot + WAL tail);
+        3. truncate the live WAL (fsync) — the tail is now empty.
+
+        A crash between any two steps leaves duplicate coverage, never
+        a gap; replay deduplication makes duplicates harmless.
+        """
+        try:
+            data = self.path.read_bytes()
+        except (FileNotFoundError, OSError):
+            data = b""
+        if data:
+            with open(self.archive_path, "ab") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+        self.write_snapshot(messages, meta)
+        with open(self.path, "w") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
 
 class AnalysisSession:
     """Stateful incremental analysis over an arriving message stream.
@@ -255,6 +426,7 @@ class AnalysisSession:
         epsilon_tolerance: float = DEFAULT_EPSILON_TOLERANCE,
         knn_slack: int = KNN_SLACK,
         checkpoint_path: str | Path | None = None,
+        wal_max_bytes: int | None = None,
         resume: bool = True,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
@@ -298,20 +470,67 @@ class AnalysisSession:
         self._provisional: dict[int, int] = {}
         self._appends = 0
         self._reclusters = 0
+        self._compactions = 0
         self._quarantines: list[QuarantineReport] = []
         self._closed = False
+        #: How the last resume reconstructed state: snapshot status plus
+        #: journal chunks replayed per source (the chaos suite asserts
+        #: a post-compaction restart replays only the WAL tail).
+        self.replayed: dict = {
+            "snapshot": "none",
+            "snapshot_messages": 0,
+            "wal_chunks": 0,
+            "archive_chunks": 0,
+        }
 
         self._checkpoint: SessionCheckpoint | None = None
         if checkpoint_path is not None:
             fingerprint = session_fingerprint(
                 self.config, self._segmenter.name, protocol
             )
-            self._checkpoint = SessionCheckpoint(checkpoint_path, fingerprint)
+            self._checkpoint = SessionCheckpoint(
+                checkpoint_path, fingerprint, wal_max_bytes=wal_max_bytes
+            )
             if resume:
-                for messages in self._checkpoint.load_chunks():
-                    with self._scopes():
-                        self._ingest(messages)
-                        self._appends += 1
+                self._replay()
+
+    def _replay(self) -> None:
+        """Rebuild state on resume: snapshot + WAL tail, or full journal.
+
+        A trusted snapshot is ingested as one deduplicating chunk (the
+        reconciled state is chunking-invariant), then only the live WAL
+        is replayed on top.  A missing/corrupt/mismatched snapshot falls
+        back to the full journal: the compaction archive followed by the
+        live WAL.
+        """
+        checkpoint = self._checkpoint
+        status, snapshot_messages = checkpoint.load_snapshot()
+        self.replayed["snapshot"] = status
+        with self._scopes():
+            if status == "ok":
+                self._ingest(snapshot_messages)
+                self.replayed["snapshot_messages"] = len(snapshot_messages)
+            else:
+                if status in ("corrupt", "mismatch"):
+                    get_metrics().counter(
+                        SESSION_SNAPSHOT_FALLBACKS_METRIC,
+                        help=_SNAPSHOT_FALLBACKS_HELP,
+                    ).inc(status=status)
+                for messages in checkpoint.load_archive_chunks():
+                    self._ingest(messages)
+                    self._appends += 1
+                    self.replayed["archive_chunks"] += 1
+            for messages in checkpoint.load_chunks():
+                self._ingest(messages)
+                self._appends += 1
+                self.replayed["wal_chunks"] += 1
+            replayed = get_metrics().counter(
+                SESSION_REPLAYED_METRIC, help=_REPLAYED_HELP
+            )
+            if self.replayed["archive_chunks"]:
+                replayed.inc(self.replayed["archive_chunks"], source="archive")
+            if self.replayed["wal_chunks"]:
+                replayed.inc(self.replayed["wal_chunks"], source="wal")
 
     # -- lifecycle ----------------------------------------------------
 
@@ -359,6 +578,15 @@ class AnalysisSession:
         return self._reclusters
 
     @property
+    def compactions(self) -> int:
+        """WAL compactions (snapshot written + live WAL truncated) so far."""
+        return self._compactions
+
+    def wal_bytes(self) -> int | None:
+        """Live WAL size in bytes, or None when not journaling."""
+        return self._checkpoint.wal_bytes() if self._checkpoint else None
+
+    @property
     def result(self) -> ClusteringResult | None:
         """The last confirmed clustering (None before the first one)."""
         return self._result
@@ -389,7 +617,52 @@ class AnalysisSession:
             "epsilon": float(result.epsilon) if result is not None else None,
             "provisional_segments": len(self._provisional),
             "dirty": self._dirty,
+            "wal_bytes": self.wal_bytes(),
+            "compactions": self._compactions,
+            "replayed": dict(self.replayed),
         }
+
+    def digest(self) -> dict:
+        """Comparable fingerprint of the session's cluster state.
+
+        Reconciles first (recluster when dirty), so two sessions that
+        absorbed the same messages — in any chunking, through any
+        number of restarts or compactions — report identical digests.
+        Raises :class:`ValueError` before any analyzable segment
+        arrived.
+        """
+        self._check_open()
+        with self._scopes():
+            if self._appendable is None:
+                raise ValueError(
+                    "no analyzable segments appended yet"
+                    if self._messages
+                    else "no messages appended yet"
+                )
+            if self._dirty or self._result is None:
+                self._recluster("snapshot")
+            result = self._result
+            clusters = sorted(
+                sorted(int(i) for i in members) for members in result.clusters
+            )
+            cluster_sha = hashlib.sha256(
+                json.dumps(clusters, separators=(",", ":")).encode()
+            ).hexdigest()
+            return {
+                "messages": self.message_count,
+                "unique_segments": self.unique_segment_count,
+                "matrix_sha256": self._matrix_sha(),
+                "clusters_sha256": cluster_sha,
+                "cluster_count": result.cluster_count,
+                "epsilon": float(result.epsilon),
+            }
+
+    def _matrix_sha(self) -> str | None:
+        if self._result is None:
+            return None
+        return hashlib.sha256(
+            np.ascontiguousarray(self._result.matrix.values).tobytes()
+        ).hexdigest()
 
     # -- the incremental core -----------------------------------------
 
@@ -424,6 +697,8 @@ class AnalysisSession:
                     reclustered=update.reclustered,
                     reason=update.reason,
                 )
+                if self._maybe_compact():
+                    span.set(compacted=True)
             get_metrics().counter(
                 SESSION_APPENDS_METRIC, help=_APPENDS_HELP
             ).inc()
@@ -545,6 +820,47 @@ class AnalysisSession:
             cluster_count=result.cluster_count if result is not None else None,
             epsilon=float(result.epsilon) if result is not None else None,
         )
+
+    def _maybe_compact(self) -> bool:
+        """Rotate the WAL into a snapshot once it outgrows the bound.
+
+        Compaction is opportunistic: an I/O failure (full disk, dead
+        volume) leaves the WAL untouched — the append that triggered it
+        is already journaled and applied — and is simply retried on the
+        next append; only the failure counter betrays it.
+        """
+        checkpoint = self._checkpoint
+        if checkpoint is None:
+            return False
+        wal_bytes = checkpoint.wal_bytes()
+        get_metrics().gauge(SESSION_WAL_BYTES_METRIC, help=_WAL_BYTES_HELP).set(
+            wal_bytes
+        )
+        if checkpoint.wal_max_bytes is None or wal_bytes <= checkpoint.wal_max_bytes:
+            return False
+        meta = {
+            "messages": len(self._messages),
+            "unique_segments": self.unique_segment_count,
+            "appends": self._appends,
+            "matrix_sha256": None if self._dirty else self._matrix_sha(),
+            "created_unix": time.time(),
+        }
+        try:
+            with get_tracer().span("session.compact", wal_bytes=wal_bytes):
+                checkpoint.rotate(list(self._messages), meta)
+        except OSError:
+            get_metrics().counter(
+                SESSION_COMPACTION_FAILURES_METRIC, help=_COMPACTION_FAILURES_HELP
+            ).inc()
+            return False
+        self._compactions += 1
+        get_metrics().counter(
+            SESSION_COMPACTIONS_METRIC, help=_COMPACTIONS_HELP
+        ).inc()
+        get_metrics().gauge(SESSION_WAL_BYTES_METRIC, help=_WAL_BYTES_HELP).set(
+            checkpoint.wal_bytes()
+        )
+        return True
 
     def _prime_knn(self) -> None:
         """Keep the k-NN column cache wide enough for merges + autoconf."""

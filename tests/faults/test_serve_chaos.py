@@ -1,0 +1,443 @@
+"""Chaos harness for ``repro-serve``: kill it, starve it, corrupt it.
+
+Every scenario drives the real subprocess over a real socket and holds
+the service to two invariants, no matter what is done to it:
+
+1. **Acked durability** — an append the client saw acked survives any
+   crash: a restart on the same checkpoint reports a digest equal to a
+   clean, uninterrupted run over the same acked chunks.
+2. **Structured degradation** — overload, memory pressure, torn input,
+   and misbehaving clients yield structured error envelopes or dropped
+   connections, never a crashed or wedged process.
+
+The fault matrix: SIGKILL mid-append (ack raced), SIGTERM mid-recluster
+(graceful drain), restart after WAL compaction (tail-only replay,
+asserted via the ``health`` op's replay counters), corrupt and torn
+snapshots (checksum detection + full-journal fallback), torn WAL tails,
+disk-full fsync failures (in-process, monkeypatched), slow-loris and
+oversized-line clients, and an overload flood against a tiny queue.
+
+``pytest-timeout`` is not in the image, so a SIGALRM fixture gives each
+test its own hard deadline — a wedged server fails loudly instead of
+hanging the suite.
+"""
+
+import asyncio
+import errno
+import json
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.pipeline import ClusteringConfig
+from repro.serve import ServiceOptions, SessionServer
+from repro.session import AnalysisSession, SessionCheckpoint, session_fingerprint
+
+pytestmark = [pytest.mark.faults, pytest.mark.serve]
+
+TEST_TIMEOUT_SECONDS = 180
+
+
+@pytest.fixture(autouse=True)
+def per_test_deadline():
+    """Hard per-test timeout via SIGALRM (pytest-timeout is unavailable)."""
+
+    def expire(signum, frame):
+        raise TimeoutError(f"chaos test exceeded {TEST_TIMEOUT_SECONDS}s")
+
+    previous = signal.signal(signal.SIGALRM, expire)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def make_chunk(rng: random.Random, count: int) -> dict:
+    return {
+        "op": "append",
+        "messages": [
+            {
+                "data": bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(4, 24))
+                ).hex()
+            }
+            for _ in range(count)
+        ],
+    }
+
+
+def make_chunks(seed: int, count: int, per_chunk: int = 25) -> list[dict]:
+    rng = random.Random(seed)
+    return [make_chunk(rng, per_chunk) for _ in range(count)]
+
+
+class ChaosServer:
+    """One ``repro-serve`` subprocess plus a line-oriented client socket."""
+
+    def __init__(self, checkpoint, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")])
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--checkpoint",
+                str(checkpoint),
+                "--protocol",
+                "p",
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        ready = json.loads(self.proc.stdout.readline())
+        assert ready["event"] == "listening"
+        self.port = ready["port"]
+        self.sock = socket.create_connection(("127.0.0.1", self.port), timeout=120)
+        self.file = self.sock.makefile("rwb")
+
+    def connect(self) -> socket.socket:
+        """An extra raw client connection to the same server."""
+        return socket.create_connection(("127.0.0.1", self.port), timeout=120)
+
+    def send(self, request: dict) -> None:
+        self.file.write((json.dumps(request) + "\n").encode())
+        self.file.flush()
+
+    def recv(self) -> dict:
+        return json.loads(self.file.readline())
+
+    def rpc(self, request: dict) -> dict:
+        self.send(request)
+        return self.recv()
+
+    def kill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.finish()
+
+    def terminate(self) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.finish()
+
+    def shutdown(self) -> int:
+        response = self.rpc({"op": "shutdown"})
+        assert response == {"ok": True, "event": "closing"}, response
+        return self.finish()
+
+    def finish(self) -> int:
+        code = self.proc.wait(timeout=150)
+        self.sock.close()
+        self.proc.stdout.close()
+        self.proc.stderr.close()
+        return code
+
+
+def clean_digest(tmp_path, chunks, name="clean.jsonl") -> dict:
+    """Digest of an uninterrupted run over *chunks* (the reference)."""
+    server = ChaosServer(tmp_path / name)
+    for chunk in chunks:
+        assert server.rpc(chunk)["ok"]
+    digest = server.rpc({"op": "digest"})["digest"]
+    assert server.shutdown() == 0
+    return digest
+
+
+def serve_digest(checkpoint, *extra_args) -> dict:
+    """Start a server on *checkpoint*, take its digest, shut down clean."""
+    server = ChaosServer(checkpoint, *extra_args)
+    digest = server.rpc({"op": "digest"})["digest"]
+    assert server.shutdown() == 0
+    return digest
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_append_acked_chunks_survive(self, tmp_path):
+        chunks = make_chunks(seed=31, count=3)
+        checkpoint = tmp_path / "a.jsonl"
+        server = ChaosServer(checkpoint)
+        for chunk in chunks[:2]:
+            assert server.rpc(chunk)["ok"]
+        # Fire the last chunk and SIGKILL without waiting for the ack:
+        # the append is ambiguous, so the client retries after restart —
+        # replay deduplication makes the retry safe either way.
+        server.send(chunks[2])
+        server.kill()
+        server = ChaosServer(checkpoint)
+        assert server.rpc(chunks[2])["ok"]
+        digest = server.rpc({"op": "digest"})["digest"]
+        assert server.shutdown() == 0
+        assert digest == clean_digest(tmp_path, chunks)
+
+    def test_repeated_sigkill_between_appends(self, tmp_path):
+        chunks = make_chunks(seed=32, count=3)
+        checkpoint = tmp_path / "b.jsonl"
+        for chunk in chunks:  # one fresh process per chunk, killed after
+            server = ChaosServer(checkpoint)
+            assert server.rpc(chunk)["ok"]
+            server.kill()
+        assert serve_digest(checkpoint) == clean_digest(tmp_path, chunks)
+
+    def test_sigterm_mid_recluster_drains_and_acks(self, tmp_path):
+        chunks = make_chunks(seed=33, count=1, per_chunk=120)
+        checkpoint = tmp_path / "c.jsonl"
+        server = ChaosServer(checkpoint)
+        # The first append forces the initial recluster; SIGTERM lands
+        # while it runs.  Drain must finish the in-flight append, flush
+        # its ack, close the peer, and exit 0.
+        server.send(chunks[0])
+        time.sleep(0.3)  # let the server admit the append first
+        server.proc.send_signal(signal.SIGTERM)
+        assert server.recv()["ok"]
+        assert server.file.readline() == b""  # server closed the peer
+        assert server.finish() == 0
+        assert serve_digest(checkpoint) == clean_digest(tmp_path, chunks)
+
+
+class TestCompactionRecovery:
+    def test_restart_after_compaction_replays_only_wal_tail(self, tmp_path):
+        chunks = make_chunks(seed=34, count=4)
+        checkpoint = tmp_path / "d.jsonl"
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        for chunk in chunks:
+            assert server.rpc(chunk)["ok"]
+        health = server.rpc({"op": "health"})["health"]
+        assert health["compactions"] >= 1
+        assert server.shutdown() == 0
+
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        replayed = server.rpc({"op": "health"})["health"]["replayed"]
+        assert replayed["snapshot"] == "ok"
+        assert replayed["snapshot_messages"] > 0
+        assert replayed["archive_chunks"] == 0
+        # The replay counter proves the fast path: only the WAL tail ran
+        # through ingest again, not the full four-chunk journal.
+        assert replayed["wal_chunks"] < len(chunks)
+        digest = server.rpc({"op": "digest"})["digest"]
+        assert server.shutdown() == 0
+        assert digest == clean_digest(tmp_path, chunks)
+
+    def test_corrupt_snapshot_falls_back_to_full_journal(self, tmp_path):
+        chunks = make_chunks(seed=35, count=3)
+        checkpoint = tmp_path / "e.jsonl"
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        for chunk in chunks:
+            assert server.rpc(chunk)["ok"]
+        assert server.shutdown() == 0
+
+        snapshot = SessionCheckpoint(checkpoint, "x").snapshot_path
+        snapshot.write_bytes(snapshot.read_bytes()[:-50] + b"\xff" * 50)
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        replayed = server.rpc({"op": "health"})["health"]["replayed"]
+        assert replayed["snapshot"] == "corrupt"
+        assert replayed["archive_chunks"] >= len(chunks) - 1
+        digest = server.rpc({"op": "digest"})["digest"]
+        assert server.shutdown() == 0
+        assert digest == clean_digest(tmp_path, chunks)
+
+    def test_torn_snapshot_write_is_detected(self, tmp_path):
+        chunks = make_chunks(seed=36, count=3)
+        checkpoint = tmp_path / "f.jsonl"
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        for chunk in chunks:
+            assert server.rpc(chunk)["ok"]
+        assert server.shutdown() == 0
+
+        # Simulate a crash mid-snapshot-write: truncated target file and
+        # a leftover temp file from the torn rename.
+        snapshot = SessionCheckpoint(checkpoint, "x").snapshot_path
+        data = snapshot.read_bytes()
+        snapshot.write_bytes(data[: len(data) // 2])
+        (tmp_path / (snapshot.name + ".tmp")).write_bytes(data[: len(data) // 3])
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "400")
+        assert server.rpc({"op": "health"})["health"]["replayed"]["snapshot"] == (
+            "corrupt"
+        )
+        digest = server.rpc({"op": "digest"})["digest"]
+        assert server.shutdown() == 0
+        assert digest == clean_digest(tmp_path, chunks)
+
+    def test_torn_wal_tail_after_sigkill(self, tmp_path):
+        chunks = make_chunks(seed=37, count=2)
+        checkpoint = tmp_path / "g.jsonl"
+        server = ChaosServer(checkpoint)
+        for chunk in chunks:
+            assert server.rpc(chunk)["ok"]
+        server.kill()
+        with open(checkpoint, "a") as handle:  # torn final journal line
+            handle.write('{"schema": "repro.session-checkpoint/v1", "fing')
+        assert serve_digest(checkpoint) == clean_digest(tmp_path, chunks)
+
+
+class TestDiskFull:
+    def test_fsync_enospc_fails_append_cleanly(self, tmp_path, monkeypatch):
+        """Disk-full on the WAL fsync: the append fails before any state
+        changes, and the session keeps working once space returns."""
+        messages = [bytes([i]) * (4 + i % 16) for i in range(30)]
+        session = AnalysisSession(protocol="p", checkpoint_path=tmp_path / "h.jsonl")
+        session.append(messages[:10])
+        real_fsync = os.fsync
+
+        def full_fsync(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", full_fsync)
+        with pytest.raises(OSError, match="No space left"):
+            session.append(messages[10:20])
+        assert session.message_count == 10  # nothing half-applied
+        monkeypatch.setattr(os, "fsync", real_fsync)
+        session.append(messages[10:20])
+        session.append(messages[20:])
+        digest = session.digest()
+
+        clean = AnalysisSession(protocol="p")
+        clean.append(messages)
+        assert digest == clean.digest()
+        # And the journal is replayable despite the failed attempt.
+        resumed = AnalysisSession(
+            protocol="p", checkpoint_path=tmp_path / "h.jsonl"
+        )
+        assert resumed.digest() == digest
+
+    def test_snapshot_write_enospc_keeps_wal(self, tmp_path, monkeypatch):
+        """Disk-full during compaction: the rotation aborts, the WAL is
+        untouched, and nothing acked is lost."""
+        session = AnalysisSession(
+            protocol="p", checkpoint_path=tmp_path / "i.jsonl", wal_max_bytes=150
+        )
+        monkeypatch.setattr(
+            SessionCheckpoint,
+            "write_snapshot",
+            lambda *a, **k: (_ for _ in ()).throw(
+                OSError(errno.ENOSPC, "No space left on device")
+            ),
+        )
+        session.append([bytes([i]) * 8 for i in range(20)])
+        assert session.compactions == 0
+        monkeypatch.undo()
+        digest = session.digest()
+        resumed = AnalysisSession(protocol="p", checkpoint_path=tmp_path / "i.jsonl")
+        assert resumed.digest() == digest
+
+
+class TestHostileClients:
+    def test_slow_loris_and_oversized_clients_do_not_block_service(
+        self, tmp_path
+    ):
+        chunks = make_chunks(seed=38, count=2, per_chunk=15)
+        server = ChaosServer(tmp_path / "j.jsonl", "--max-line-bytes", "4096")
+
+        loris = server.connect()  # half a request, then silence
+        loris.sendall(b'{"op": "append", "messages": [')
+
+        oversized = server.connect()
+        oversized_file = oversized.makefile("rwb")
+        oversized.sendall(b"x" * 8192 + b"\n")
+        assert oversized_file.readline() == b""  # dropped, not served
+
+        for chunk in chunks:  # the well-behaved client is unaffected
+            assert server.rpc(chunk)["ok"]
+        state = server.rpc({"op": "state"})["state"]
+        assert state["appends"] == len(chunks)
+        assert server.shutdown() == 0
+        loris.close()
+        oversized.close()
+
+    def test_overload_flood_rejects_structurally_and_loses_nothing(
+        self, tmp_path
+    ):
+        flood = make_chunks(seed=39, count=24, per_chunk=8)
+        checkpoint = tmp_path / "k.jsonl"
+        server = ChaosServer(
+            checkpoint, "--queue-depth", "2", "--max-inflight", "2"
+        )
+        for chunk in flood:  # blast without reading: admission races ops
+            server.send(chunk)
+        responses = [server.recv() for _ in flood]
+        assert server.shutdown() == 0
+
+        rejected = [r for r in responses if not r["ok"]]
+        assert rejected, "a 2-deep queue must reject part of a 24-chunk flood"
+        for response in rejected:
+            assert response["error"] == "overloaded"
+            assert response["retry_after_ms"] >= 50
+        # Responses are strictly ordered, so response i acks chunk i:
+        # a clean run over exactly the acked chunks must match.
+        acked = [chunk for chunk, r in zip(flood, responses) if r["ok"]]
+        assert acked
+        assert serve_digest(checkpoint) == clean_digest(tmp_path, acked)
+
+
+class TestDrainTimeout:
+    def test_timed_out_drain_exits_nonzero(self, tmp_path):
+        """A hung op cannot stall shutdown past ``--drain-timeout``: the
+        drain gives up, reports it, and exits 1 instead of wedging."""
+
+        async def scenario():
+            class HungSession:
+                message_count = 0
+                unique_segment_count = 0
+                appends = 0
+                reclusters = 0
+                compactions = 0
+                replayed = {}
+
+                def wal_bytes(self):
+                    return None
+
+                def state(self):
+                    time.sleep(8)  # far past drain_timeout=0.5
+
+                def append(self, messages):
+                    raise AssertionError("unused")
+
+                def digest(self):
+                    raise AssertionError("unused")
+
+            server = SessionServer(
+                HungSession(), ServiceOptions(drain_timeout=0.5)
+            )
+            task = asyncio.create_task(server.serve("127.0.0.1", 0))
+            while server._listener is None:
+                await asyncio.sleep(0.005)
+            port = server._listener.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b'{"op": "state"}\n')
+            await writer.drain()
+            await asyncio.sleep(0.2)  # the op is now hung in the executor
+            drain = asyncio.create_task(server._drain(reason="SIGTERM"))
+            response = json.loads(await asyncio.wait_for(reader.readline(), 10))
+            await drain
+            drained = await task
+            writer.close()
+            return drained, response
+
+        drained, response = asyncio.run(scenario())
+        assert drained is False  # run_server turns this into exit code 1
+        assert response["error"] == "draining"
+
+    def test_session_fingerprint_matches_wire_state(self, tmp_path):
+        """The snapshot fingerprint the service trusts on restart is the
+        same one an in-process session computes for the same knobs."""
+        checkpoint = tmp_path / "m.jsonl"
+        server = ChaosServer(checkpoint, "--wal-max-bytes", "300")
+        assert server.rpc(make_chunks(seed=40, count=1)[0])["ok"]
+        assert server.shutdown() == 0
+        fingerprint = session_fingerprint(ClusteringConfig(), "nemesys", "p")
+        probe = SessionCheckpoint(checkpoint, fingerprint)
+        status, messages = probe.load_snapshot()
+        assert status == "ok" and messages

@@ -137,6 +137,7 @@ class TestSurfaceSnapshot:
             "epsilon_tolerance",
             "knn_slack",
             "checkpoint_path",
+            "wal_max_bytes",
             "resume",
             "tracer",
             "metrics",

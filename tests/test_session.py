@@ -246,6 +246,105 @@ class TestCheckpointResume:
         assert loaded == message
 
 
+class TestWalRotation:
+    def _grow(self, path, chunks=4, per_chunk=15, wal_max_bytes=600):
+        session = AnalysisSession(
+            protocol="p", checkpoint_path=path, wal_max_bytes=wal_max_bytes
+        )
+        for index in range(chunks):
+            session.append(make_messages(per_chunk, seed=100 + index))
+        return session
+
+    def test_rotation_compacts_and_resumes_from_snapshot(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        session = self._grow(path)
+        assert session.compactions >= 1
+        assert SessionCheckpoint(path, "f").snapshot_path.exists()
+        digest = session.digest()
+        resumed = AnalysisSession(
+            protocol="p", checkpoint_path=path, wal_max_bytes=600
+        )
+        assert resumed.replayed["snapshot"] == "ok"
+        assert resumed.replayed["snapshot_messages"] == session.message_count
+        # Fast path: only the live-WAL tail is replayed, not the journal.
+        assert resumed.replayed["archive_chunks"] == 0
+        assert resumed.replayed["wal_chunks"] < 4
+        assert resumed.digest() == digest
+
+    def test_corrupt_snapshot_falls_back_to_full_journal(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        digest = self._grow(path).digest()
+        snapshot_path = SessionCheckpoint(path, "f").snapshot_path
+        snapshot_path.write_bytes(snapshot_path.read_bytes()[:-40] + b"x" * 40)
+        resumed = AnalysisSession(
+            protocol="p", checkpoint_path=path, wal_max_bytes=600
+        )
+        assert resumed.replayed["snapshot"] == "corrupt"
+        assert resumed.replayed["archive_chunks"] >= 1
+        assert resumed.digest() == digest
+
+    def test_snapshot_checksum_detects_tamper(self, tmp_path):
+        import json as json_module
+
+        checkpoint = SessionCheckpoint(tmp_path / "c.jsonl", "fp")
+        checkpoint.write_snapshot(make_messages(3, seed=1), {"k": "v"})
+        assert checkpoint.load_snapshot()[0] == "ok"
+        document = json_module.loads(checkpoint.snapshot_path.read_text())
+        document["payload"]["meta"]["k"] = "tampered"
+        checkpoint.snapshot_path.write_text(json_module.dumps(document))
+        status, messages = checkpoint.load_snapshot()
+        assert status == "corrupt" and messages is None
+
+    def test_snapshot_fingerprint_mismatch(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path / "c.jsonl", "fp-a")
+        checkpoint.write_snapshot(make_messages(3, seed=2))
+        other = SessionCheckpoint(tmp_path / "c.jsonl", "fp-b")
+        status, messages = other.load_snapshot()
+        assert status == "mismatch" and messages is None
+
+    def test_missing_snapshot(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path / "c.jsonl", "fp")
+        assert checkpoint.load_snapshot() == ("missing", None)
+
+    def test_binary_garbage_snapshot_is_corrupt(self, tmp_path):
+        checkpoint = SessionCheckpoint(tmp_path / "c.jsonl", "fp")
+        checkpoint.snapshot_path.write_bytes(b"\xff\xfe" * 64)
+        assert checkpoint.load_snapshot() == ("corrupt", None)
+
+    def test_failed_rotation_keeps_wal_and_session_alive(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "session.jsonl"
+        session = AnalysisSession(
+            protocol="p", checkpoint_path=path, wal_max_bytes=200
+        )
+        monkeypatch.setattr(
+            SessionCheckpoint,
+            "write_snapshot",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        session.append(make_messages(20, seed=3))
+        assert session.compactions == 0
+        assert session.wal_bytes() > 200  # WAL untouched, nothing lost
+        monkeypatch.undo()
+        digest = session.digest()
+        resumed = AnalysisSession(protocol="p", checkpoint_path=path)
+        assert resumed.digest() == digest
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(ValueError, match="wal_max_bytes"):
+            SessionCheckpoint(tmp_path / "c.jsonl", "fp", wal_max_bytes=0)
+
+    def test_digest_is_chunking_invariant(self):
+        messages = make_messages(40, seed=4)
+        one = AnalysisSession(protocol="p")
+        one.append(messages)
+        split = AnalysisSession(protocol="p")
+        split.append(messages[:13])
+        split.append(messages[13:])
+        assert one.digest() == split.digest()
+
+
 class TestQuarantineRegression:
     def _lenient_trace(self):
         trace = Trace(messages=make_messages(20, seed=13), protocol="p")
