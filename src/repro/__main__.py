@@ -37,7 +37,11 @@ from repro.net.trace import load_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer
 from repro.protocols import available_protocols, get_model
-from repro.segmenters import SegmenterResourceError, available_segmenters
+from repro.segmenters import (
+    SegmenterResourceError,
+    available_refinements,
+    available_segmenters,
+)
 
 
 def _cmd_protocols(_args) -> int:
@@ -107,6 +111,7 @@ def _cmd_analyze(args) -> int:
             config,
             segmenter=args.segmenter,
             semantics=args.semantics,
+            msgtypes=args.msgtypes,
             tracer=tracer,
             metrics=metrics,
         )
@@ -168,8 +173,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--port", type=int, help="UDP/TCP port filter")
     analyze.add_argument("--segmenter", choices=available_segmenters(),
                          default="nemesys")
+    analyze.add_argument("--refinement", choices=available_refinements(),
+                         default="none",
+                         help="boundary-refinement pass composed with the "
+                              "segmenter (pca = per-cluster PCA)")
     analyze.add_argument("--semantics", action="store_true",
                          help="run semantic deduction on the clusters")
+    analyze.add_argument("--msgtypes", action="store_true",
+                         help="also cluster messages into message types")
     analyze.add_argument("--json", help="also write the report as JSON")
     analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
     analyze.add_argument("--seed", type=int, default=42)

@@ -62,6 +62,7 @@ from pathlib import Path
 from repro.core.pipeline import ClusteringConfig, ClusteringResult, FieldTypeClusterer
 from repro.core.segments import Segment
 from repro.errors import QuarantineReport
+from repro.msgtypes import MessageTypeResult, cluster_message_types
 from repro.net.trace import Trace, load_trace
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer, use_tracer
@@ -99,6 +100,9 @@ class AnalysisRun:
     config: ClusteringConfig = field(default_factory=ClusteringConfig)
     #: Malformed-record report from a lenient capture load, if any.
     quarantine: QuarantineReport | None = None
+    #: Message-type clustering over the field-type result (NEMETYL
+    #: stage), present when the run was asked for ``msgtypes=True``.
+    msgtypes: MessageTypeResult | None = None
 
 
 def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None):
@@ -108,8 +112,11 @@ def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None
     return tracer_scope, metrics_scope
 
 
-def _resolve_segmenter(segmenter: str | Segmenter) -> Segmenter:
-    return resolve_segmenter(segmenter)
+def _resolve_segmenter(
+    segmenter: str | Segmenter, config: ClusteringConfig | None = None
+) -> Segmenter:
+    refinement = config.refinement if config is not None else "none"
+    return resolve_segmenter(segmenter, refinement=refinement, config=config)
 
 
 def cluster_segments(
@@ -137,6 +144,7 @@ def run_analysis(
     port: int | None = None,
     segmenter: str | Segmenter = "nemesys",
     semantics: bool = False,
+    msgtypes: bool = False,
     preprocess: bool = True,
     strict: bool = True,
     tracer: Tracer | None = None,
@@ -149,6 +157,12 @@ def run_analysis(
     as the UDP/TCP filter).  Raises ValueError when preprocessing
     leaves no messages; segmenter resource guards propagate as
     :class:`~repro.segmenters.SegmenterResourceError`.
+
+    ``config.refinement`` composes a boundary-refinement pass with the
+    segmenter (``"pca"`` runs :class:`~repro.segmenters.PcaRefiner`
+    after base segmentation).  With ``msgtypes=True`` the run also
+    clusters whole messages into message types over the field-type
+    result (:attr:`AnalysisRun.msgtypes`, summarized in the report).
 
     With ``strict=False`` a malformed capture is loaded leniently:
     records before the first corruption are salvaged and the rest are
@@ -172,10 +186,17 @@ def run_analysis(
             trace.quarantine = quarantine
         if not len(trace):
             raise ValueError("no messages to analyze after preprocessing")
-        segments = _resolve_segmenter(segmenter).segment(trace)
+        segments = _resolve_segmenter(segmenter, config).segment(trace)
         result = FieldTypeClusterer(config).cluster(segments)
         deduced = deduce_semantics(result, trace) if semantics else None
-        report = AnalysisReport.build(result, trace, deduced)
+        types = (
+            cluster_message_types(
+                segments, len(trace), matrix=result.matrix, trace=trace
+            )
+            if msgtypes
+            else None
+        )
+        report = AnalysisReport.build(result, trace, deduced, msgtypes=types)
     return AnalysisRun(
         trace=trace,
         segments=segments,
@@ -184,6 +205,7 @@ def run_analysis(
         semantics=deduced,
         config=config,
         quarantine=quarantine,
+        msgtypes=types,
     )
 
 
@@ -195,6 +217,7 @@ def analyze(
     port: int | None = None,
     segmenter: str | Segmenter = "nemesys",
     semantics: bool = False,
+    msgtypes: bool = False,
     preprocess: bool = True,
     strict: bool = True,
     tracer: Tracer | None = None,
@@ -213,6 +236,7 @@ def analyze(
         port=port,
         segmenter=segmenter,
         semantics=semantics,
+        msgtypes=msgtypes,
         preprocess=preprocess,
         strict=strict,
         tracer=tracer,

@@ -70,6 +70,12 @@ class ClusteringConfig:
     #: DBSCAN epsilon-neighborhood backend ("csr" blockwise scan or the
     #: "dense" n×n boolean reference); both yield identical labels.
     neighborhoods: str = NEIGHBORHOODS_CSR
+    #: Boundary-refinement pass composed with the segmenter ("none" or
+    #: "pca", see :mod:`repro.segmenters.pca`).  Consumed by
+    #: :func:`repro.segmenters.resolve_segmenter` via the analysis entry
+    #: points; :class:`FieldTypeClusterer` itself ignores it, so the
+    #: refiner can reuse the same config for its preliminary clustering.
+    refinement: str = "none"
     #: Working-set byte budget for the post-matrix blockwise scans
     #: (k-NN extraction, CSR neighborhoods, refinement); None uses
     #: :data:`repro.core.membound.DEFAULT_MEMORY_BOUND_BYTES`.
@@ -104,6 +110,9 @@ class ClusteringConfig:
             ),
         )
         bound_mb = getattr(args, "memory_bound_mb", None)
+        overrides.setdefault(
+            "refinement", getattr(args, "refinement", None) or "none"
+        )
         return cls(
             matrix_options=options,
             neighborhoods=getattr(args, "neighborhoods", None) or NEIGHBORHOODS_CSR,

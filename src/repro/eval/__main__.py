@@ -23,7 +23,7 @@ from repro.eval.coverage_experiment import run_coverage_comparison
 from repro.eval.export import table1_records, table2_records, to_csv, to_json
 from repro.eval.figures import run_figure2, run_figure3
 from repro.eval.runner import DEFAULT_SEED
-from repro.eval.tables import run_table1, run_table2
+from repro.eval.tables import run_grid, run_table1, run_table2
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.tracer import Tracer, use_tracer
 from repro.protocols.registry import ALL_ROWS, SMALL_TRACE_ROWS
@@ -53,7 +53,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "artefact",
-        choices=["table1", "table2", "fig2", "fig3", "coverage", "scorecard", "all"],
+        choices=[
+            "table1", "table2", "grid", "fig2", "fig3",
+            "coverage", "scorecard", "all",
+        ],
         help="which paper artefact to regenerate",
     )
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
@@ -78,11 +81,37 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip cells already recorded in --checkpoint (same seed only)",
     )
+    parser.add_argument(
+        "--segmenters",
+        default="nemesys",
+        help="comma-separated segmenters for the grid artefact",
+    )
+    parser.add_argument(
+        "--refinements",
+        default="none,pca",
+        help="comma-separated refinement passes for the grid artefact",
+    )
+    parser.add_argument(
+        "--protocols",
+        default=None,
+        help="comma-separated protocols restricting the grid artefact",
+    )
+    parser.add_argument(
+        "--messages",
+        type=int,
+        default=None,
+        help="message count per grid cell (default: the paper's rows)",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint PATH")
+    # The grid's cells carry extra state (refinement, msgtypes), so its
+    # checkpoints are namespaced apart from the plain table sweeps.
+    fingerprint_kind = "grid" if args.artefact == "grid" else None
     checkpoint = (
-        SweepCheckpoint(args.checkpoint, sweep_fingerprint(args.seed))
+        SweepCheckpoint(
+            args.checkpoint, sweep_fingerprint(args.seed, kind=fingerprint_kind)
+        )
         if args.checkpoint
         else None
     )
@@ -114,6 +143,26 @@ def main(argv: list[str] | None = None) -> int:
             )
             outputs.append(table2.render())
             _export(args, "table2", table2_records(table2))
+        if args.artefact == "grid":
+            selected = _rows(args.quick)
+            if args.protocols:
+                wanted = {p.strip() for p in args.protocols.split(",") if p.strip()}
+                selected = [row for row in selected if row[0] in wanted]
+            if args.messages is not None:
+                selected = [(proto, args.messages) for proto, _ in selected]
+            grid = run_grid(
+                seed=args.seed,
+                rows=selected,
+                segmenters=tuple(
+                    s.strip() for s in args.segmenters.split(",") if s.strip()
+                ),
+                refinements=tuple(
+                    r.strip() for r in args.refinements.split(",") if r.strip()
+                ),
+                checkpoint=checkpoint,
+                resume=args.resume,
+            )
+            outputs.append(grid.render())
         if args.artefact == "scorecard":
             from repro.eval.paperdiff import build_scorecard
 

@@ -36,19 +36,32 @@ from repro.obs.export import config_fingerprint
 
 CHECKPOINT_SCHEMA = "repro.eval-checkpoint/v1"
 
-#: A cell's identity within one sweep (seed/config live in the fingerprint).
-CellKey = tuple[str, int, str]
+#: A cell's identity within one sweep (seed/config live in the
+#: fingerprint).  Cells without a refinement pass keep the historical
+#: 3-tuple so pre-grid checkpoints stay resumable; grid cells with a
+#: refinement extend the key with it.
+CellKey = tuple
 
 
 def cell_key(cell: ExperimentCell) -> CellKey:
-    return (cell.protocol, cell.message_count, cell.segmenter)
+    refinement = getattr(cell, "refinement", "none")
+    if refinement in ("", "none"):
+        return (cell.protocol, cell.message_count, cell.segmenter)
+    return (cell.protocol, cell.message_count, cell.segmenter, refinement)
 
 
-def sweep_fingerprint(seed: int, config=None) -> str:
-    """Fingerprint identifying one sweep's inputs (seed + config)."""
-    return config_fingerprint(
-        {"schema": CHECKPOINT_SCHEMA, "seed": seed, "config": config}
-    )
+def sweep_fingerprint(seed: int, config=None, kind: str | None = None) -> str:
+    """Fingerprint identifying one sweep's inputs (seed + config).
+
+    *kind* namespaces sweeps whose cells carry extra per-cell state —
+    the scenario grid passes ``kind="grid"`` so its msgtype-bearing
+    cells never satisfy a plain table sweep (or vice versa); omitting
+    it preserves the historical fingerprint of existing checkpoints.
+    """
+    payload = {"schema": CHECKPOINT_SCHEMA, "seed": seed, "config": config}
+    if kind is not None:
+        payload["kind"] = kind
+    return config_fingerprint(payload)
 
 
 def cell_to_record(cell: ExperimentCell) -> dict:
@@ -72,6 +85,12 @@ def cell_from_record(record: dict) -> ExperimentCell:
         epsilon=record.get("epsilon"),
         unique_segments=int(record.get("unique_segments", 0)),
         runtime_seconds=float(record.get("runtime_seconds", 0.0)),
+        refinement=str(record.get("refinement", "none")),
+        boundaries_moved=int(record.get("boundaries_moved", 0)),
+        msgtype_count=record.get("msgtype_count"),
+        msgtype_noise=record.get("msgtype_noise"),
+        msgtype_epsilon=record.get("msgtype_epsilon"),
+        msgtype_precision=record.get("msgtype_precision"),
     )
 
 

@@ -14,8 +14,9 @@ from repro.api import cluster_segments
 from repro.core.pipeline import ClusteringConfig
 from repro.errors import ComputeError
 from repro.eval.truth import label_with_truth
-from repro.metrics import clustering_coverage, score_result
+from repro.metrics import clustering_coverage, score_clustering, score_result
 from repro.metrics.pairwise import ClusterScore
+from repro.msgtypes import cluster_message_types
 from repro.net.trace import Trace
 from repro.obs.metrics import get_metrics
 from repro.obs.tracer import get_tracer
@@ -74,7 +75,7 @@ def make_segmenter(name: str, model: ProtocolModel) -> Segmenter:
 
 @dataclass(frozen=True)
 class ExperimentCell:
-    """One (protocol, size, segmenter) evaluation outcome."""
+    """One (protocol, size, segmenter[, refinement]) evaluation outcome."""
 
     protocol: str
     message_count: int
@@ -87,6 +88,16 @@ class ExperimentCell:
     epsilon: float | None = None
     unique_segments: int = 0
     runtime_seconds: float = 0.0
+    #: Boundary-refinement pass composed with the segmenter ("none"
+    #: keeps legacy cells indistinguishable from pre-grid sweeps).
+    refinement: str = "none"
+    #: Boundary decisions the refinement pass applied (0 for "none").
+    boundaries_moved: int = 0
+    #: Message-type stage outcome, when the cell ran with msgtypes.
+    msgtype_count: int | None = None
+    msgtype_noise: int | None = None
+    msgtype_epsilon: float | None = None
+    msgtype_precision: float | None = None
 
     @property
     def summary(self) -> str:
@@ -99,6 +110,8 @@ class ExperimentCell:
         )
         if self.coverage is not None:
             parts += f" cov={self.coverage:.0%}"
+        if self.msgtype_count is not None:
+            parts += f" types={self.msgtype_count}"
         return parts
 
 
@@ -117,6 +130,9 @@ def run_cell(
     segmenter_name: str,
     seed: int = DEFAULT_SEED,
     config: ClusteringConfig | None = None,
+    *,
+    refinement: str = "none",
+    msgtypes: bool = False,
 ) -> ExperimentCell:
     """Run segmentation + clustering + scoring for one table cell.
 
@@ -128,15 +144,23 @@ def run_cell(
     sweep continues past one broken cell instead of aborting.  Unknown
     protocol or segmenter names still raise immediately: those are
     caller errors, not evaluation outcomes.
+
+    *refinement* composes a boundary-refinement pass with the segmenter
+    (the scenario-grid axis); with *msgtypes* the cell also runs the
+    message-type stage and scores it against the protocol model's
+    ground-truth message kinds (None when the model defines none).
     """
     model = get_model(protocol)
     segmenter = make_segmenter(segmenter_name, model)
+    if refinement != "none":
+        segmenter = resolve_segmenter(segmenter, refinement=refinement, config=config)
     started = time.perf_counter()
     with get_tracer().span(
         "eval.cell",
         protocol=protocol,
         messages=message_count,
         segmenter=segmenter_name,
+        refinement=refinement,
     ) as span:
         def failed_cell(error: Exception, failure_class: str) -> ExperimentCell:
             span.set(failed=True, error_class=failure_class, reason=str(error))
@@ -149,16 +173,43 @@ def run_cell(
                 failure_class=failure_class,
                 failure_reason=str(error),
                 runtime_seconds=time.perf_counter() - started,
+                refinement=refinement,
             )
 
         try:
             trace = model.generate(message_count, seed=seed).preprocess()
             segments = segmenter.segment(trace)
+            boundaries_moved = (
+                segmenter.last_refinement.boundaries_moved
+                if refinement != "none"
+                else 0
+            )
             if segmenter_name != "groundtruth":
                 segments = label_with_truth(segments, trace, model)
             result = cluster_segments(segments, config)
             score = score_result(result)
             coverage = clustering_coverage(result, trace).ratio
+            types = (
+                cluster_message_types(
+                    segments, len(trace), matrix=result.matrix, trace=trace
+                )
+                if msgtypes
+                else None
+            )
+            msgtype_precision = None
+            if types is not None:
+                try:
+                    kinds = [model.message_kind(m.data) for m in trace]
+                except NotImplementedError:
+                    kinds = None
+                if kinds is not None:
+                    msgtype_precision = score_clustering(
+                        [
+                            (int(label), kinds[i])
+                            for i, label in enumerate(types.labels)
+                        ],
+                        beta=1.0,
+                    ).precision
         except SegmenterResourceError as error:
             return failed_cell(error, "SegmenterResourceError")
         except Exception as error:  # the per-cell exception barrier
@@ -168,6 +219,10 @@ def run_cell(
             clusters=result.cluster_count,
             epsilon=result.epsilon,
         )
+        if refinement != "none":
+            span.set(boundaries_moved=boundaries_moved)
+        if types is not None:
+            span.set(msgtype_count=types.type_count, msgtype_noise=types.noise_count)
     count_cell("ok")
     return ExperimentCell(
         protocol=protocol,
@@ -178,6 +233,12 @@ def run_cell(
         epsilon=result.epsilon,
         unique_segments=len(result.segments),
         runtime_seconds=time.perf_counter() - started,
+        refinement=refinement,
+        boundaries_moved=boundaries_moved,
+        msgtype_count=types.type_count if types is not None else None,
+        msgtype_noise=types.noise_count if types is not None else None,
+        msgtype_epsilon=float(types.epsilon) if types is not None else None,
+        msgtype_precision=msgtype_precision,
     )
 
 

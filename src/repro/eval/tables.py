@@ -227,6 +227,107 @@ def run_table1(
     return table
 
 
+@dataclass
+class ScenarioGrid:
+    """Segmenter x refinement x protocol sweep with message types.
+
+    The grid is the scenario-level artefact: each cell composes one
+    segmenter with one boundary-refinement pass, clusters field types,
+    and runs the message-type stage on top, so one render compares how
+    refinement shifts both field scores and type recovery.
+    """
+
+    cells: dict[tuple, ExperimentCell]
+
+    def render(self) -> str:
+        body = []
+        for cell in self.cells.values():
+            if cell.failed:
+                body.append(
+                    [
+                        cell.protocol,
+                        cell.message_count,
+                        cell.segmenter,
+                        cell.refinement,
+                        "fails",
+                        "", "", "", "", "",
+                    ]
+                )
+                continue
+            assert cell.score is not None
+            body.append(
+                [
+                    cell.protocol,
+                    cell.message_count,
+                    cell.segmenter,
+                    cell.refinement,
+                    fmt(cell.score.precision),
+                    fmt(cell.score.fscore),
+                    cell.boundaries_moved,
+                    cell.msgtype_count if cell.msgtype_count is not None else "",
+                    cell.msgtype_noise if cell.msgtype_noise is not None else "",
+                    (
+                        fmt(cell.msgtype_precision)
+                        if cell.msgtype_precision is not None
+                        else ""
+                    ),
+                ]
+            )
+        return render_table(
+            [
+                "proto", "msgs", "segmenter", "refine",
+                "P", "F(1/4)", "moved", "types", "t-noise", "t-P",
+            ],
+            body,
+            title="Scenario grid - segmenter x refinement x protocol",
+        )
+
+
+def run_grid(
+    seed: int = DEFAULT_SEED,
+    rows: list[tuple[str, int]] | None = None,
+    segmenters: tuple[str, ...] = ("nemesys",),
+    refinements: tuple[str, ...] = ("none", "pca"),
+    config: ClusteringConfig | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+    resume: bool = False,
+) -> ScenarioGrid:
+    """Run the segmenter x refinement x protocol grid, resumably.
+
+    Cell-for-cell resumable like :func:`sweep_cells`, but each cell also
+    carries a refinement axis and the message-type stage; cells are
+    keyed ``(protocol, count, segmenter)`` for refinement ``"none"`` and
+    ``(protocol, count, segmenter, refinement)`` otherwise — the same
+    keys :func:`repro.eval.checkpoint.cell_key` derives when loading.
+    """
+    selected = rows if rows is not None else ALL_ROWS
+    done = checkpoint.load() if (checkpoint is not None and resume) else {}
+    cells: dict[tuple, ExperimentCell] = {}
+    for proto, count in selected:
+        for segmenter in segmenters:
+            for refinement in refinements:
+                key: tuple = (proto, count, segmenter)
+                if refinement not in ("", "none"):
+                    key = (proto, count, segmenter, refinement)
+                if key in done:
+                    cells[key] = done[key]
+                    count_cell("resumed")
+                    continue
+                cell = run_cell(
+                    proto,
+                    count,
+                    segmenter,
+                    seed=seed,
+                    config=config,
+                    refinement=refinement,
+                    msgtypes=True,
+                )
+                if checkpoint is not None:
+                    checkpoint.record(cell)
+                cells[key] = cell
+    return ScenarioGrid(cells=cells)
+
+
 def run_table2(
     seed: int = DEFAULT_SEED,
     rows: list[tuple[str, int]] | None = None,

@@ -15,12 +15,24 @@ split a trace into message types, then cluster field data types within
 or across them.
 """
 
-from repro.msgtypes.clustering import MessageTypeClusterer, MessageTypeResult
-from repro.msgtypes.similarity import message_dissimilarity_matrix, segment_sequences
+from repro.msgtypes.clustering import (
+    MessageTypeClusterer,
+    MessageTypeResult,
+    cluster_message_types,
+)
+from repro.msgtypes.similarity import (
+    alignment_dissimilarities,
+    indexed_sequences,
+    message_dissimilarity_matrix,
+    segment_sequences,
+)
 
 __all__ = [
     "MessageTypeClusterer",
     "MessageTypeResult",
+    "alignment_dissimilarities",
+    "cluster_message_types",
+    "indexed_sequences",
     "message_dissimilarity_matrix",
     "segment_sequences",
 ]

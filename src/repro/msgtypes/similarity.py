@@ -5,6 +5,14 @@ matching positions contribute the Canberra similarity of the aligned
 segments, gaps are penalized.  The pairwise segment dissimilarities are
 precomputed once over unique segment values (vectorized), so the
 alignment DP only performs table lookups.
+
+The module exposes two layers: :func:`indexed_sequences` /
+:func:`alignment_dissimilarities` work from an existing unique-segment
+dissimilarity matrix — the message-type stage feeds them the field-type
+pipeline's own matrix, which is what makes batch / prebuilt-matrix /
+incremental-session message typing produce identical labels — while
+:func:`message_dissimilarity_matrix` is the standalone convenience that
+builds its matrix from scratch.
 """
 
 from __future__ import annotations
@@ -25,6 +33,24 @@ def segment_sequences(segments: list[Segment], message_count: int) -> list[list[
     for sequence in sequences:
         sequence.sort(key=lambda s: s.offset)
     return sequences
+
+
+def indexed_sequences(
+    segments: list[Segment],
+    message_count: int,
+    index_of: dict[bytes, int],
+) -> list[list[int]]:
+    """Per-message sequences of unique-segment indices.
+
+    *index_of* maps segment values to their row in the unique-segment
+    dissimilarity matrix; values absent from the table (segments
+    excluded from clustering, e.g. 1-byte segments) become index -1,
+    which the alignment matches with score 0.
+    """
+    return [
+        [index_of.get(s.data, -1) for s in sequence]
+        for sequence in segment_sequences(segments, message_count)
+    ]
 
 
 def _align_score(
@@ -61,28 +87,22 @@ def _align_score(
     return float(previous[-1])
 
 
-def message_dissimilarity_matrix(
-    segments: list[Segment],
-    message_count: int,
+def alignment_dissimilarities(
+    indexed: list[list[int]],
+    distances: np.ndarray,
     gap_penalty: float = GAP_PENALTY,
-    min_segment_length: int = 2,
 ) -> np.ndarray:
-    """Pairwise message dissimilarities in [0, 1].
+    """Pairwise message dissimilarities in [0, 1] from index sequences.
 
     The alignment similarity is normalized by the self-alignment scores:
     ``d(A, B) = 1 - score(A, B) / max(score(A, A), score(B, B))``,
-    clipped to [0, 1].
+    clipped to [0, 1].  Empty sequences are maximally dissimilar to
+    everything (1.0).
     """
-    uniques = unique_segments(segments, min_length=min_segment_length)
-    matrix = DissimilarityMatrix.build(uniques)
-    index_of = {u.data: i for i, u in enumerate(matrix.segments)}
-    sequences = segment_sequences(segments, message_count)
-    indexed: list[list[int]] = [
-        [index_of.get(s.data, -1) for s in sequence] for sequence in sequences
-    ]
+    message_count = len(indexed)
     self_scores = np.array(
         [
-            _align_score(seq, seq, matrix.values, gap_penalty) if seq else 0.0
+            _align_score(seq, seq, distances, gap_penalty) if seq else 0.0
             for seq in indexed
         ]
     )
@@ -92,8 +112,28 @@ def message_dissimilarity_matrix(
             if not indexed[i] or not indexed[j]:
                 out[i, j] = out[j, i] = 1.0
                 continue
-            score = _align_score(indexed[i], indexed[j], matrix.values, gap_penalty)
+            score = _align_score(indexed[i], indexed[j], distances, gap_penalty)
             norm = max(self_scores[i], self_scores[j])
             dissimilarity = 1.0 - score / norm if norm > 0 else 1.0
             out[i, j] = out[j, i] = float(np.clip(dissimilarity, 0.0, 1.0))
     return out
+
+
+def message_dissimilarity_matrix(
+    segments: list[Segment],
+    message_count: int,
+    gap_penalty: float = GAP_PENALTY,
+    min_segment_length: int = 2,
+) -> np.ndarray:
+    """Pairwise message dissimilarities in [0, 1], matrix built in place.
+
+    Builds the unique-segment dissimilarity matrix from *segments* and
+    delegates to :func:`alignment_dissimilarities`; callers that already
+    own a matrix (the message-type stage reuses the field pipeline's)
+    call the two lower-level helpers directly.
+    """
+    uniques = unique_segments(segments, min_length=min_segment_length)
+    matrix = DissimilarityMatrix.build(uniques)
+    index_of = {u.data: i for i, u in enumerate(matrix.segments)}
+    indexed = indexed_sequences(segments, message_count, index_of)
+    return alignment_dissimilarities(indexed, matrix.values, gap_penalty)

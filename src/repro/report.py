@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import asdict, dataclass, field
 
 from repro.core.pipeline import ClusteringResult
+from repro.msgtypes.clustering import MessageTypeResult
 from repro.net.bytesutil import printable_ratio, shannon_entropy
 from repro.net.trace import Trace
 from repro.semantics.engine import ClusterSemantics
@@ -49,6 +50,12 @@ class AnalysisReport:
     noise_segments: int
     covered_bytes: int
     clusters: list[ClusterReportEntry] = field(default_factory=list)
+    #: Message-type stage summary; None when the stage did not run
+    #: (defaults keep reports serialized before the stage loading).
+    message_types: int | None = None
+    msgtype_noise: int | None = None
+    msgtype_epsilon: float | None = None
+    msgtype_sizes: list[int] = field(default_factory=list)
 
     @property
     def coverage(self) -> float:
@@ -61,6 +68,7 @@ class AnalysisReport:
         trace: Trace,
         semantics: list[ClusterSemantics] | None = None,
         examples_per_cluster: int = 3,
+        msgtypes: MessageTypeResult | None = None,
     ) -> "AnalysisReport":
         semantic_by_id = {s.cluster_id: s for s in (semantics or [])}
         entries = []
@@ -96,6 +104,12 @@ class AnalysisReport:
             noise_segments=len(result.noise),
             covered_bytes=result.covered_bytes(),
             clusters=entries,
+            message_types=msgtypes.type_count if msgtypes is not None else None,
+            msgtype_noise=msgtypes.noise_count if msgtypes is not None else None,
+            msgtype_epsilon=(
+                round(msgtypes.epsilon, 6) if msgtypes is not None else None
+            ),
+            msgtype_sizes=msgtypes.sizes() if msgtypes is not None else [],
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -116,8 +130,14 @@ class AnalysisReport:
             f"DBSCAN: epsilon={self.epsilon:.3f} min_samples={self.min_samples}",
             f"pseudo data types: {self.cluster_count}, "
             f"coverage {self.coverage:.0%}",
-            "",
         ]
+        if self.message_types is not None:
+            lines.append(
+                f"message types: {self.message_types} "
+                f"(sizes {self.msgtype_sizes}, noise {self.msgtype_noise}, "
+                f"epsilon={self.msgtype_epsilon:.3f})"
+            )
+        lines.append("")
         for entry in self.clusters:
             semantic = (
                 f" -> {entry.semantic_label} ({entry.semantic_confidence:.0%})"

@@ -20,7 +20,9 @@ from repro.segmenters.csp import CspSegmenter, mine_patterns
 from repro.segmenters.groundtruth import GroundTruthSegmenter
 from repro.segmenters.nemesys import NemesysSegmenter, bit_congruence
 from repro.segmenters.netzob import NetzobSegmenter
+from repro.segmenters.pca import PcaRefiner, RefinedSegmenter, RefinementStats
 from repro.segmenters.registry import (
+    available_refinements,
     available_segmenters,
     register_segmenter,
     resolve_segmenter,
@@ -38,8 +40,12 @@ __all__ = [
     "GroundTruthSegmenter",
     "NemesysSegmenter",
     "NetzobSegmenter",
+    "PcaRefiner",
+    "RefinedSegmenter",
+    "RefinementStats",
     "Segmenter",
     "SegmenterResourceError",
+    "available_refinements",
     "available_segmenters",
     "bit_congruence",
     "boundaries_to_segments",

@@ -54,14 +54,48 @@ def available_segmenters() -> tuple[str, ...]:
     return tuple(sorted(_SEGMENTERS))
 
 
-def resolve_segmenter(segmenter: str | Segmenter) -> Segmenter:
-    """An instance for *segmenter*: pass-through, or construct by name."""
-    if isinstance(segmenter, Segmenter):
-        return segmenter
-    try:
-        return _SEGMENTERS[segmenter]()
-    except KeyError:
+#: Boundary-refinement passes composable with any segmenter.  A closed
+#: choice list rather than a registry: passes are pipeline stages with
+#: their own config surface, not interchangeable heuristics.
+REFINEMENTS: tuple[str, ...] = ("none", "pca")
+
+
+def available_refinements() -> tuple[str, ...]:
+    """Refinement pass names (the CLI ``--refinement`` choices)."""
+    return REFINEMENTS
+
+
+def resolve_segmenter(
+    segmenter: str | Segmenter,
+    refinement: str = "none",
+    config=None,
+) -> Segmenter:
+    """An instance for *segmenter*: pass-through, or construct by name.
+
+    *refinement* composes a boundary-refinement pass with the resolved
+    segmenter: ``"pca"`` wraps it in a
+    :class:`~repro.segmenters.pca.RefinedSegmenter` running the PCA
+    pass of :mod:`repro.segmenters.pca` after base segmentation, with
+    *config* (a :class:`~repro.core.pipeline.ClusteringConfig` or None)
+    parameterizing the pass's preliminary clustering.  ``"none"``
+    returns the bare segmenter.
+    """
+    if refinement not in REFINEMENTS:
         raise ValueError(
-            f"unknown segmenter {segmenter!r} "
-            f"(choices: {list(available_segmenters())})"
-        ) from None
+            f"unknown refinement {refinement!r} (choices: {list(REFINEMENTS)})"
+        )
+    if isinstance(segmenter, Segmenter):
+        resolved = segmenter
+    else:
+        try:
+            resolved = _SEGMENTERS[segmenter]()
+        except KeyError:
+            raise ValueError(
+                f"unknown segmenter {segmenter!r} "
+                f"(choices: {list(available_segmenters())})"
+            ) from None
+    if refinement == "none":
+        return resolved
+    from repro.segmenters.pca import RefinedSegmenter  # import cycle guard
+
+    return RefinedSegmenter(resolved, config=config)

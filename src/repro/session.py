@@ -422,6 +422,7 @@ class AnalysisSession:
         protocol: str = "unknown",
         port: int | None = None,
         semantics: bool = False,
+        msgtypes: bool = False,
         recluster_fraction: float = DEFAULT_RECLUSTER_FRACTION,
         epsilon_tolerance: float = DEFAULT_EPSILON_TOLERANCE,
         knn_slack: int = KNN_SLACK,
@@ -432,7 +433,9 @@ class AnalysisSession:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ClusteringConfig()
-        self._segmenter = resolve_segmenter(segmenter)
+        self._segmenter = resolve_segmenter(
+            segmenter, refinement=self.config.refinement, config=self.config
+        )
         if not getattr(self._segmenter, "incremental", False):
             raise ValueError(
                 f"segmenter {self._segmenter.name!r} segments the trace "
@@ -442,6 +445,7 @@ class AnalysisSession:
         self.protocol = protocol
         self.port = port
         self.semantics = semantics
+        self.msgtypes = msgtypes
         if recluster_fraction <= 0:
             raise ValueError("recluster_fraction must be > 0")
         if epsilon_tolerance < 0:
@@ -972,6 +976,7 @@ class AnalysisSession:
         snapshots are cheap checkpoints, not terminal states.
         """
         from repro.api import AnalysisRun
+        from repro.msgtypes import cluster_message_types
         from repro.report import AnalysisReport
 
         self._check_open()
@@ -996,7 +1001,17 @@ class AnalysisSession:
                 deduced = (
                     deduce_semantics(result, trace) if self.semantics else None
                 )
-                report = AnalysisReport.build(result, trace, deduced)
+                types = (
+                    cluster_message_types(
+                        list(self._segments),
+                        len(self._messages),
+                        matrix=result.matrix,
+                        trace=trace,
+                    )
+                    if self.msgtypes
+                    else None
+                )
+                report = AnalysisReport.build(result, trace, deduced, msgtypes=types)
                 if self._appendable.options.use_cache:
                     self._appendable.persist()
                 span.set(
@@ -1011,6 +1026,7 @@ class AnalysisSession:
             semantics=deduced,
             config=self.config,
             quarantine=trace.quarantine,
+            msgtypes=types,
         )
 
     def _merged_quarantine(self) -> QuarantineReport | None:

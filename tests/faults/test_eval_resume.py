@@ -11,7 +11,7 @@ from repro.eval import runner as runner_mod
 from repro.eval import tables as tables_mod
 from repro.eval.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.eval.runner import ExperimentCell, run_cell
-from repro.eval.tables import run_table1, sweep_cells
+from repro.eval.tables import run_grid, run_table1, sweep_cells
 from repro.metrics.pairwise import ClusterScore
 from repro.obs.metrics import MetricsRegistry, use_metrics
 
@@ -124,6 +124,80 @@ class TestResume:
             handle.write('{"schema": "repro.eval-checkpoint/v1", "fi')  # torn write
         done = checkpoint.load()
         assert set(done) == {SPECS[0]}
+
+
+class TestGridResume:
+    """The scenario grid shares the checkpoint machinery cell-for-cell."""
+
+    GRID_ROWS = [("dns", 40), ("ntp", 40)]
+
+    @staticmethod
+    def _fake_grid_cell(spec, refinement, marker=1.0) -> ExperimentCell:
+        cell = _fake_cell(spec, marker=marker)
+        return ExperimentCell(
+            **{
+                **cell.__dict__,
+                "refinement": refinement,
+                "boundaries_moved": 3 if refinement != "none" else 0,
+                "msgtype_count": 2,
+                "msgtype_noise": 0,
+                "msgtype_epsilon": 0.2,
+                "msgtype_precision": 1.0,
+            }
+        )
+
+    def test_killed_grid_resumes_without_recompute(self, tmp_path, monkeypatch):
+        checkpoint = SweepCheckpoint(
+            tmp_path / "grid.jsonl", sweep_fingerprint(42, kind="grid")
+        )
+        calls: list[tuple] = []
+
+        def dying_run_cell(protocol, count, segmenter, seed, config, *,
+                           refinement="none", msgtypes=False):
+            assert msgtypes
+            if len(calls) == 3:
+                raise KilledMidSweep((protocol, count, segmenter, refinement))
+            calls.append((protocol, count, segmenter, refinement))
+            return self._fake_grid_cell((protocol, count, segmenter),
+                                        refinement, marker=7.0)
+
+        monkeypatch.setattr(tables_mod, "run_cell", dying_run_cell)
+        with pytest.raises(KilledMidSweep):
+            run_grid(seed=42, rows=self.GRID_ROWS, checkpoint=checkpoint)
+        assert len(calls) == 3  # three cells finished before the "kill"
+
+        def resumed_run_cell(protocol, count, segmenter, seed, config, *,
+                             refinement="none", msgtypes=False):
+            spec = (protocol, count, segmenter, refinement)
+            assert spec not in calls, f"recomputed finished grid cell {spec}"
+            calls.append(spec)
+            return self._fake_grid_cell((protocol, count, segmenter), refinement)
+
+        monkeypatch.setattr(tables_mod, "run_cell", resumed_run_cell)
+        grid = run_grid(
+            seed=42, rows=self.GRID_ROWS, checkpoint=checkpoint, resume=True
+        )
+        assert len(grid.cells) == 4  # 2 rows x nemesys x (none, pca)
+        assert len(calls) == 4  # every cell computed exactly once overall
+        # The resumed cells carry their grid payload back intact.
+        resumed = grid.cells[("dns", 40, "nemesys", "pca")]
+        assert resumed.runtime_seconds == 7.0
+        assert resumed.refinement == "pca"
+        assert resumed.boundaries_moved == 3
+        assert resumed.msgtype_count == 2
+        assert resumed.msgtype_precision == 1.0
+
+    def test_refined_cells_do_not_collide_with_plain_cells(self):
+        plain = _fake_cell(("dns", 40, "nemesys"))
+        refined = self._fake_grid_cell(("dns", 40, "nemesys"), "pca")
+        from repro.eval.checkpoint import cell_key
+
+        assert cell_key(plain) == ("dns", 40, "nemesys")
+        assert cell_key(refined) == ("dns", 40, "nemesys", "pca")
+
+    def test_grid_fingerprint_is_namespaced(self):
+        assert sweep_fingerprint(42, kind="grid") != sweep_fingerprint(42)
+        assert sweep_fingerprint(42) == sweep_fingerprint(42, kind=None)
 
 
 class TestFailedCellBarrier:

@@ -10,7 +10,13 @@ checked-in expected artifacts:
 - the auto-configured ``(epsilon, min_samples)`` (pins Algorithm 1 and
   the Section III-E fallback),
 - the cluster-label multiset — sorted cluster sizes plus the noise
-  count (pins DBSCAN and refinement).
+  count (pins DBSCAN and refinement),
+- the message-type stage outcome — type count, cluster-size multiset,
+  noise and epsilon (pins the continuous segment-similarity alignment
+  and the message-level DBSCAN),
+- the boundary-refinement comparison — nemesys with and without the
+  PCA pass, including the shift/merge/split decision counts (pins the
+  refiner's eigenvector logic and its composition with clustering).
 
 Any drift in the kernel, the autoconf, or the clustering fails loudly
 here, file-by-file.  A deliberate change regenerates the corpus with::
@@ -31,7 +37,9 @@ from repro.api import cluster_segments
 from repro.core.matrix import MatrixBuildOptions
 from repro.core.matrixcache import CACHE_FORMAT_VERSION, matrix_checksum
 from repro.core.pipeline import ClusteringConfig
+from repro.msgtypes import cluster_message_types
 from repro.protocols import get_model
+from repro.segmenters import resolve_segmenter
 from repro.segmenters.groundtruth import GroundTruthSegmenter
 
 pytestmark = pytest.mark.golden
@@ -60,6 +68,10 @@ def golden_run(protocol: str, matrix_options: MatrixBuildOptions | None = None) 
     )
     result = cluster_segments(segments, config)
     epsilon = float(result.epsilon)
+    types = cluster_message_types(
+        segments, len(trace), matrix=result.matrix, trace=trace
+    )
+    type_epsilon = float(types.epsilon)
     return {
         "protocol": protocol,
         "messages": GOLDEN_MESSAGES,
@@ -76,7 +88,45 @@ def golden_run(protocol: str, matrix_options: MatrixBuildOptions | None = None) 
             (len(members) for members in result.clusters), reverse=True
         ),
         "noise": int(len(result.noise)),
+        "msgtypes": {
+            "type_count": int(types.type_count),
+            "sizes": [int(size) for size in types.sizes()],
+            "noise": int(types.noise_count),
+            "epsilon_hex": type_epsilon.hex(),
+        },
+        "refinement": refinement_block(trace, config),
     }
+
+
+def refinement_block(trace, config: ClusteringConfig) -> dict:
+    """Nemesys with and without the PCA refinement pass, fingerprinted.
+
+    Pins the refinement-off baseline next to the refinement-on outcome
+    (including the refiner's shift/merge/split decision counts), so a
+    change to the refiner that silently stops or starts moving
+    boundaries on any protocol fails the corpus.
+    """
+    block: dict = {"segmenter": "nemesys"}
+    for refinement in ("none", "pca"):
+        segmenter = resolve_segmenter("nemesys", refinement=refinement, config=config)
+        segments = segmenter.segment(trace)
+        result = cluster_segments(segments, config)
+        epsilon = float(result.epsilon)
+        entry = {
+            "unique_segments": len(result.segments),
+            "epsilon_hex": epsilon.hex(),
+            "cluster_sizes": sorted(
+                (len(members) for members in result.clusters), reverse=True
+            ),
+            "noise": int(len(result.noise)),
+        }
+        if refinement != "none":
+            stats = segmenter.last_refinement
+            entry["shifted"] = int(stats.shifted)
+            entry["merged"] = int(stats.merged)
+            entry["split"] = int(stats.split)
+        block[refinement] = entry
+    return block
 
 
 def expected_path(protocol: str) -> Path:
@@ -114,26 +164,35 @@ def test_golden_trace(protocol, request):
     assert actual["noise"] == expected["noise"], (
         "clustering drift: noise count changed"
     )
+    assert actual["msgtypes"] == expected["msgtypes"], (
+        "message-type drift: type-cluster multiset changed"
+    )
+    assert actual["refinement"] == expected["refinement"], (
+        "refinement drift: nemesys none-vs-pca fingerprint changed"
+    )
     assert actual == expected
 
 
+@pytest.mark.parametrize("workers", [0, 2, 4])
 @pytest.mark.parametrize("protocol", GOLDEN_PROTOCOLS)
-def test_golden_trace_threaded(protocol, request):
-    """The whole corpus again, through the threaded matrix backend.
+def test_golden_trace_worker_stability(protocol, workers, request):
+    """The whole corpus again, across matrix-backend worker counts.
 
-    workers=4 with the parallel threshold lowered to 0 so every build
-    actually runs on the thread pool; the artifacts — including the
-    bit-exact matrix fingerprint — must match the checked-in ones the
-    serial backend produced.  This is the end-to-end half of the
-    parallelism parity contract (tests/core/test_parallel_build.py has
-    the property-test half).
+    workers=0 is the explicit serial opt-out; workers 2 and 4 run with
+    the parallel threshold lowered to 0 so every build — including the
+    PCA refiner's preliminary clustering and the message-type stage —
+    actually runs on the thread pool.  The artifacts, bit-exact matrix
+    fingerprint included, must match the checked-in ones the serial
+    reference produced.  This is the end-to-end half of the parallelism
+    parity contract (tests/core/test_parallel_build.py has the
+    property-test half).
     """
     if request.config.getoption("--regen-golden"):
         pytest.skip("corpus regenerates from the serial reference")
     actual = golden_run(
         protocol,
         matrix_options=MatrixBuildOptions(
-            workers=4,
+            workers=workers,
             parallel_threshold=0,
             parallel_backend="threads",
             use_cache=False,
@@ -141,7 +200,7 @@ def test_golden_trace_threaded(protocol, request):
     )
     expected = json.loads(expected_path(protocol).read_text())
     assert actual["matrix_sha256"] == expected["matrix_sha256"], (
-        "threaded backend drifted from the serial matrix fingerprint"
+        f"workers={workers} backend drifted from the serial matrix fingerprint"
     )
     assert actual == expected
 

@@ -88,6 +88,7 @@ class TestSurfaceSnapshot:
             "port: 'int | None' = None, "
             "segmenter: 'str | Segmenter' = 'nemesys', "
             "semantics: 'bool' = False, "
+            "msgtypes: 'bool' = False, "
             "preprocess: 'bool' = True, "
             "strict: 'bool' = True, "
             "tracer: 'Tracer | None' = None, "
@@ -102,6 +103,7 @@ class TestSurfaceSnapshot:
             "port: 'int | None' = None, "
             "segmenter: 'str | Segmenter' = 'nemesys', "
             "semantics: 'bool' = False, "
+            "msgtypes: 'bool' = False, "
             "preprocess: 'bool' = True, "
             "strict: 'bool' = True, "
             "tracer: 'Tracer | None' = None, "
@@ -133,6 +135,7 @@ class TestSurfaceSnapshot:
             "protocol",
             "port",
             "semantics",
+            "msgtypes",
             "recluster_fraction",
             "epsilon_tolerance",
             "knn_slack",
