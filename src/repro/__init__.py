@@ -32,7 +32,10 @@ Packages:
 - :mod:`repro.protocols` — trace generators + ground-truth dissectors,
 - :mod:`repro.baselines` — the FieldHunter comparison baseline,
 - :mod:`repro.metrics` — pairwise cluster statistics and coverage,
-- :mod:`repro.net` — pcap/pcapng and packet-layer substrate,
+- :mod:`repro.net` — pcap/pcapng and packet-layer substrate, including
+  TCP reassembly and conversation/session tracking,
+- :mod:`repro.statemachine` — protocol state-machine inference over
+  per-session message-type sequences,
 - :mod:`repro.eval` — regeneration of every table and figure.
 """
 
@@ -73,6 +76,7 @@ from repro.segmenters import (
     register_segmenter,
 )
 from repro.semantics import deduce_semantics
+from repro.statemachine import StateMachine, infer_state_machine
 
 __version__ = "1.0.0"
 
@@ -95,6 +99,7 @@ __all__ = [
     "QuarantineReport",
     "ReproError",
     "Segment",
+    "StateMachine",
     "Trace",
     "TraceMessage",
     "UniqueSegment",
@@ -106,6 +111,7 @@ __all__ = [
     "deduce_semantics",
     "get_model",
     "infer_all_templates",
+    "infer_state_machine",
     "load_trace",
     "register_segmenter",
     "run_analysis",

@@ -112,6 +112,7 @@ def _cmd_analyze(args) -> int:
             segmenter=args.segmenter,
             semantics=args.semantics,
             msgtypes=args.msgtypes,
+            statemachine=args.statemachine,
             tracer=tracer,
             metrics=metrics,
         )
@@ -131,6 +132,20 @@ def _cmd_analyze(args) -> int:
 
         save_svg(run.result, args.svg, title=f"{run.trace.protocol}: pseudo data types")
         print(f"cluster map written to {args.svg}")
+    if args.sm_dot or args.sm_json:
+        if run.statemachine is None:
+            print("error: --sm-dot/--sm-json require --statemachine", file=sys.stderr)
+            return 2
+        from repro.statemachine import to_dot, to_json
+
+        if args.sm_dot:
+            with open(args.sm_dot, "w") as handle:
+                handle.write(to_dot(run.statemachine.machine))
+            print(f"state machine written to {args.sm_dot}")
+        if args.sm_json:
+            with open(args.sm_json, "w") as handle:
+                handle.write(to_json(run.statemachine.machine))
+            print(f"state machine written to {args.sm_json}")
     emit_observability(
         args,
         tracer,
@@ -181,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run semantic deduction on the clusters")
     analyze.add_argument("--msgtypes", action="store_true",
                          help="also cluster messages into message types")
+    analyze.add_argument("--statemachine", action="store_true",
+                         help="infer a protocol state machine over "
+                              "per-session message-type sequences "
+                              "(implies --msgtypes)")
+    analyze.add_argument("--sm-dot", metavar="PATH",
+                         help="write the inferred state machine as DOT")
+    analyze.add_argument("--sm-json", metavar="PATH",
+                         help="write the inferred state machine as JSON")
     analyze.add_argument("--json", help="also write the report as JSON")
     analyze.add_argument("--svg", help="write an MDS cluster map as SVG")
     analyze.add_argument("--seed", type=int, default=42)

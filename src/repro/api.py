@@ -72,6 +72,7 @@ from repro.segmenters.registry import _SEGMENTERS, resolve_segmenter
 from repro.semantics import deduce_semantics
 from repro.semantics.engine import ClusterSemantics
 from repro.session import AnalysisSession
+from repro.statemachine.stage import StateMachineResult, infer_session_machine
 
 __all__ = [
     "AnalysisRun",
@@ -103,6 +104,9 @@ class AnalysisRun:
     #: Message-type clustering over the field-type result (NEMETYL
     #: stage), present when the run was asked for ``msgtypes=True``.
     msgtypes: MessageTypeResult | None = None
+    #: Protocol state machine inferred over the message-type labels,
+    #: present when the run was asked for ``statemachine=True``.
+    statemachine: StateMachineResult | None = None
 
 
 def _observability_scopes(tracer: Tracer | None, metrics: MetricsRegistry | None):
@@ -145,6 +149,7 @@ def run_analysis(
     segmenter: str | Segmenter = "nemesys",
     semantics: bool = False,
     msgtypes: bool = False,
+    statemachine: bool = False,
     preprocess: bool = True,
     strict: bool = True,
     tracer: Tracer | None = None,
@@ -163,6 +168,11 @@ def run_analysis(
     after base segmentation).  With ``msgtypes=True`` the run also
     clusters whole messages into message types over the field-type
     result (:attr:`AnalysisRun.msgtypes`, summarized in the report).
+    ``statemachine=True`` (implies ``msgtypes=True``) additionally
+    groups the *raw* capture into per-conversation sessions and infers
+    a deterministic automaton over the per-session message-type
+    sequences (:attr:`AnalysisRun.statemachine`, see
+    :mod:`repro.statemachine`).
 
     With ``strict=False`` a malformed capture is loaded leniently:
     records before the first corruption are salvaged and the rest are
@@ -171,6 +181,7 @@ def run_analysis(
     :class:`~repro.errors.IngestError`.
     """
     config = config or ClusteringConfig()
+    msgtypes = msgtypes or statemachine
     tracer_scope, metrics_scope = _observability_scopes(tracer, metrics)
     with tracer_scope, metrics_scope:
         if isinstance(trace_or_path, (str, Path)):
@@ -178,6 +189,9 @@ def run_analysis(
         else:
             trace = trace_or_path
         quarantine = trace.quarantine
+        # Session tracking needs every occurrence with its timestamp,
+        # so keep the raw view before de-duplication strips repeats.
+        raw_trace = trace
         if preprocess:
             trace = trace.preprocess()
             # preprocess() returns a fresh Trace that does not carry the
@@ -196,7 +210,14 @@ def run_analysis(
             if msgtypes
             else None
         )
-        report = AnalysisReport.build(result, trace, deduced, msgtypes=types)
+        machine = (
+            infer_session_machine(raw_trace, types, labeled_trace=trace)
+            if statemachine and types is not None
+            else None
+        )
+        report = AnalysisReport.build(
+            result, trace, deduced, msgtypes=types, statemachine=machine
+        )
     return AnalysisRun(
         trace=trace,
         segments=segments,
@@ -206,6 +227,7 @@ def run_analysis(
         config=config,
         quarantine=quarantine,
         msgtypes=types,
+        statemachine=machine,
     )
 
 
@@ -218,6 +240,7 @@ def analyze(
     segmenter: str | Segmenter = "nemesys",
     semantics: bool = False,
     msgtypes: bool = False,
+    statemachine: bool = False,
     preprocess: bool = True,
     strict: bool = True,
     tracer: Tracer | None = None,
@@ -237,6 +260,7 @@ def analyze(
         segmenter=segmenter,
         semantics=semantics,
         msgtypes=msgtypes,
+        statemachine=statemachine,
         preprocess=preprocess,
         strict=strict,
         tracer=tracer,

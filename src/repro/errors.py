@@ -34,6 +34,7 @@ Counters (Prometheus names; the design notes' dotted spellings map as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.obs.metrics import get_metrics
 
@@ -184,6 +185,31 @@ class QuarantineReport:
     def __bool__(self) -> bool:
         """True when anything was quarantined or the tail was lost."""
         return bool(self.records) or self.truncated_tail
+
+    @classmethod
+    def merged(
+        cls,
+        reports: "Iterable[QuarantineReport | None]",
+        source: str = "merged",
+    ) -> "QuarantineReport | None":
+        """One report summing *reports* (Nones skipped); None when empty.
+
+        A single surviving report is returned as-is so provenance
+        (its ``source``) is preserved; merging only happens when there
+        is genuinely more than one lenient load to combine.
+        """
+        kept = [report for report in reports if report is not None]
+        if not kept:
+            return None
+        if len(kept) == 1:
+            return kept[0]
+        merged = cls(source=source)
+        for report in kept:
+            merged.ok_count += report.ok_count
+            merged.unparsed_frames += report.unparsed_frames
+            merged.truncated_tail = merged.truncated_tail or report.truncated_tail
+            merged.records.extend(report.records)
+        return merged
 
     @property
     def quarantined_count(self) -> int:

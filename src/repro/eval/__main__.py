@@ -102,12 +102,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="message count per grid cell (default: the paper's rows)",
     )
+    parser.add_argument(
+        "--statemachine",
+        action="store_true",
+        help="also infer per-session state machines in grid cells "
+        "(adds state-count / holdout-acceptance / truth-coverage columns)",
+    )
     args = parser.parse_args(argv)
     if args.resume and not args.checkpoint:
         parser.error("--resume requires --checkpoint PATH")
     # The grid's cells carry extra state (refinement, msgtypes), so its
-    # checkpoints are namespaced apart from the plain table sweeps.
-    fingerprint_kind = "grid" if args.artefact == "grid" else None
+    # checkpoints are namespaced apart from the plain table sweeps —
+    # and statemachine-bearing grids apart from plain grids.
+    fingerprint_kind = None
+    if args.artefact == "grid":
+        fingerprint_kind = "grid-sm" if args.statemachine else "grid"
     checkpoint = (
         SweepCheckpoint(
             args.checkpoint, sweep_fingerprint(args.seed, kind=fingerprint_kind)
@@ -161,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
                 ),
                 checkpoint=checkpoint,
                 resume=args.resume,
+                statemachine=args.statemachine,
             )
             outputs.append(grid.render())
         if args.artefact == "scorecard":

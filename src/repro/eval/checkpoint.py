@@ -91,6 +91,10 @@ def cell_from_record(record: dict) -> ExperimentCell:
         msgtype_noise=record.get("msgtype_noise"),
         msgtype_epsilon=record.get("msgtype_epsilon"),
         msgtype_precision=record.get("msgtype_precision"),
+        sm_states=record.get("sm_states"),
+        sm_transitions=record.get("sm_transitions"),
+        sm_holdout_accept=record.get("sm_holdout_accept"),
+        sm_truth_coverage=record.get("sm_truth_coverage"),
     )
 
 

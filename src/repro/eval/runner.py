@@ -28,6 +28,14 @@ from repro.segmenters import (
     SegmenterResourceError,
     resolve_segmenter,
 )
+from repro.statemachine import (
+    infer_session_machine,
+    infer_state_machine,
+    transition_coverage,
+    type_symbol,
+)
+from repro.statemachine.stage import label_map
+from repro.net.flows import sessions_from_trace
 
 __all__ = [
     "DEFAULT_SEED",
@@ -98,6 +106,14 @@ class ExperimentCell:
     msgtype_noise: int | None = None
     msgtype_epsilon: float | None = None
     msgtype_precision: float | None = None
+    #: State-machine stage outcome, when the cell ran with statemachine.
+    sm_states: int | None = None
+    sm_transitions: int | None = None
+    #: Fraction of held-out sessions the automaton accepts.
+    sm_holdout_accept: float | None = None
+    #: Fraction of ground-truth-kind transitions the inferred automaton
+    #: also walks (None when the model defines no message kinds).
+    sm_truth_coverage: float | None = None
 
     @property
     def summary(self) -> str:
@@ -112,6 +128,8 @@ class ExperimentCell:
             parts += f" cov={self.coverage:.0%}"
         if self.msgtype_count is not None:
             parts += f" types={self.msgtype_count}"
+        if self.sm_states is not None:
+            parts += f" states={self.sm_states}"
         return parts
 
 
@@ -124,6 +142,73 @@ def prepare_trace(protocol: str, message_count: int, seed: int = DEFAULT_SEED) -
     return model, trace
 
 
+#: Every HOLDOUT_STRIDE-th session is held out of state-machine
+#: training and used to measure acceptance (a deterministic 80/20 split
+#: spread across the capture).
+HOLDOUT_STRIDE = 5
+
+
+def _statemachine_metrics(
+    model: ProtocolModel,
+    raw_trace: Trace,
+    labeled_trace: Trace,
+    types,
+    sm_result,
+) -> tuple[float | None, float | None]:
+    """(held-out acceptance, ground-truth transition coverage).
+
+    Holdout: the automaton is re-inferred from the training sessions
+    only and asked to accept the held-out sessions' type sequences.
+    Truth coverage: a reference automaton inferred from the model's
+    ground-truth message kinds is walked in parallel with the full
+    inferred automaton (see
+    :func:`repro.statemachine.transition_coverage`); None when the
+    model defines no message kinds.
+    """
+    labels = label_map(labeled_trace, types)
+    try:
+        kind_of = {m.data: model.message_kind(m.data) for m in labeled_trace}
+    except NotImplementedError:
+        kind_of = None
+    sessions = sessions_from_trace(raw_trace, idle_timeout=sm_result.idle_timeout)
+    label_seqs: list[tuple[str, ...]] = []
+    kind_seqs: list[tuple[str, ...]] = []
+    for session in sessions:
+        lbl_seq: list[str] = []
+        kind_seq: list[str] = []
+        for message in session:
+            label = labels.get(message.data)
+            if label is None or label < 0:
+                continue  # drop noise positions from both views
+            lbl_seq.append(type_symbol(label))
+            if kind_of is not None:
+                kind_seq.append(kind_of[message.data])
+        if lbl_seq:
+            label_seqs.append(tuple(lbl_seq))
+            kind_seqs.append(tuple(kind_seq))
+    holdout = label_seqs[HOLDOUT_STRIDE - 1 :: HOLDOUT_STRIDE]
+    train = [
+        seq
+        for index, seq in enumerate(label_seqs)
+        if index % HOLDOUT_STRIDE != HOLDOUT_STRIDE - 1
+    ]
+    accept: float | None = None
+    if holdout and train:
+        trained = infer_state_machine(train, history=sm_result.history)
+        accept = sum(trained.accepts(seq) for seq in holdout) / len(holdout)
+    elif label_seqs:
+        accept = sum(
+            sm_result.machine.accepts(seq) for seq in label_seqs
+        ) / len(label_seqs)
+    coverage: float | None = None
+    if kind_of is not None and kind_seqs:
+        truth = infer_state_machine(kind_seqs, history=sm_result.history)
+        coverage = transition_coverage(
+            truth, sm_result.machine, zip(kind_seqs, label_seqs)
+        )
+    return accept, coverage
+
+
 def run_cell(
     protocol: str,
     message_count: int,
@@ -133,6 +218,7 @@ def run_cell(
     *,
     refinement: str = "none",
     msgtypes: bool = False,
+    statemachine: bool = False,
 ) -> ExperimentCell:
     """Run segmentation + clustering + scoring for one table cell.
 
@@ -149,7 +235,12 @@ def run_cell(
     (the scenario-grid axis); with *msgtypes* the cell also runs the
     message-type stage and scores it against the protocol model's
     ground-truth message kinds (None when the model defines none).
+    With *statemachine* (implies *msgtypes*) the cell additionally
+    infers the per-session state machine and reports its size, held-out
+    session acceptance, and transition coverage against an automaton
+    built from the model's ground-truth kinds.
     """
+    msgtypes = msgtypes or statemachine
     model = get_model(protocol)
     segmenter = make_segmenter(segmenter_name, model)
     if refinement != "none":
@@ -177,7 +268,8 @@ def run_cell(
             )
 
         try:
-            trace = model.generate(message_count, seed=seed).preprocess()
+            raw_trace = model.generate(message_count, seed=seed)
+            trace = raw_trace.preprocess()
             segments = segmenter.segment(trace)
             boundaries_moved = (
                 segmenter.last_refinement.boundaries_moved
@@ -210,6 +302,15 @@ def run_cell(
                         ],
                         beta=1.0,
                     ).precision
+            sm_result = None
+            sm_accept = sm_coverage = None
+            if statemachine and types is not None:
+                sm_result = infer_session_machine(
+                    raw_trace, types, labeled_trace=trace
+                )
+                sm_accept, sm_coverage = _statemachine_metrics(
+                    model, raw_trace, trace, types, sm_result
+                )
         except SegmenterResourceError as error:
             return failed_cell(error, "SegmenterResourceError")
         except Exception as error:  # the per-cell exception barrier
@@ -223,6 +324,11 @@ def run_cell(
             span.set(boundaries_moved=boundaries_moved)
         if types is not None:
             span.set(msgtype_count=types.type_count, msgtype_noise=types.noise_count)
+        if sm_result is not None:
+            span.set(
+                sm_states=sm_result.state_count,
+                sm_transitions=sm_result.transition_count,
+            )
     count_cell("ok")
     return ExperimentCell(
         protocol=protocol,
@@ -239,6 +345,12 @@ def run_cell(
         msgtype_noise=types.noise_count if types is not None else None,
         msgtype_epsilon=float(types.epsilon) if types is not None else None,
         msgtype_precision=msgtype_precision,
+        sm_states=sm_result.state_count if sm_result is not None else None,
+        sm_transitions=(
+            sm_result.transition_count if sm_result is not None else None
+        ),
+        sm_holdout_accept=sm_accept,
+        sm_truth_coverage=sm_coverage,
     )
 
 

@@ -238,46 +238,65 @@ class ScenarioGrid:
     """
 
     cells: dict[tuple, ExperimentCell]
+    #: True when any cell ran the state-machine stage (adds columns).
+    statemachine: bool = False
 
     def render(self) -> str:
         body = []
         for cell in self.cells.values():
             if cell.failed:
-                body.append(
-                    [
-                        cell.protocol,
-                        cell.message_count,
-                        cell.segmenter,
-                        cell.refinement,
-                        "fails",
-                        "", "", "", "", "",
-                    ]
-                )
-                continue
-            assert cell.score is not None
-            body.append(
-                [
+                row = [
                     cell.protocol,
                     cell.message_count,
                     cell.segmenter,
                     cell.refinement,
-                    fmt(cell.score.precision),
-                    fmt(cell.score.fscore),
-                    cell.boundaries_moved,
-                    cell.msgtype_count if cell.msgtype_count is not None else "",
-                    cell.msgtype_noise if cell.msgtype_noise is not None else "",
+                    "fails",
+                    "", "", "", "", "",
+                ]
+                if self.statemachine:
+                    row += ["", "", ""]
+                body.append(row)
+                continue
+            assert cell.score is not None
+            row = [
+                cell.protocol,
+                cell.message_count,
+                cell.segmenter,
+                cell.refinement,
+                fmt(cell.score.precision),
+                fmt(cell.score.fscore),
+                cell.boundaries_moved,
+                cell.msgtype_count if cell.msgtype_count is not None else "",
+                cell.msgtype_noise if cell.msgtype_noise is not None else "",
+                (
+                    fmt(cell.msgtype_precision)
+                    if cell.msgtype_precision is not None
+                    else ""
+                ),
+            ]
+            if self.statemachine:
+                row += [
+                    cell.sm_states if cell.sm_states is not None else "",
                     (
-                        fmt(cell.msgtype_precision)
-                        if cell.msgtype_precision is not None
+                        fmt_pct(cell.sm_holdout_accept)
+                        if cell.sm_holdout_accept is not None
+                        else ""
+                    ),
+                    (
+                        fmt_pct(cell.sm_truth_coverage)
+                        if cell.sm_truth_coverage is not None
                         else ""
                     ),
                 ]
-            )
+            body.append(row)
+        headers = [
+            "proto", "msgs", "segmenter", "refine",
+            "P", "F(1/4)", "moved", "types", "t-noise", "t-P",
+        ]
+        if self.statemachine:
+            headers += ["states", "sm-acc", "sm-cov"]
         return render_table(
-            [
-                "proto", "msgs", "segmenter", "refine",
-                "P", "F(1/4)", "moved", "types", "t-noise", "t-P",
-            ],
+            headers,
             body,
             title="Scenario grid - segmenter x refinement x protocol",
         )
@@ -291,6 +310,7 @@ def run_grid(
     config: ClusteringConfig | None = None,
     checkpoint: SweepCheckpoint | None = None,
     resume: bool = False,
+    statemachine: bool = False,
 ) -> ScenarioGrid:
     """Run the segmenter x refinement x protocol grid, resumably.
 
@@ -299,6 +319,9 @@ def run_grid(
     keyed ``(protocol, count, segmenter)`` for refinement ``"none"`` and
     ``(protocol, count, segmenter, refinement)`` otherwise — the same
     keys :func:`repro.eval.checkpoint.cell_key` derives when loading.
+    With *statemachine* each cell also infers the per-session state
+    machine and the grid grows state-count / held-out-acceptance /
+    truth-coverage columns.
     """
     selected = rows if rows is not None else ALL_ROWS
     done = checkpoint.load() if (checkpoint is not None and resume) else {}
@@ -321,11 +344,12 @@ def run_grid(
                     config=config,
                     refinement=refinement,
                     msgtypes=True,
+                    statemachine=statemachine,
                 )
                 if checkpoint is not None:
                     checkpoint.record(cell)
                 cells[key] = cell
-    return ScenarioGrid(cells=cells)
+    return ScenarioGrid(cells=cells, statemachine=statemachine)
 
 
 def run_table2(

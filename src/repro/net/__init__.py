@@ -7,10 +7,20 @@ reproduction.  It provides:
 - :mod:`repro.net.packet` — Ethernet/IPv4/IPv6/UDP/TCP header parsing,
 - :mod:`repro.net.trace` — the :class:`~repro.net.trace.Trace` abstraction
   consumed by the inference pipeline, including the paper's preprocessing
-  step (protocol filtering and payload de-duplication).
+  step (protocol filtering and payload de-duplication),
+- :mod:`repro.net.reassembly` — TCP stream reassembly and NBSS framing,
+- :mod:`repro.net.flows` — bidirectional conversation tracking and
+  idle-gap session splitting for state-machine inference.
 """
 
 from repro.errors import IngestError, QuarantinedRecord, QuarantineReport
+from repro.net.flows import (
+    ConversationKey,
+    Endpoint,
+    Session,
+    conversation_key,
+    sessions_from_trace,
+)
 from repro.net.packet import (
     EthernetFrame,
     IPv4Packet,
@@ -25,6 +35,8 @@ from repro.net.pcapng import read_pcapng, write_pcapng
 from repro.net.trace import Trace, TraceMessage, deduplicate, load_trace
 
 __all__ = [
+    "ConversationKey",
+    "Endpoint",
     "EthernetFrame",
     "IPv4Packet",
     "IPv6Packet",
@@ -34,14 +46,17 @@ __all__ = [
     "PcapPacket",
     "QuarantineReport",
     "QuarantinedRecord",
+    "Session",
     "TcpSegment",
     "Trace",
     "TraceMessage",
     "UdpDatagram",
+    "conversation_key",
     "deduplicate",
     "load_trace",
     "parse_ethernet_frame",
     "read_pcap",
+    "sessions_from_trace",
     "read_pcapng",
     "write_pcap",
     "write_pcapng",

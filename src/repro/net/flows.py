@@ -1,0 +1,247 @@
+"""Bidirectional conversation tracking and session splitting.
+
+Reassembly (:mod:`repro.net.reassembly`) produces *directional* flows —
+one :class:`~repro.net.reassembly.FlowKey` per direction of a TCP
+conversation.  State-machine inference needs the opposite view: the two
+directions folded into one canonical :class:`ConversationKey`, the
+conversation's messages ordered by capture time, and long captures split
+into *sessions* at idle gaps so each session is one protocol exchange
+(a DHCP DORA handshake, an SMB negotiate/session-setup, a DNS
+query/response pair).
+
+Addressing quirks handled here:
+
+- **Wildcard addresses.**  DHCP clients send from ``0.0.0.0`` to the
+  broadcast address and the server answers to broadcast, so the IP pair
+  never matches across directions.  Wildcard IPs (all-zero, all-ones,
+  or absent) degrade the key to its port pair, which is exactly the
+  invariant both directions share (67 ↔ 68).
+- **Direction.**  Generator traces carry ``direction`` on each message;
+  captures reassembled from raw frames may not.  The port heuristic
+  (well-known port, else the lower port, is the server) fills the gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.net.trace import Trace, TraceMessage
+
+#: Messages further apart than this (seconds) belong to different
+#: sessions of the same conversation.  The synthetic generators keep
+#: intra-exchange deltas under ~1.5 s and draw inter-exchange gaps from
+#: an exponential with a 30 s mean, so 5 s cleanly separates exchanges.
+DEFAULT_IDLE_TIMEOUT = 5.0
+
+#: Ports below this are treated as well-known server ports by the
+#: direction heuristic.
+WELL_KNOWN_PORT_MAX = 1024
+
+
+def _is_wildcard_ip(ip: bytes | None) -> bool:
+    """True for absent, all-zero (unspecified) or all-ones (broadcast) IPs."""
+    if ip is None:
+        return True
+    return all(b == 0 for b in ip) or all(b == 0xFF for b in ip)
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One side of a conversation: an (ip, port) pair.
+
+    ``ip`` is ``None`` when the conversation is keyed by ports only
+    (wildcard addressing, see module docstring).
+    """
+
+    ip: bytes | None = None
+    port: int | None = None
+
+    def __lt__(self, other: "Endpoint") -> bool:  # stable canonical order
+        return self._sort_key() < other._sort_key()
+
+    def _sort_key(self) -> tuple:
+        return (self.ip or b"", -1 if self.port is None else self.port)
+
+
+@dataclass(frozen=True)
+class ConversationKey:
+    """Canonical identifier for a bidirectional conversation.
+
+    The two endpoints are stored in sorted order so both directions of
+    a flow map to the same key.  Build one with :func:`conversation_key`
+    (from addressing fields) or :meth:`from_flow` (from a directional
+    :class:`~repro.net.reassembly.FlowKey`).
+    """
+
+    low: Endpoint
+    high: Endpoint
+
+    @classmethod
+    def from_endpoints(cls, a: Endpoint, b: Endpoint) -> "ConversationKey":
+        return cls(a, b) if a < b else cls(b, a)
+
+    @classmethod
+    def from_flow(cls, flow) -> "ConversationKey":
+        """Key for a directional reassembly ``FlowKey``."""
+        return conversation_key(
+            flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port
+        )
+
+    @property
+    def ports(self) -> tuple[int | None, int | None]:
+        return (self.low.port, self.high.port)
+
+
+def conversation_key(
+    src_ip: bytes | None,
+    dst_ip: bytes | None,
+    src_port: int | None,
+    dst_port: int | None,
+) -> ConversationKey:
+    """Canonical conversation key for one message's addressing fields.
+
+    When either IP is a wildcard (unspecified / broadcast / absent) the
+    key degrades to the port pair, so e.g. a DHCP request from
+    ``0.0.0.0:68`` to ``255.255.255.255:67`` and the broadcast response
+    from ``server:67`` land in the same conversation.
+    """
+    if _is_wildcard_ip(src_ip) or _is_wildcard_ip(dst_ip):
+        src_ip = dst_ip = None
+    return ConversationKey.from_endpoints(
+        Endpoint(ip=src_ip, port=src_port), Endpoint(ip=dst_ip, port=dst_port)
+    )
+
+
+def server_port_of(key: ConversationKey) -> int | None:
+    """The conversation's server-side port, by heuristic.
+
+    A well-known port (< 1024) wins; with none or both well-known, the
+    lower port is taken as the server (ephemeral client ports are drawn
+    from the high range).
+    """
+    ports = [p for p in key.ports if p is not None]
+    if not ports:
+        return None
+    well_known = [p for p in ports if p < WELL_KNOWN_PORT_MAX]
+    if len(well_known) == 1:
+        return well_known[0]
+    return min(ports)
+
+
+def classify_direction(message: TraceMessage, server_port: int | None) -> str:
+    """"request" / "response" for *message*, trusting an explicit label.
+
+    Falls back to the port heuristic: toward the server port is a
+    request, from it a response.  Without any port information the
+    message is called a request (the conservative default for
+    state-machine symbols).
+    """
+    if message.direction in ("request", "response"):
+        return message.direction
+    if server_port is not None:
+        if message.dst_port == server_port:
+            return "request"
+        if message.src_port == server_port:
+            return "response"
+    return "request"
+
+
+@dataclass
+class Session:
+    """One contiguous exchange within a conversation.
+
+    ``messages`` are ordered by capture timestamp; ``directions`` holds
+    the per-message request/response classification in the same order.
+    """
+
+    key: ConversationKey
+    messages: list[TraceMessage] = field(default_factory=list)
+    directions: list[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self):
+        return iter(self.messages)
+
+    @property
+    def start_time(self) -> float:
+        return self.messages[0].timestamp if self.messages else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self.messages[-1].timestamp if self.messages else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def pair_requests(self) -> list[tuple[TraceMessage, TraceMessage | None]]:
+        """Greedy in-order request/response pairing.
+
+        Each response is matched to the earliest still-unanswered
+        request; requests that never see a response pair with ``None``.
+        This is the UDP 5-tuple pairing — within one session the
+        conversation key *is* the 5-tuple (minus direction), so order
+        is the only remaining signal.
+        """
+        pairs: list[tuple[TraceMessage, TraceMessage | None]] = []
+        pending: list[int] = []  # indexes into pairs awaiting a response
+        for message, direction in zip(self.messages, self.directions):
+            if direction == "request":
+                pending.append(len(pairs))
+                pairs.append((message, None))
+            elif pending:
+                index = pending.pop(0)
+                pairs[index] = (pairs[index][0], message)
+        return pairs
+
+
+def sessions_from_messages(
+    messages: Iterable[TraceMessage],
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+) -> list[Session]:
+    """Group *messages* into per-conversation sessions.
+
+    Messages are bucketed by canonical conversation key, ordered by
+    timestamp within each conversation, and split into a new session
+    whenever the gap to the previous message exceeds *idle_timeout*.
+    The resulting sessions are returned ordered by start time (ties
+    broken by key) so downstream consumers are deterministic.
+    """
+    buckets: dict[ConversationKey, list[TraceMessage]] = {}
+    for message in messages:
+        key = conversation_key(
+            message.src_ip, message.dst_ip, message.src_port, message.dst_port
+        )
+        buckets.setdefault(key, []).append(message)
+
+    sessions: list[Session] = []
+    for key, bucket in buckets.items():
+        bucket.sort(key=lambda m: m.timestamp)
+        server_port = server_port_of(key)
+        current: Session | None = None
+        previous_time: float | None = None
+        for message in bucket:
+            if (
+                current is None
+                or previous_time is None
+                or message.timestamp - previous_time > idle_timeout
+            ):
+                current = Session(key=key)
+                sessions.append(current)
+            current.messages.append(message)
+            current.directions.append(classify_direction(message, server_port))
+            previous_time = message.timestamp
+    sessions.sort(key=lambda s: (s.start_time, s.key.low._sort_key(), s.key.high._sort_key()))
+    return sessions
+
+
+def sessions_from_trace(
+    trace: Trace | Sequence[TraceMessage],
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+) -> list[Session]:
+    """Session view of a trace (see :func:`sessions_from_messages`)."""
+    messages = trace.messages if isinstance(trace, Trace) else trace
+    return sessions_from_messages(messages, idle_timeout=idle_timeout)

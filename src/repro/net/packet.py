@@ -326,6 +326,27 @@ def build_udp_ipv6_frame(
     return frame.build()
 
 
+def build_tcp_ipv6_frame(
+    payload: bytes,
+    src_ip: bytes,
+    dst_ip: bytes,
+    src_port: int,
+    dst_port: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TcpSegment.PSH | TcpSegment.ACK,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+) -> bytes:
+    """Wrap *payload* in TCP/IPv6/Ethernet, returning raw frame bytes."""
+    tcp = TcpSegment(
+        src_port=src_port, dst_port=dst_port, seq=seq, ack=ack, flags=flags, payload=payload
+    )
+    ip = IPv6Packet(src=src_ip, dst=dst_ip, next_header=IPPROTO_TCP, payload=tcp.build())
+    frame = EthernetFrame(dst=dst_mac, src=src_mac, ethertype=ETHERTYPE_IPV6, payload=ip.build())
+    return frame.build()
+
+
 def build_tcp_ipv4_frame(
     payload: bytes,
     src_ip: bytes,

@@ -5,14 +5,37 @@ This module rebuilds per-direction byte streams from captured segments
 (ordering by sequence number, dropping retransmitted overlap) and
 splits NBSS-framed streams (SMB's 4-byte length framing) back into the
 application messages the inference pipeline consumes.
+
+Reassembly preserves the information session tracking
+(:mod:`repro.net.flows`) needs: both IP versions reach the TCP layer,
+sequence numbers are handled modulo 2**32 relative to the first seen
+sequence (long streams wrap), and every reassembled message carries the
+timestamp of the segment that delivered its first byte — not the flow's
+first timestamp — so interleaved request/response ordering survives.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
-from repro.net.packet import IPPROTO_TCP, EthernetFrame, IPv4Packet, TcpSegment
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    IPPROTO_TCP,
+    EthernetFrame,
+    IPv4Packet,
+    IPv6Packet,
+    TcpSegment,
+)
 from repro.net.trace import Trace, TraceMessage
+
+#: TCP sequence numbers live in a 32-bit space.
+SEQ_MODULUS = 1 << 32
+#: Relative offsets at or past this are interpreted as *before* the
+#: base sequence (late retransmissions of pre-capture data), not as a
+#: 2 GiB jump forward.
+_SEQ_HALF = SEQ_MODULUS >> 1
 
 
 @dataclass(frozen=True)
@@ -27,21 +50,47 @@ class FlowKey:
 
 @dataclass
 class StreamBuffer:
-    """Sequence-ordered reassembly buffer for one flow direction."""
+    """Sequence-ordered reassembly buffer for one flow direction.
+
+    Chunks are keyed by their offset *relative to* ``base_seq`` (the
+    first sequence number seen), computed modulo 2**32 so streams that
+    wrap the 32-bit sequence space stay contiguous.  Each chunk keeps
+    the capture timestamp of the segment that delivered it, so callers
+    can recover when any stream offset first arrived
+    (:meth:`timestamp_at`).
+    """
 
     base_seq: int | None = None
-    chunks: dict[int, bytes] = field(default_factory=dict)  # seq -> payload
+    chunks: dict[int, bytes] = field(default_factory=dict)  # rel offset -> payload
+    chunk_times: dict[int, float] = field(default_factory=dict)  # rel offset -> ts
     first_timestamp: float = 0.0
+
+    def _relative(self, seq: int) -> int | None:
+        """Offset of *seq* relative to base, or None when before base."""
+        rel = (seq - self.base_seq) % SEQ_MODULUS
+        if rel >= _SEQ_HALF:
+            return None  # a (re)transmission from before the capture began
+        return rel
 
     def add(self, seq: int, payload: bytes, timestamp: float) -> None:
         if not payload:
             return
         if self.base_seq is None:
-            self.base_seq = seq
+            self.base_seq = seq % SEQ_MODULUS
             self.first_timestamp = timestamp
-        existing = self.chunks.get(seq)
-        if existing is None or len(payload) > len(existing):
-            self.chunks[seq] = payload
+        rel = self._relative(seq)
+        if rel is None:
+            return
+        existing = self.chunks.get(rel)
+        if existing is None:
+            self.chunks[rel] = payload
+            self.chunk_times[rel] = timestamp
+        else:
+            if len(payload) > len(existing):
+                self.chunks[rel] = payload
+            # The offset's bytes were first on the wire at the earliest
+            # delivery, whichever retransmission's payload dominates.
+            self.chunk_times[rel] = min(self.chunk_times[rel], timestamp)
 
     def assemble(self) -> bytes:
         """Contiguous stream bytes from the base sequence onward.
@@ -53,16 +102,56 @@ class StreamBuffer:
         if self.base_seq is None:
             return b""
         out = bytearray()
-        expected = self.base_seq
-        for seq in sorted(self.chunks):
-            payload = self.chunks[seq]
-            if seq > expected:
+        expected = 0
+        for rel in sorted(self.chunks):
+            payload = self.chunks[rel]
+            if rel > expected:
                 break  # gap: stop rather than fabricate bytes
-            skip = expected - seq
+            skip = expected - rel
             if skip < len(payload):
                 out += payload[skip:]
-                expected = seq + len(payload)
+                expected = rel + len(payload)
         return bytes(out)
+
+    def timestamp_at(self, offset: int) -> float:
+        """Capture time of the segment that delivered stream *offset*.
+
+        Falls back to ``first_timestamp`` for an empty buffer or an
+        offset past the assembled stream.
+        """
+        if not self.chunks:
+            return self.first_timestamp
+        starts = sorted(self.chunks)
+        index = bisect_right(starts, offset) - 1
+        if index < 0:
+            return self.first_timestamp
+        rel = starts[index]
+        if offset < rel + len(self.chunks[rel]):
+            return self.chunk_times[rel]
+        return self.first_timestamp
+
+
+def _parse_tcp(raw: bytes) -> tuple[bytes, bytes, TcpSegment] | None:
+    """(src_ip, dst_ip, tcp) for a TCP-bearing Ethernet frame, else None.
+
+    Dispatches on the ethertype so IPv6 TCP flows reassemble exactly
+    like IPv4 ones (they used to be dropped silently).
+    """
+    try:
+        frame = EthernetFrame.parse(raw)
+        if frame.ethertype == ETHERTYPE_IPV4:
+            ip4 = IPv4Packet.parse(frame.payload)
+            if ip4.protocol != IPPROTO_TCP:
+                return None
+            return ip4.src, ip4.dst, TcpSegment.parse(ip4.payload)
+        if frame.ethertype == ETHERTYPE_IPV6:
+            ip6 = IPv6Packet.parse(frame.payload)
+            if ip6.next_header != IPPROTO_TCP:
+                return None
+            return ip6.src, ip6.dst, TcpSegment.parse(ip6.payload)
+    except ValueError:
+        return None
+    return None
 
 
 def reassemble_streams(
@@ -71,16 +160,12 @@ def reassemble_streams(
     """Group raw Ethernet frames into per-direction TCP stream buffers."""
     streams: dict[FlowKey, StreamBuffer] = {}
     for timestamp, raw in frames:
-        try:
-            frame = EthernetFrame.parse(raw)
-            ip = IPv4Packet.parse(frame.payload)
-            if ip.protocol != IPPROTO_TCP:
-                continue
-            tcp = TcpSegment.parse(ip.payload)
-        except ValueError:
+        parsed = _parse_tcp(raw)
+        if parsed is None:
             continue
+        src_ip, dst_ip, tcp = parsed
         key = FlowKey(
-            src_ip=ip.src, dst_ip=ip.dst, src_port=tcp.src_port, dst_port=tcp.dst_port
+            src_ip=src_ip, dst_ip=dst_ip, src_port=tcp.src_port, dst_port=tcp.dst_port
         )
         streams.setdefault(key, StreamBuffer()).add(tcp.seq, tcp.payload, timestamp)
     return streams
@@ -93,14 +178,23 @@ def split_nbss_messages(stream: bytes) -> list[bytes]:
     model emits.  A trailing partial message (stream cut mid-capture)
     is dropped.
     """
-    messages = []
+    return [data for _, data in split_nbss_messages_at(stream)]
+
+
+def split_nbss_messages_at(stream: bytes) -> list[tuple[int, bytes]]:
+    """NBSS messages with their byte offsets into *stream*.
+
+    The offset is what lets reassembled messages recover the timestamp
+    of the TCP segment that carried their first byte.
+    """
+    messages: list[tuple[int, bytes]] = []
     offset = 0
     while offset + 4 <= len(stream):
         length = int.from_bytes(stream[offset + 1 : offset + 4], "big")
         end = offset + 4 + length
         if end > len(stream):
             break
-        messages.append(stream[offset:end])
+        messages.append((offset, stream[offset:end]))
         offset = end
     return messages
 
@@ -110,18 +204,23 @@ def trace_from_tcp_capture(
     protocol: str = "smb",
     port: int = 445,
 ) -> Trace:
-    """Full path: raw frames -> reassembled NBSS messages -> Trace."""
+    """Full path: raw frames -> reassembled NBSS messages -> Trace.
+
+    Messages are stamped with the capture time of the segment carrying
+    their first byte, so sorting by timestamp reproduces the observed
+    request/response interleaving across the two flow directions.
+    """
     streams = reassemble_streams(frames)
     messages: list[TraceMessage] = []
     for key, buffer in streams.items():
         if port not in (key.src_port, key.dst_port):
             continue
         direction = "request" if key.dst_port == port else "response"
-        for data in split_nbss_messages(buffer.assemble()):
+        for offset, data in split_nbss_messages_at(buffer.assemble()):
             messages.append(
                 TraceMessage(
                     data=data,
-                    timestamp=buffer.first_timestamp,
+                    timestamp=buffer.timestamp_at(offset),
                     src_ip=key.src_ip,
                     dst_ip=key.dst_ip,
                     src_port=key.src_port,

@@ -189,9 +189,16 @@ def load_trace(
 
 
 def concat(traces: Sequence[Trace], protocol: str | None = None) -> Trace:
-    """Concatenate traces preserving order."""
+    """Concatenate traces preserving order.
+
+    Quarantine reports from the inputs are merged into the result so
+    lenient-load provenance survives concatenation.
+    """
     messages: list[TraceMessage] = []
     for trace in traces:
         messages.extend(trace.messages)
     name = protocol if protocol is not None else (traces[0].protocol if traces else "unknown")
-    return Trace(messages=messages, protocol=name)
+    quarantine = QuarantineReport.merged(
+        (trace.quarantine for trace in traces), source="concat"
+    )
+    return Trace(messages=messages, protocol=name, quarantine=quarantine)

@@ -17,6 +17,7 @@ from repro.msgtypes.clustering import MessageTypeResult
 from repro.net.bytesutil import printable_ratio, shannon_entropy
 from repro.net.trace import Trace
 from repro.semantics.engine import ClusterSemantics
+from repro.statemachine.stage import StateMachineResult
 
 
 @dataclass
@@ -56,6 +57,11 @@ class AnalysisReport:
     msgtype_noise: int | None = None
     msgtype_epsilon: float | None = None
     msgtype_sizes: list[int] = field(default_factory=list)
+    #: State-machine stage summary; None when the stage did not run
+    #: (defaults keep earlier serialized reports loading).
+    states: int | None = None
+    transitions: int | None = None
+    sessions: int | None = None
 
     @property
     def coverage(self) -> float:
@@ -69,6 +75,7 @@ class AnalysisReport:
         semantics: list[ClusterSemantics] | None = None,
         examples_per_cluster: int = 3,
         msgtypes: MessageTypeResult | None = None,
+        statemachine: StateMachineResult | None = None,
     ) -> "AnalysisReport":
         semantic_by_id = {s.cluster_id: s for s in (semantics or [])}
         entries = []
@@ -110,6 +117,13 @@ class AnalysisReport:
                 round(msgtypes.epsilon, 6) if msgtypes is not None else None
             ),
             msgtype_sizes=msgtypes.sizes() if msgtypes is not None else [],
+            states=statemachine.state_count if statemachine is not None else None,
+            transitions=(
+                statemachine.transition_count if statemachine is not None else None
+            ),
+            sessions=(
+                statemachine.session_count if statemachine is not None else None
+            ),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -136,6 +150,11 @@ class AnalysisReport:
                 f"message types: {self.message_types} "
                 f"(sizes {self.msgtype_sizes}, noise {self.msgtype_noise}, "
                 f"epsilon={self.msgtype_epsilon:.3f})"
+            )
+        if self.states is not None:
+            lines.append(
+                f"state machine: {self.states} states, "
+                f"{self.transitions} transitions over {self.sessions} sessions"
             )
         lines.append("")
         for entry in self.clusters:

@@ -423,6 +423,7 @@ class AnalysisSession:
         port: int | None = None,
         semantics: bool = False,
         msgtypes: bool = False,
+        statemachine: bool = False,
         recluster_fraction: float = DEFAULT_RECLUSTER_FRACTION,
         epsilon_tolerance: float = DEFAULT_EPSILON_TOLERANCE,
         knn_slack: int = KNN_SLACK,
@@ -445,7 +446,8 @@ class AnalysisSession:
         self.protocol = protocol
         self.port = port
         self.semantics = semantics
-        self.msgtypes = msgtypes
+        self.msgtypes = msgtypes or statemachine
+        self.statemachine = statemachine
         if recluster_fraction <= 0:
             raise ValueError("recluster_fraction must be > 0")
         if epsilon_tolerance < 0:
@@ -978,6 +980,7 @@ class AnalysisSession:
         from repro.api import AnalysisRun
         from repro.msgtypes import cluster_message_types
         from repro.report import AnalysisReport
+        from repro.statemachine.stage import infer_session_machine
 
         self._check_open()
         with self._scopes():
@@ -1011,7 +1014,14 @@ class AnalysisSession:
                     if self.msgtypes
                     else None
                 )
-                report = AnalysisReport.build(result, trace, deduced, msgtypes=types)
+                machine = (
+                    infer_session_machine(trace, types, labeled_trace=trace)
+                    if self.statemachine and types is not None
+                    else None
+                )
+                report = AnalysisReport.build(
+                    result, trace, deduced, msgtypes=types, statemachine=machine
+                )
                 if self._appendable.options.use_cache:
                     self._appendable.persist()
                 span.set(
@@ -1027,18 +1037,9 @@ class AnalysisSession:
             config=self.config,
             quarantine=trace.quarantine,
             msgtypes=types,
+            statemachine=machine,
         )
 
     def _merged_quarantine(self) -> QuarantineReport | None:
         """One report over every lenient load this session absorbed."""
-        if not self._quarantines:
-            return None
-        if len(self._quarantines) == 1:
-            return self._quarantines[0]
-        merged = QuarantineReport(source="session")
-        for report in self._quarantines:
-            merged.ok_count += report.ok_count
-            merged.unparsed_frames += report.unparsed_frames
-            merged.truncated_tail = merged.truncated_tail or report.truncated_tail
-            merged.records.extend(report.records)
-        return merged
+        return QuarantineReport.merged(self._quarantines, source="session")

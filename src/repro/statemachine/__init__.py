@@ -1,0 +1,47 @@
+"""Protocol state-machine inference over clustered message types.
+
+The layer above message-type identification: group the capture into
+per-conversation sessions (:mod:`repro.net.flows`), map each session's
+messages to their inferred type labels (:mod:`repro.msgtypes`), and
+infer a deterministic automaton over the observed type sequences
+(prefix-tree acceptor + incoming-history state merging + Moore
+minimization; see :mod:`repro.statemachine.inference`).
+
+Entry points:
+
+- :func:`infer_session_machine` — the pipeline stage (raw trace +
+  message-type result -> :class:`StateMachineResult`),
+- :func:`infer_state_machine` — the bare inference (symbol sequences ->
+  :class:`StateMachine`),
+- :func:`to_dot` / :func:`to_json` — exporters.
+"""
+
+from repro.statemachine.export import machine_from_json, to_dot, to_json
+from repro.statemachine.inference import (
+    DEFAULT_HISTORY,
+    StateMachine,
+    infer_state_machine,
+    transition_coverage,
+)
+from repro.statemachine.stage import (
+    StateMachineResult,
+    infer_session_machine,
+    label_map,
+    session_symbol_sequences,
+    type_symbol,
+)
+
+__all__ = [
+    "DEFAULT_HISTORY",
+    "StateMachine",
+    "StateMachineResult",
+    "infer_session_machine",
+    "infer_state_machine",
+    "label_map",
+    "machine_from_json",
+    "session_symbol_sequences",
+    "to_dot",
+    "to_json",
+    "transition_coverage",
+    "type_symbol",
+]

@@ -1,0 +1,39 @@
+"""Exchange formats for inferred state machines (DOT and JSON).
+
+Both exporters emit byte-stable output for a given automaton — states
+are already canonically numbered by the inference, and transitions are
+stored sorted — so golden-file tests and the determinism acceptance
+check can compare exported text directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.statemachine.inference import StateMachine
+
+
+def to_dot(machine: StateMachine, name: str = "statemachine") -> str:
+    """Graphviz DOT rendering: doublecircle accepting states, edge
+    labels ``symbol ×count``."""
+    accepting = set(machine.accepting)
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle];']
+    lines.append('  __start [shape=point, label=""];')
+    for state in range(machine.num_states):
+        shape = "doublecircle" if state in accepting else "circle"
+        lines.append(f'  s{state} [shape={shape}, label="{state}"];')
+    lines.append(f"  __start -> s{machine.start};")
+    for src, symbol, dst, count in machine.transitions:
+        lines.append(f'  s{src} -> s{dst} [label="{symbol} ×{count}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(machine: StateMachine, indent: int = 2) -> str:
+    """Stable JSON rendering (sorted keys, trailing newline)."""
+    return json.dumps(machine.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+
+def machine_from_json(text: str) -> StateMachine:
+    """Inverse of :func:`to_json`."""
+    return StateMachine.from_dict(json.loads(text))

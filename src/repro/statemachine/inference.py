@@ -1,0 +1,281 @@
+"""Deterministic automaton inference from observed symbol sequences.
+
+The classic passive-inference recipe (see "Automatic State Machine
+Inference for Binary Protocol Reverse Engineering", arxiv 2412.02540):
+
+1. **Prefix-tree acceptor (PTA).**  All observed sequences are folded
+   into a trie; every edge carries the number of times it was
+   traversed, every sequence end marks its node accepting.
+2. **State merging.**  PTA states are merged when their *incoming
+   symbol history* matches (the last ``history`` symbols on the path
+   from the root).  With ``history=1`` this is the bigram quotient: two
+   states are the same iff they were reached by the same message type.
+   The quotient is deterministic by construction — a state's history
+   determines its successor's history — so no explicit determinization
+   fold is needed afterwards.
+3. **Minimization.**  Moore partition refinement collapses states with
+   identical acceptance and successor behaviour (missing transitions
+   are treated as a reject sink).
+4. **Canonical renumbering.**  States are renumbered by BFS order from
+   the start state over alphabetically sorted symbols, so structurally
+   identical automata serialize bit-identically regardless of input
+   ordering or worker count.
+
+Why incoming-history merging?  Pure compatibility merging collapses the
+PTA toward an accept-everything automaton (shuffled negatives pass);
+strict k-tails equality never merges repeated-handshake states (held-out
+``DORA DORA`` sessions get rejected).  The h-gram quotient generalizes
+exactly as far as the observed n-grams: a sequence is accepted iff its
+``history+1``-grams were all observed and it ends where some training
+sequence ended.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Default incoming-symbol-history length for state merging (bigrams).
+DEFAULT_HISTORY = 1
+
+
+@dataclass(frozen=True)
+class StateMachine:
+    """A deterministic finite automaton with transition counts.
+
+    States are dense integers ``0..num_states-1`` in canonical BFS
+    order (state 0 is always the start).  ``transitions`` is sorted by
+    (source, symbol), which together with the canonical numbering makes
+    equality and serialization byte-stable.
+    """
+
+    num_states: int
+    start: int
+    accepting: tuple[int, ...]  # sorted state ids
+    transitions: tuple[tuple[int, str, int, int], ...]  # (src, symbol, dst, count)
+    alphabet: tuple[str, ...]  # sorted symbols
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self.transitions)
+
+    def transition_map(self) -> dict[tuple[int, str], int]:
+        """(state, symbol) -> next state."""
+        return {(src, symbol): dst for src, symbol, dst, _ in self.transitions}
+
+    def accepts(self, sequence: Iterable[str]) -> bool:
+        """True when *sequence* drives the machine to an accepting state."""
+        table = self.transition_map()
+        state = self.start
+        for symbol in sequence:
+            nxt = table.get((state, symbol))
+            if nxt is None:
+                return False
+            state = nxt
+        return state in set(self.accepting)
+
+    def to_dict(self) -> dict:
+        """JSON-ready image with stable ordering."""
+        return {
+            "num_states": self.num_states,
+            "start": self.start,
+            "accepting": list(self.accepting),
+            "alphabet": list(self.alphabet),
+            "transitions": [
+                {"src": src, "symbol": symbol, "dst": dst, "count": count}
+                for src, symbol, dst, count in self.transitions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StateMachine":
+        return cls(
+            num_states=int(payload["num_states"]),
+            start=int(payload["start"]),
+            accepting=tuple(int(s) for s in payload["accepting"]),
+            transitions=tuple(
+                (int(t["src"]), str(t["symbol"]), int(t["dst"]), int(t["count"]))
+                for t in payload["transitions"]
+            ),
+            alphabet=tuple(str(s) for s in payload["alphabet"]),
+        )
+
+
+@dataclass
+class _PtaNode:
+    """One prefix-tree state during construction."""
+
+    children: dict[str, int] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+    accepting: int = 0  # number of sequences ending here
+    history: tuple[str, ...] = ()
+
+
+def _build_pta(
+    sequences: Iterable[Sequence[str]], history: int
+) -> list[_PtaNode]:
+    """Fold *sequences* into a prefix tree, annotating each node with
+    the last *history* symbols on its path from the root."""
+    nodes = [_PtaNode()]
+    for sequence in sequences:
+        state = 0
+        for symbol in sequence:
+            node = nodes[state]
+            nxt = node.children.get(symbol)
+            if nxt is None:
+                nxt = len(nodes)
+                nodes.append(
+                    _PtaNode(history=(node.history + (symbol,))[-history:])
+                )
+                node.children[symbol] = nxt
+            node.counts[symbol] = node.counts.get(symbol, 0) + 1
+            state = nxt
+        nodes[state].accepting += 1
+    return nodes
+
+
+def _merge_by_history(
+    nodes: list[_PtaNode],
+) -> tuple[dict[tuple[str, ...], int], list[dict[str, tuple[int, int]]], set[int]]:
+    """Quotient the PTA by incoming history.
+
+    Returns (class index by history, per-class transitions as
+    symbol -> (target class, count), accepting class set).
+    """
+    classes: dict[tuple[str, ...], int] = {}
+    for node in nodes:
+        classes.setdefault(node.history, len(classes))
+    merged: list[dict[str, tuple[int, int]]] = [{} for _ in classes]
+    accepting: set[int] = set()
+    for node in nodes:
+        src = classes[node.history]
+        if node.accepting:
+            accepting.add(src)
+        for symbol, child in node.children.items():
+            dst = classes[nodes[child].history]
+            _, count = merged[src].get(symbol, (dst, 0))
+            merged[src][symbol] = (dst, count + node.counts[symbol])
+    return classes, merged, accepting
+
+
+def _minimize(
+    transitions: list[dict[str, tuple[int, int]]],
+    accepting: set[int],
+    start: int,
+) -> tuple[list[dict[str, tuple[int, int]]], set[int], int]:
+    """Moore partition refinement with an implicit reject sink."""
+    n = len(transitions)
+    symbols = sorted({s for table in transitions for s in table})
+    block = [1 if state in accepting else 0 for state in range(n)]
+    while True:
+        signatures: dict[tuple, int] = {}
+        new_block = [0] * n
+        for state in range(n):
+            signature = (
+                block[state],
+                tuple(
+                    block[transitions[state][s][0]] if s in transitions[state] else -1
+                    for s in symbols
+                ),
+            )
+            new_block[state] = signatures.setdefault(signature, len(signatures))
+        if new_block == block:
+            break
+        block = new_block
+    count = max(block) + 1 if n else 0
+    folded: list[dict[str, tuple[int, int]]] = [{} for _ in range(count)]
+    folded_accepting = {block[state] for state in accepting}
+    for state in range(n):
+        src = block[state]
+        for symbol, (dst, transition_count) in transitions[state].items():
+            target = block[dst]
+            _, existing = folded[src].get(symbol, (target, 0))
+            folded[src][symbol] = (target, existing + transition_count)
+    return folded, folded_accepting, block[start] if n else 0
+
+
+def _canonicalize(
+    transitions: list[dict[str, tuple[int, int]]],
+    accepting: set[int],
+    start: int,
+) -> StateMachine:
+    """BFS renumbering over sorted symbols; drops unreachable states."""
+    order: dict[int, int] = {start: 0}
+    queue = deque([start])
+    while queue:
+        state = queue.popleft()
+        for symbol in sorted(transitions[state]):
+            dst, _ = transitions[state][symbol]
+            if dst not in order:
+                order[dst] = len(order)
+                queue.append(dst)
+    edges: list[tuple[int, str, int, int]] = []
+    alphabet: set[str] = set()
+    for state, new_id in order.items():
+        for symbol, (dst, count) in transitions[state].items():
+            edges.append((new_id, symbol, order[dst], count))
+            alphabet.add(symbol)
+    edges.sort(key=lambda e: (e[0], e[1]))
+    return StateMachine(
+        num_states=len(order),
+        start=0,
+        accepting=tuple(sorted(order[s] for s in accepting if s in order)),
+        transitions=tuple(edges),
+        alphabet=tuple(sorted(alphabet)),
+    )
+
+
+def infer_state_machine(
+    sequences: Iterable[Sequence[str]],
+    history: int = DEFAULT_HISTORY,
+) -> StateMachine:
+    """Infer a deterministic automaton from observed symbol sequences.
+
+    *history* is the incoming-symbol-history length used for state
+    merging (see module docstring); ``history=1`` gives the bigram
+    automaton, larger values generalize less.
+    """
+    if history < 1:
+        raise ValueError(f"history must be >= 1, got {history}")
+    materialized = [tuple(sequence) for sequence in sequences]
+    nodes = _build_pta(materialized, history)
+    _, merged, accepting = _merge_by_history(nodes)
+    folded, folded_accepting, start = _minimize(merged, accepting, 0)
+    return _canonicalize(folded, folded_accepting, start)
+
+
+def transition_coverage(
+    truth: StateMachine,
+    inferred: StateMachine,
+    paired_sequences: Iterable[tuple[Sequence[str], Sequence[str]]],
+) -> float:
+    """Fraction of *truth* transitions the inferred machine also walks.
+
+    *paired_sequences* yields per-session ``(truth_symbols,
+    inferred_symbols)`` pairs of equal length (positions dropped from
+    one must be dropped from the other).  A truth transition counts as
+    covered when, at some position where the truth machine traverses
+    it, the inferred machine has a valid transition too.  Returns 1.0
+    for a truth machine with no transitions.
+    """
+    truth_table = truth.transition_map()
+    inferred_table = inferred.transition_map()
+    covered: set[tuple[int, str]] = set()
+    for truth_seq, inferred_seq in paired_sequences:
+        t_state, i_state = truth.start, inferred.start
+        for t_symbol, i_symbol in zip(truth_seq, inferred_seq):
+            t_next = truth_table.get((t_state, t_symbol))
+            if t_next is None:
+                break
+            i_next = (
+                inferred_table.get((i_state, i_symbol))
+                if i_state is not None
+                else None
+            )
+            if i_next is not None:
+                covered.add((t_state, t_symbol))
+            t_state, i_state = t_next, i_next
+    if not truth.transitions:
+        return 1.0
+    return len(covered) / truth.num_transitions

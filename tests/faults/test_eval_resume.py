@@ -153,7 +153,8 @@ class TestGridResume:
         calls: list[tuple] = []
 
         def dying_run_cell(protocol, count, segmenter, seed, config, *,
-                           refinement="none", msgtypes=False):
+                           refinement="none", msgtypes=False,
+                           statemachine=False):
             assert msgtypes
             if len(calls) == 3:
                 raise KilledMidSweep((protocol, count, segmenter, refinement))
@@ -167,7 +168,8 @@ class TestGridResume:
         assert len(calls) == 3  # three cells finished before the "kill"
 
         def resumed_run_cell(protocol, count, segmenter, seed, config, *,
-                             refinement="none", msgtypes=False):
+                             refinement="none", msgtypes=False,
+                             statemachine=False):
             spec = (protocol, count, segmenter, refinement)
             assert spec not in calls, f"recomputed finished grid cell {spec}"
             calls.append(spec)

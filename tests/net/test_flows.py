@@ -1,0 +1,149 @@
+"""Conversation tracking and session splitting (repro.net.flows)."""
+
+from repro.net.flows import (
+    ConversationKey,
+    Endpoint,
+    classify_direction,
+    conversation_key,
+    server_port_of,
+    sessions_from_trace,
+)
+from repro.net.reassembly import FlowKey
+from repro.net.trace import Trace, TraceMessage
+from repro.protocols import get_model
+
+CLIENT = b"\x0a\x00\x01\x05"
+SERVER = b"\x0a\x00\x00\x14"
+
+
+def msg(data, ts, src_ip=CLIENT, dst_ip=SERVER, sport=50000, dport=445,
+        direction=None):
+    return TraceMessage(
+        data=data, timestamp=ts, src_ip=src_ip, dst_ip=dst_ip,
+        src_port=sport, dst_port=dport, direction=direction,
+    )
+
+
+class TestConversationKey:
+    def test_both_directions_share_one_key(self):
+        fwd = conversation_key(CLIENT, SERVER, 50000, 445)
+        bwd = conversation_key(SERVER, CLIENT, 445, 50000)
+        assert fwd == bwd
+
+    def test_distinct_conversations_distinct_keys(self):
+        a = conversation_key(CLIENT, SERVER, 50000, 445)
+        b = conversation_key(CLIENT, SERVER, 50001, 445)
+        assert a != b
+
+    def test_wildcard_ips_degrade_to_port_pair(self):
+        # DHCP: request from 0.0.0.0:68 to broadcast:67, response from
+        # the server to broadcast:68 — same conversation.
+        request = conversation_key(bytes(4), b"\xff\xff\xff\xff", 68, 67)
+        response = conversation_key(SERVER, b"\xff\xff\xff\xff", 67, 68)
+        assert request == response
+        assert request.low.ip is None and request.high.ip is None
+        assert request.ports == (67, 68)
+
+    def test_from_flow_matches_message_key(self):
+        flow = FlowKey(src_ip=CLIENT, dst_ip=SERVER, src_port=50000, dst_port=445)
+        assert ConversationKey.from_flow(flow) == conversation_key(
+            CLIENT, SERVER, 50000, 445
+        )
+
+    def test_missing_addressing_still_keys(self):
+        key = conversation_key(None, None, None, None)
+        assert key == ConversationKey.from_endpoints(Endpoint(), Endpoint())
+
+
+class TestDirection:
+    def test_well_known_port_is_server(self):
+        key = conversation_key(CLIENT, SERVER, 50000, 445)
+        assert server_port_of(key) == 445
+
+    def test_lower_port_is_server_without_well_known(self):
+        key = conversation_key(CLIENT, SERVER, 50000, 8445)
+        assert server_port_of(key) == 8445
+
+    def test_explicit_direction_wins(self):
+        message = msg(b"x", 0.0, sport=445, dport=50000, direction="request")
+        assert classify_direction(message, server_port=445) == "request"
+
+    def test_port_heuristic_classifies(self):
+        toward = msg(b"x", 0.0, sport=50000, dport=445)
+        away = msg(b"y", 0.0, src_ip=SERVER, dst_ip=CLIENT, sport=445, dport=50000)
+        assert classify_direction(toward, 445) == "request"
+        assert classify_direction(away, 445) == "response"
+
+
+class TestSessions:
+    def test_messages_ordered_by_timestamp(self):
+        trace = Trace(
+            messages=[msg(b"b", 2.0), msg(b"a", 1.0), msg(b"c", 3.0)],
+            protocol="test",
+        )
+        (session,) = sessions_from_trace(trace)
+        assert [m.data for m in session] == [b"a", b"b", b"c"]
+
+    def test_idle_gap_splits_sessions(self):
+        trace = Trace(
+            messages=[msg(b"a", 0.0), msg(b"b", 1.0), msg(b"c", 100.0)],
+            protocol="test",
+        )
+        sessions = sessions_from_trace(trace, idle_timeout=5.0)
+        assert [len(s) for s in sessions] == [2, 1]
+        assert sessions[0].duration == 1.0
+
+    def test_conversations_tracked_separately(self):
+        trace = Trace(
+            messages=[
+                msg(b"a", 0.0, sport=50000),
+                msg(b"x", 0.5, sport=50001),
+                msg(b"b", 1.0, sport=50000),
+            ],
+            protocol="test",
+        )
+        sessions = sessions_from_trace(trace)
+        assert sorted(len(s) for s in sessions) == [1, 2]
+
+    def test_sessions_sorted_by_start_time(self):
+        trace = Trace(
+            messages=[msg(b"late", 50.0, sport=50001), msg(b"early", 1.0)],
+            protocol="test",
+        )
+        sessions = sessions_from_trace(trace)
+        assert [s.start_time for s in sessions] == [1.0, 50.0]
+
+    def test_request_response_pairing(self):
+        trace = Trace(
+            messages=[
+                msg(b"q1", 0.0),
+                msg(b"r1", 0.1, src_ip=SERVER, dst_ip=CLIENT, sport=445, dport=50000),
+                msg(b"q2", 0.2),
+            ],
+            protocol="test",
+        )
+        (session,) = sessions_from_trace(trace)
+        pairs = session.pair_requests()
+        assert [(q.data, r.data if r else None) for q, r in pairs] == [
+            (b"q1", b"r1"),
+            (b"q2", None),
+        ]
+
+    def test_dhcp_dora_exchanges_become_sessions(self):
+        model = get_model("dhcp")
+        trace = model.generate(200, seed=5)
+        sessions = sessions_from_trace(trace)
+        assert len(sessions) > 10
+        # The vast majority of sessions are whole DORA exchanges (or a
+        # small multiple when two exchanges land within the idle gap).
+        assert sum(len(s) % 4 == 0 for s in sessions) >= 0.9 * len(sessions)
+        for session in sessions:
+            times = [m.timestamp for m in session]
+            assert times == sorted(times)
+
+    def test_directions_recorded_per_message(self):
+        model = get_model("dhcp")
+        trace = model.generate(40, seed=5)
+        for session in sessions_from_trace(trace):
+            assert len(session.directions) == len(session)
+            assert set(session.directions) <= {"request", "response"}

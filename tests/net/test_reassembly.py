@@ -1,16 +1,26 @@
 
-from repro.net.packet import build_tcp_ipv4_frame
+from repro.net.packet import build_tcp_ipv4_frame, build_tcp_ipv6_frame
 from repro.net.reassembly import (
+    SEQ_MODULUS,
     FlowKey,
     StreamBuffer,
     reassemble_streams,
     split_nbss_messages,
+    split_nbss_messages_at,
     trace_from_tcp_capture,
 )
 from repro.protocols import get_model
 
 CLIENT = b"\x0a\x00\x01\x05"
 SERVER = b"\x0a\x00\x00\x14"
+
+CLIENT6 = b"\xfd\x00" + bytes(13) + b"\x05"
+SERVER6 = b"\xfd\x00" + bytes(13) + b"\x14"
+
+
+def nbss(body: bytes) -> bytes:
+    """Wrap *body* in a 4-byte NBSS header."""
+    return b"\x00" + len(body).to_bytes(3, "big") + body
 
 
 def tcp_frames(payloads, src=CLIENT, dst=SERVER, sport=50000, dport=445, start_seq=1000):
@@ -124,3 +134,172 @@ class TestEndToEnd:
         for message in trace:
             fields = model.dissect(message.data)
             assert fields[0].name == "nbss_type"
+
+
+class TestIPv6Reassembly:
+    """Regression: IPv6 TCP flows used to be dropped silently (only
+    ``IPv4Packet.parse`` was attempted)."""
+
+    def test_ipv6_smb_capture_reassembles(self):
+        model = get_model("smb")
+        original = model.generate(8, seed=11)
+        expected = [m.data for m in original if m.direction == "request"]
+        stream = b"".join(expected)
+        fragments = [stream[i : i + 131] for i in range(0, len(stream), 131)]
+        frames, seq = [], 3000
+        for i, fragment in enumerate(fragments):
+            frames.append(
+                (
+                    float(i),
+                    build_tcp_ipv6_frame(
+                        fragment, CLIENT6, SERVER6, 50000, 445, seq=seq
+                    ),
+                )
+            )
+            seq += len(fragment)
+        streams = reassemble_streams(frames)
+        key = FlowKey(src_ip=CLIENT6, dst_ip=SERVER6, src_port=50000, dst_port=445)
+        assert key in streams
+        trace = trace_from_tcp_capture(frames, protocol="smb", port=445)
+        assert [m.data for m in trace] == expected
+
+    def test_mixed_v4_v6_capture_keeps_both_flows(self):
+        body = nbss(b"payload")
+        frames = [
+            (0.0, build_tcp_ipv4_frame(body, CLIENT, SERVER, 50000, 445, seq=1)),
+            (1.0, build_tcp_ipv6_frame(body, CLIENT6, SERVER6, 50001, 445, seq=1)),
+        ]
+        streams = reassemble_streams(frames)
+        assert len(streams) == 2
+        trace = trace_from_tcp_capture(frames, port=445)
+        assert [m.data for m in trace] == [body, body]
+
+
+class TestPerMessageTimestamps:
+    """Regression: every reassembled message used to inherit the flow's
+    *first* timestamp, so sorting destroyed request/response order."""
+
+    def test_two_direction_capture_interleaves_strictly(self):
+        requests = [nbss(b"req%d" % i) for i in range(3)]
+        responses = [nbss(b"resp%d" % i) for i in range(3)]
+        frames = []
+        fwd_seq, bwd_seq = 100, 900
+        for i in range(3):
+            frames.append(
+                (
+                    float(2 * i),
+                    build_tcp_ipv4_frame(
+                        requests[i], CLIENT, SERVER, 50000, 445, seq=fwd_seq
+                    ),
+                )
+            )
+            fwd_seq += len(requests[i])
+            frames.append(
+                (
+                    float(2 * i + 1),
+                    build_tcp_ipv4_frame(
+                        responses[i], SERVER, CLIENT, 445, 50000, seq=bwd_seq
+                    ),
+                )
+            )
+            bwd_seq += len(responses[i])
+        trace = trace_from_tcp_capture(frames, port=445)
+        directions = [m.direction for m in trace]
+        assert directions == ["request", "response"] * 3
+        assert [m.timestamp for m in trace] == [float(i) for i in range(6)]
+
+    def test_timestamp_at_tracks_delivering_segment(self):
+        buffer = StreamBuffer()
+        buffer.add(100, b"abcd", 5.0)
+        buffer.add(104, b"efgh", 9.0)
+        assert buffer.timestamp_at(0) == 5.0
+        assert buffer.timestamp_at(3) == 5.0
+        assert buffer.timestamp_at(4) == 9.0
+
+    def test_retransmission_keeps_earliest_delivery(self):
+        buffer = StreamBuffer()
+        buffer.add(100, b"abcd", 5.0)
+        buffer.add(100, b"abcdef", 9.0)  # longer retransmission dominates
+        assert buffer.assemble() == b"abcdef"
+        assert buffer.timestamp_at(0) == 5.0
+
+
+class TestSequenceWraparound:
+    """Regression: streams crossing the 32-bit sequence boundary used
+    to be corrupted (absolute-offset bookkeeping)."""
+
+    def test_buffer_wraps_modulo_2_32(self):
+        buffer = StreamBuffer()
+        buffer.add(SEQ_MODULUS - 6, b"abcdef", 0.0)
+        buffer.add(0, b"ghijkl", 1.0)  # wrapped continuation
+        buffer.add(6, b"mnop", 2.0)
+        assert buffer.assemble() == b"abcdefghijklmnop"
+
+    def test_capture_crossing_wraparound(self):
+        one, two = nbss(b"before-wrap"), nbss(b"after-wrap")
+        stream = one + two
+        start = SEQ_MODULUS - 7  # the boundary falls inside message one
+        frames = []
+        for i, chunk in enumerate([stream[:5], stream[5:]]):
+            seq = (start + (0 if i == 0 else 5)) % SEQ_MODULUS
+            frames.append(
+                (
+                    float(i),
+                    build_tcp_ipv4_frame(chunk, CLIENT, SERVER, 50000, 445, seq=seq),
+                )
+            )
+        trace = trace_from_tcp_capture(frames, port=445)
+        assert [m.data for m in trace] == [one, two]
+
+    def test_pre_capture_retransmission_ignored(self):
+        buffer = StreamBuffer()
+        buffer.add(1000, b"abc", 0.0)
+        buffer.add(900, b"old", 1.0)  # from before the capture began
+        assert buffer.assemble() == b"abc"
+
+
+class TestReassemblyEdgeCases:
+    def test_overlapping_retransmission_dominance_in_capture(self):
+        body = nbss(b"full-message")
+        frames = [
+            # Short first transmission, dominated by the full retransmit.
+            (0.0, build_tcp_ipv4_frame(body[:6], CLIENT, SERVER, 50000, 445, seq=10)),
+            (1.0, build_tcp_ipv4_frame(body, CLIENT, SERVER, 50000, 445, seq=10)),
+        ]
+        trace = trace_from_tcp_capture(frames, port=445)
+        assert [m.data for m in trace] == [body]
+        assert trace[0].timestamp == 0.0  # earliest delivery of the first byte
+
+    def test_gap_truncates_capture_stream(self):
+        one, two = nbss(b"first"), nbss(b"second")
+        frames = [
+            (0.0, build_tcp_ipv4_frame(one, CLIENT, SERVER, 50000, 445, seq=0)),
+            # two's segment lost; a later message arrives past the gap
+            (1.0, build_tcp_ipv4_frame(nbss(b"third"), CLIENT, SERVER, 50000, 445,
+                                       seq=len(one) + len(two))),
+        ]
+        trace = trace_from_tcp_capture(frames, port=445)
+        assert [m.data for m in trace] == [one]
+
+    def test_partial_trailing_nbss_dropped(self):
+        one = nbss(b"complete")
+        partial = nbss(b"cut-off-message")[:-4]  # capture ends mid-message
+        frames = tcp_frames([one + partial])
+        trace = trace_from_tcp_capture(frames, port=445)
+        assert [m.data for m in trace] == [one]
+
+    def test_split_nbss_messages_at_offsets(self):
+        one, two = nbss(b"abc"), nbss(b"defgh")
+        assert split_nbss_messages_at(one + two) == [(0, one), (len(one), two)]
+
+    def test_direction_classification_on_non_standard_port(self):
+        req, resp = nbss(b"ping"), nbss(b"pong")
+        frames = [
+            (0.0, build_tcp_ipv4_frame(req, CLIENT, SERVER, 50000, 8445, seq=0)),
+            (1.0, build_tcp_ipv4_frame(resp, SERVER, CLIENT, 8445, 50000, seq=0)),
+        ]
+        trace = trace_from_tcp_capture(frames, port=8445)
+        assert [(m.data, m.direction) for m in trace] == [
+            (req, "request"),
+            (resp, "response"),
+        ]

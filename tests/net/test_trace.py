@@ -111,3 +111,35 @@ class TestConcat:
 
     def test_concat_empty(self):
         assert len(concat([])) == 0
+
+    def test_concat_merges_quarantine_reports(self):
+        # Regression: concat used to drop lenient-load provenance.
+        from repro.errors import QuarantineReport
+
+        first = make_trace([b"a"])
+        first.quarantine = QuarantineReport(source="one.pcap", ok_count=3)
+        first.quarantine.quarantine(1, 16, "bad_record", "truncated header")
+        second = make_trace([b"b"])  # no lenient load, no report
+        third = make_trace([b"c"])
+        third.quarantine = QuarantineReport(
+            source="three.pcap", ok_count=2, truncated_tail=True, unparsed_frames=1
+        )
+        merged = concat([first, second, third])
+        report = merged.quarantine
+        assert report is not None
+        assert report.ok_count == 5
+        assert report.quarantined_count == 1
+        assert report.unparsed_frames == 1
+        assert report.truncated_tail
+
+    def test_concat_single_report_keeps_provenance(self):
+        only = make_trace([b"a"])
+        from repro.errors import QuarantineReport
+
+        only.quarantine = QuarantineReport(source="solo.pcap", ok_count=1)
+        merged = concat([only, make_trace([b"b"])])
+        assert merged.quarantine is only.quarantine
+        assert merged.quarantine.source == "solo.pcap"
+
+    def test_concat_without_reports_has_none(self):
+        assert concat([make_trace([b"a"]), make_trace([b"b"])]).quarantine is None

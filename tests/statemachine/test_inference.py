@@ -1,0 +1,140 @@
+"""Automaton inference unit tests: PTA, merging, minimization, canon."""
+
+import random
+
+import pytest
+
+from repro.statemachine import (
+    StateMachine,
+    infer_state_machine,
+    to_json,
+    transition_coverage,
+)
+
+DORA = ("discover", "offer", "request", "ack")
+
+
+class TestBasics:
+    def test_single_sequence_accepted(self):
+        machine = infer_state_machine([DORA])
+        assert machine.accepts(DORA)
+
+    def test_empty_input_rejects_everything(self):
+        machine = infer_state_machine([])
+        assert machine.num_states == 1
+        assert not machine.accepts(("x",))
+        assert not machine.accepts(())
+
+    def test_empty_sequence_marks_start_accepting(self):
+        machine = infer_state_machine([()])
+        assert machine.accepts(())
+
+    def test_prefix_not_accepted(self):
+        machine = infer_state_machine([DORA])
+        assert not machine.accepts(DORA[:2])
+
+    def test_unknown_symbol_rejected(self):
+        machine = infer_state_machine([DORA])
+        assert not machine.accepts(("discover", "nak"))
+
+    def test_history_must_be_positive(self):
+        with pytest.raises(ValueError):
+            infer_state_machine([DORA], history=0)
+
+
+class TestGeneralization:
+    def test_repeated_handshake_accepted(self):
+        # h=1 merging generalizes DORA to DORA^n without accepting
+        # arbitrary reorderings.
+        machine = infer_state_machine([DORA, DORA + DORA])
+        assert machine.accepts(DORA)
+        assert machine.accepts(DORA * 3)
+        assert not machine.accepts(("offer", "discover", "request", "ack"))
+        assert not machine.accepts(DORA[::-1])
+
+    def test_shuffled_negatives_rejected(self):
+        machine = infer_state_machine([DORA] * 10)
+        rng = random.Random(7)
+        rejected = 0
+        for _ in range(20):
+            shuffled = list(DORA)
+            while tuple(shuffled) == DORA:
+                rng.shuffle(shuffled)
+            rejected += not machine.accepts(shuffled)
+        assert rejected == 20
+
+    def test_higher_history_generalizes_less(self):
+        # a b a and a c a observed; with h=1 "b" and "c" both lead back
+        # to the post-"a" state, so a b a c a is accepted; with h=2 the
+        # contexts differ and the crossover is rejected.
+        sequences = [("a", "b", "a"), ("a", "c", "a")]
+        loose = infer_state_machine(sequences, history=1)
+        strict = infer_state_machine(sequences, history=2)
+        crossover = ("a", "b", "a", "c", "a")
+        assert loose.accepts(crossover)
+        assert strict.accepts(("a", "b", "a"))
+        assert not strict.accepts(crossover)
+
+
+class TestDeterminism:
+    def test_input_permutation_invariant(self):
+        sequences = [
+            ("q", "r"),
+            ("q", "r", "q", "r"),
+            ("syn", "synack", "ack"),
+            ("q",),
+        ]
+        baseline = infer_state_machine(sequences)
+        rng = random.Random(3)
+        for _ in range(10):
+            shuffled = list(sequences)
+            rng.shuffle(shuffled)
+            assert infer_state_machine(shuffled) == baseline
+            assert to_json(infer_state_machine(shuffled)) == to_json(baseline)
+
+    def test_transitions_sorted_and_counted(self):
+        machine = infer_state_machine([("a", "b"), ("a", "b"), ("a", "c")])
+        assert list(machine.transitions) == sorted(
+            machine.transitions, key=lambda e: (e[0], e[1])
+        )
+        counts = {symbol: count for _, symbol, _, count in machine.transitions}
+        assert counts == {"a": 3, "b": 2, "c": 1}
+
+    def test_minimization_folds_equivalent_tails(self):
+        # Both branches end in an accepting sink with no outgoing
+        # transitions; minimization must fold them into one state.
+        machine = infer_state_machine([("a", "x"), ("b", "y")])
+        # start, post-a, post-b, and ONE shared accepting sink
+        assert machine.num_states == 4
+        assert len(machine.accepting) == 1
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        machine = infer_state_machine([DORA, DORA * 2])
+        assert StateMachine.from_dict(machine.to_dict()) == machine
+
+    def test_alphabet_is_sorted(self):
+        machine = infer_state_machine([("z", "a", "m")])
+        assert machine.alphabet == ("a", "m", "z")
+
+
+class TestTransitionCoverage:
+    def test_full_coverage_on_identical_views(self):
+        sequences = [DORA, DORA * 2]
+        truth = infer_state_machine(sequences)
+        assert transition_coverage(truth, truth, [(s, s) for s in sequences]) == 1.0
+
+    def test_partial_coverage_when_inferred_lacks_transitions(self):
+        truth = infer_state_machine([("a", "b", "c")])
+        inferred = infer_state_machine([("a",)])
+        # inferred only walks the first position of the session
+        coverage = transition_coverage(
+            truth, inferred, [(("a", "b", "c"), ("a", "b", "c"))]
+        )
+        assert 0.0 < coverage < 1.0
+
+    def test_empty_truth_is_fully_covered(self):
+        truth = infer_state_machine([])
+        inferred = infer_state_machine([("a",)])
+        assert transition_coverage(truth, inferred, []) == 1.0

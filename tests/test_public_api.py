@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.semantics",
     "repro.fuzzing",
     "repro.msgtypes",
+    "repro.statemachine",
     "repro.eval",
 ]
 
@@ -89,6 +90,7 @@ class TestSurfaceSnapshot:
             "segmenter: 'str | Segmenter' = 'nemesys', "
             "semantics: 'bool' = False, "
             "msgtypes: 'bool' = False, "
+            "statemachine: 'bool' = False, "
             "preprocess: 'bool' = True, "
             "strict: 'bool' = True, "
             "tracer: 'Tracer | None' = None, "
@@ -104,6 +106,7 @@ class TestSurfaceSnapshot:
             "segmenter: 'str | Segmenter' = 'nemesys', "
             "semantics: 'bool' = False, "
             "msgtypes: 'bool' = False, "
+            "statemachine: 'bool' = False, "
             "preprocess: 'bool' = True, "
             "strict: 'bool' = True, "
             "tracer: 'Tracer | None' = None, "
@@ -136,6 +139,7 @@ class TestSurfaceSnapshot:
             "port",
             "semantics",
             "msgtypes",
+            "statemachine",
             "recluster_fraction",
             "epsilon_tolerance",
             "knn_slack",
